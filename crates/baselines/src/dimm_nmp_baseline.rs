@@ -1,0 +1,217 @@
+//! DIMM-level NMP comparators: TensorDIMM and Chameleon.
+//!
+//! Both systems reduce embedding vectors inside the DIMM, so pooled
+//! results (not raw vectors) cross the channel — but both are driven by
+//! the *host* memory controller over the shared, conventional C/A bus:
+//!
+//! * **TensorDIMM** spends the standard ~3 command slots (PRE/ACT/RD) per
+//!   low-locality vector. Its 64-byte-across-DIMMs interleave only helps
+//!   vectors larger than 64 B; the paper's worst-case 64-byte vectors land
+//!   entirely in one DIMM.
+//! * **Chameleon** adds one more slot per vector for its time-multiplexed
+//!   NDA command protocol (the paper simulates its temporal/spatial
+//!   multiplexed C/A and DQ timing; we model the same delivery cost).
+//!
+//! Neither has a memory-side cache, so (per the paper) their latency is
+//! insensitive to trace locality.
+
+use recnmp_dram::{DramConfig, MemorySystem};
+use recnmp_types::{ConfigError, PhysAddr};
+
+use crate::report::BaselineReport;
+
+/// Shared engine for DIMM-level NMP systems: per-DIMM memory controllers
+/// fed by a rate-limited shared command stream.
+#[derive(Debug)]
+pub struct DimmLevelNmp {
+    name: &'static str,
+    dimms: Vec<MemorySystem>,
+    /// Shared-bus command slots per vector *beyond* the per-burst RDs
+    /// (PRE + ACT for TensorDIMM, plus the NDA control word for
+    /// Chameleon). Total stagger per vector = this + bursts.
+    cmd_overhead_per_vector: u64,
+}
+
+impl DimmLevelNmp {
+    /// Builds a system of `dimms` DIMMs with `ranks_per_dimm` ranks each;
+    /// each vector costs `cmd_overhead_per_vector + bursts` slots on the
+    /// shared C/A bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid DRAM configurations.
+    pub fn new(
+        name: &'static str,
+        dimms: u8,
+        ranks_per_dimm: u8,
+        cmd_overhead_per_vector: u64,
+    ) -> Result<Self, ConfigError> {
+        assert!(dimms > 0, "need at least one DIMM");
+        let dimm_systems = (0..dimms)
+            .map(|_| MemorySystem::new(DramConfig::with_ranks(1, ranks_per_dimm)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            name,
+            dimms: dimm_systems,
+            cmd_overhead_per_vector,
+        })
+    }
+
+    /// Number of DIMMs.
+    pub fn num_dimms(&self) -> usize {
+        self.dimms.len()
+    }
+
+    /// Serves a lookup trace. Vectors are assigned to DIMMs by address
+    /// interleave: a 64-byte vector lands in one DIMM; larger vectors
+    /// spread consecutive bursts across DIMMs (the TensorDIMM layout).
+    pub fn run(&mut self, vectors: &[PhysAddr], bursts_per_vector: u8) -> BaselineReport {
+        let n = self.dimms.len() as u64;
+        let start = self.dimms.iter().map(|d| d.cycle()).max().unwrap_or(0);
+        let stagger = self.cmd_overhead_per_vector + bursts_per_vector as u64;
+        for (i, addr) in vectors.iter().enumerate() {
+            // Shared C/A bus: one vector's command bundle per `stagger`
+            // slots (PRE/ACT overhead + one RD per burst).
+            let arrival = start + i as u64 * stagger;
+            let burst0 = addr.get() >> 6;
+            for b in 0..bursts_per_vector as u64 {
+                let dimm = ((burst0 + b) % n) as usize;
+                // The DIMM-local address drops the interleave bits.
+                let local = PhysAddr::new(((burst0 + b) / n) << 6);
+                self.dimms[dimm].enqueue_read(local, arrival);
+            }
+        }
+        let mut end = start;
+        let mut bursts = 0;
+        let mut dram = recnmp_dram::DramStats::new();
+        for d in &mut self.dimms {
+            let done = d.run_until_idle();
+            end = end.max(done.iter().map(|c| c.finish_cycle).max().unwrap_or(start));
+            bursts += done.len() as u64;
+            let s = d.stats();
+            dram.reads += s.reads;
+            dram.acts += s.acts;
+            dram.pres += s.pres;
+            dram.row_hits += s.row_hits;
+            dram.row_misses += s.row_misses;
+            dram.row_conflicts += s.row_conflicts;
+            dram.data_bus_busy += s.data_bus_busy;
+        }
+        BaselineReport {
+            system: self.name.into(),
+            total_cycles: end - start,
+            vectors: vectors.len() as u64,
+            bursts,
+            dram,
+        }
+    }
+}
+
+/// TensorDIMM (MICRO 2019): DIMM-level NMP with standard command cost.
+#[derive(Debug)]
+pub struct TensorDimm(DimmLevelNmp);
+
+impl TensorDimm {
+    /// Builds a TensorDIMM system.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid DRAM configurations.
+    pub fn new(dimms: u8, ranks_per_dimm: u8) -> Result<Self, ConfigError> {
+        // PRE + ACT overhead plus one RD per burst on the shared C/A bus.
+        Ok(Self(DimmLevelNmp::new("tensordimm", dimms, ranks_per_dimm, 2)?))
+    }
+
+    /// Serves a lookup trace.
+    pub fn run(&mut self, vectors: &[PhysAddr], bursts_per_vector: u8) -> BaselineReport {
+        self.0.run(vectors, bursts_per_vector)
+    }
+}
+
+/// Chameleon (MICRO 2016): NDA accelerators with multiplexed C/A.
+#[derive(Debug)]
+pub struct Chameleon(DimmLevelNmp);
+
+impl Chameleon {
+    /// Builds a Chameleon system.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid DRAM configurations.
+    pub fn new(dimms: u8, ranks_per_dimm: u8) -> Result<Self, ConfigError> {
+        // PRE + ACT plus one time-multiplexed NDA control word per vector.
+        Ok(Self(DimmLevelNmp::new("chameleon", dimms, ranks_per_dimm, 3)?))
+    }
+
+    /// Serves a lookup trace.
+    pub fn run(&mut self, vectors: &[PhysAddr], bursts_per_vector: u8) -> BaselineReport {
+        self.0.run(vectors, bursts_per_vector)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recnmp_types::rng::DetRng;
+
+    fn random_addrs(n: usize, seed: u64) -> Vec<PhysAddr> {
+        let mut rng = DetRng::seed(seed);
+        (0..n)
+            .map(|_| PhysAddr::new(rng.below(4 << 30) & !63))
+            .collect()
+    }
+
+    #[test]
+    fn all_vectors_complete() {
+        let mut td = TensorDimm::new(4, 1).unwrap();
+        let report = td.run(&random_addrs(200, 1), 1);
+        assert_eq!(report.vectors, 200);
+        assert_eq!(report.bursts, 200);
+    }
+
+    #[test]
+    fn delivery_rate_caps_tensordimm() {
+        // 64-byte vectors: TensorDIMM is C/A-delivery-bound at ~3
+        // cycles/vector no matter how many DIMMs.
+        let mut td = TensorDimm::new(4, 2).unwrap();
+        let report = td.run(&random_addrs(400, 2), 1);
+        assert!(report.cycles_per_lookup() >= 3.0, "{}", report.cycles_per_lookup());
+        assert!(report.cycles_per_lookup() < 6.0, "{}", report.cycles_per_lookup());
+    }
+
+    #[test]
+    fn chameleon_is_slower_than_tensordimm() {
+        let addrs = random_addrs(400, 3);
+        let mut td = TensorDimm::new(4, 2).unwrap();
+        let mut ch = Chameleon::new(4, 2).unwrap();
+        let t = td.run(&addrs, 1).total_cycles;
+        let c = ch.run(&addrs, 1).total_cycles;
+        assert!(c > t, "chameleon {c} vs tensordimm {t}");
+    }
+
+    #[test]
+    fn large_vectors_interleave_across_dimms() {
+        // A 256-byte vector spreads over 4 DIMMs: TensorDIMM's design
+        // point. Throughput per vector should beat 4 sequential bursts on
+        // one DIMM.
+        let mut td = TensorDimm::new(4, 1).unwrap();
+        let report = td.run(&random_addrs(100, 4), 4);
+        assert_eq!(report.bursts, 400);
+        // Delivery is 3 cycles/vector; data 4x4=16 cycles/vector spread
+        // over 4 DIMMs = 4 cycles/vector effective.
+        assert!(report.cycles_per_lookup() < 12.0, "{}", report.cycles_per_lookup());
+    }
+
+    #[test]
+    fn locality_insensitive_without_cache() {
+        // The same addresses repeated give roughly the same cycles per
+        // lookup (row-buffer effects aside) — no memory-side cache.
+        let addrs = random_addrs(100, 5);
+        let repeated: Vec<PhysAddr> = addrs.iter().chain(addrs.iter()).copied().collect();
+        let mut td1 = TensorDimm::new(2, 2).unwrap();
+        let mut td2 = TensorDimm::new(2, 2).unwrap();
+        let once = td1.run(&addrs, 1).cycles_per_lookup();
+        let twice = td2.run(&repeated, 1).cycles_per_lookup();
+        assert!((twice - once).abs() < 0.5 * once, "{once} vs {twice}");
+    }
+}

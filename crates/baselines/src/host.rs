@@ -1,0 +1,127 @@
+//! The conventional CPU/DRAM baseline.
+
+use recnmp_dram::{DramConfig, MemorySystem};
+use recnmp_types::{ConfigError, PhysAddr};
+
+use crate::report::BaselineReport;
+
+/// The host baseline: SLS lookups served as ordinary cacheline reads over
+/// one memory channel, pooled on the CPU.
+///
+/// # Examples
+///
+/// ```
+/// use recnmp_baselines::HostBaseline;
+/// use recnmp_types::PhysAddr;
+///
+/// # fn main() -> Result<(), recnmp_types::ConfigError> {
+/// let mut host = HostBaseline::new(1, 2)?;
+/// let addrs: Vec<PhysAddr> = (0..64u64).map(|i| PhysAddr::new(i * 4096)).collect();
+/// let report = host.run(&addrs, 1);
+/// assert_eq!(report.vectors, 64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct HostBaseline {
+    mem: MemorySystem,
+}
+
+impl HostBaseline {
+    /// Builds the baseline channel (`dimms x ranks_per_dimm`, Table I
+    /// policies).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid configurations.
+    pub fn new(dimms: u8, ranks_per_dimm: u8) -> Result<Self, ConfigError> {
+        Self::with_config(DramConfig::with_ranks(dimms, ranks_per_dimm))
+    }
+
+    /// Builds the baseline from an explicit DRAM configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid configurations.
+    pub fn with_config(config: DramConfig) -> Result<Self, ConfigError> {
+        Ok(Self {
+            mem: MemorySystem::new(config)?,
+        })
+    }
+
+    /// Access to the underlying memory system (e.g. for monitors).
+    pub fn memory(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// Serves one lookup trace: each vector of `bursts_per_vector`
+    /// 64-byte bursts is read in full over the channel.
+    pub fn run(&mut self, vectors: &[PhysAddr], bursts_per_vector: u8) -> BaselineReport {
+        let start = self.mem.cycle();
+        for addr in vectors {
+            for b in 0..bursts_per_vector as u64 {
+                self.mem.enqueue_read(addr.offset(b * 64), start);
+            }
+        }
+        let done = self.mem.run_until_idle();
+        let end = done.iter().map(|c| c.finish_cycle).max().unwrap_or(start);
+        BaselineReport {
+            system: "host".into(),
+            total_cycles: end - start,
+            vectors: vectors.len() as u64,
+            bursts: vectors.len() as u64 * bursts_per_vector as u64,
+            dram: self.mem.stats().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recnmp_types::rng::DetRng;
+
+    fn random_addrs(n: usize, seed: u64) -> Vec<PhysAddr> {
+        let mut rng = DetRng::seed(seed);
+        (0..n)
+            .map(|_| PhysAddr::new(rng.below(8 << 30) & !63))
+            .collect()
+    }
+
+    #[test]
+    fn serves_every_vector() {
+        let mut host = HostBaseline::new(1, 2).unwrap();
+        let report = host.run(&random_addrs(100, 1), 1);
+        assert_eq!(report.vectors, 100);
+        assert_eq!(report.dram.reads, 100);
+        assert!(report.total_cycles > 0);
+    }
+
+    #[test]
+    fn multi_burst_vectors_read_all_bursts() {
+        let mut host = HostBaseline::new(1, 2).unwrap();
+        let report = host.run(&random_addrs(50, 2), 4);
+        assert_eq!(report.bursts, 200);
+        assert_eq!(report.dram.reads, 200);
+    }
+
+    #[test]
+    fn data_bus_bounds_throughput() {
+        // Random 64-byte reads cannot beat the 16 B/cycle channel data
+        // bus: at least 4 cycles per vector.
+        let mut host = HostBaseline::new(1, 2).unwrap();
+        let report = host.run(&random_addrs(500, 3), 1);
+        assert!(report.cycles_per_lookup() >= 4.0, "{}", report.cycles_per_lookup());
+        // And random traffic on 2 ranks should stay within ~3x of the
+        // streaming bound.
+        assert!(report.cycles_per_lookup() < 12.0, "{}", report.cycles_per_lookup());
+    }
+
+    #[test]
+    fn sequential_runs_accumulate() {
+        let mut host = HostBaseline::new(1, 2).unwrap();
+        host.run(&random_addrs(10, 4), 1);
+        let r2 = host.run(&random_addrs(10, 5), 1);
+        assert_eq!(r2.dram.reads, 20); // stats accumulate across runs
+        assert_eq!(r2.vectors, 10); // but the report covers one run
+    }
+}

@@ -1,0 +1,60 @@
+//! Shared result type for baseline runs.
+
+use recnmp_dram::DramStats;
+use recnmp_types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Result of serving an SLS lookup trace on a baseline system.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BaselineReport {
+    /// System label (`"host"`, `"tensordimm"`, `"chameleon"`).
+    pub system: String,
+    /// Cycles from first request to last data beat.
+    pub total_cycles: Cycle,
+    /// Embedding vectors served.
+    pub vectors: u64,
+    /// 64-byte bursts read.
+    pub bursts: u64,
+    /// Aggregated DRAM statistics (summed over controllers).
+    pub dram: DramStats,
+}
+
+impl BaselineReport {
+    /// Cycles per vector — the throughput figure used for the Figure 16
+    /// comparison.
+    pub fn cycles_per_lookup(&self) -> f64 {
+        if self.vectors == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.vectors as f64
+        }
+    }
+
+    /// Achieved data bandwidth in GB/s.
+    pub fn bandwidth_gbs(&self) -> f64 {
+        recnmp_types::units::bandwidth_gbs(self.bursts * 64, self.total_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_per_lookup_math() {
+        let r = BaselineReport {
+            system: "host".into(),
+            total_cycles: 1000,
+            vectors: 250,
+            bursts: 250,
+            dram: DramStats::new(),
+        };
+        assert_eq!(r.cycles_per_lookup(), 4.0);
+        assert!(r.bandwidth_gbs() > 0.0);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        assert_eq!(BaselineReport::default().cycles_per_lookup(), 0.0);
+    }
+}

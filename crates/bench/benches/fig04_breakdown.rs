@@ -1,0 +1,22 @@
+//! Criterion benchmark for the `fig04_breakdown` experiment: times the simulation
+//! kernel that regenerates this paper artifact (quick scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recnmp_bench::{run, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig04_breakdown");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let result = run("fig04_breakdown", Scale::Quick).expect("known id");
+            criterion::black_box(result.tables.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

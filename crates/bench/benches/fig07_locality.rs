@@ -1,0 +1,33 @@
+//! Criterion benchmark for the `fig07_locality` experiment (trace locality sweeps).
+//!
+//! The full experiment sweeps many configurations; this benchmark times
+//! one representative 16 MiB cache sweep over a Comb-8 trace so `cargo bench` stays fast. Use
+//! `repro fig07_locality --full` to regenerate the complete figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recnmp_cache::{CacheConfig, SetAssocCache};
+use recnmp_trace::{production_tables, CombTrace, PageMapper};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig07_locality");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let comb = CombTrace::interleave(&production_tables(7), 1, 4000, 3);
+    let mut mapper = PageMapper::new(1 << 24, 11);
+    let phys: Vec<u64> = comb
+        .logical_addrs()
+        .map(|l| mapper.translate(l).get())
+        .collect();
+    group.bench_function("kernel", |b| {
+        b.iter(|| {
+            let mut cache =
+                SetAssocCache::new(CacheConfig::new(16 << 20, 64, 4)).expect("valid");
+            criterion::black_box(cache.run_trace(phys.iter().copied()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

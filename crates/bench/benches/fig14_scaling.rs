@@ -1,0 +1,30 @@
+//! Criterion benchmark for the `fig14_scaling` experiment (RecNMP-base scaling).
+//!
+//! The full experiment sweeps many configurations; this benchmark times
+//! one representative RecNMP-base 8-rank run so `cargo bench` stays fast. Use
+//! `repro fig14_scaling --full` to regenerate the complete figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recnmp::RecNmpConfig;
+use recnmp_sim::speedup::SpeedupEngine;
+use recnmp_sim::workload::TraceKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let engine = SpeedupEngine::with_workload(TraceKind::Production, 8, 1, 8, 7);
+    group.bench_function("kernel", |b| {
+        let mut cfg = RecNmpConfig::with_ranks(4, 2);
+        cfg.refresh = false;
+        b.iter(|| {
+            let report = engine.run_nmp(&cfg).expect("valid config");
+            criterion::black_box(report)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

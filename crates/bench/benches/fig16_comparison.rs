@@ -1,0 +1,30 @@
+//! Criterion benchmark for the `fig16_comparison` experiment (comparator study).
+//!
+//! The full experiment sweeps many configurations; this benchmark times
+//! one representative host-baseline channel run so `cargo bench` stays fast. Use
+//! `repro fig16_comparison --full` to regenerate the complete figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recnmp::RecNmpConfig;
+use recnmp_sim::speedup::SpeedupEngine;
+use recnmp_sim::workload::TraceKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_comparison");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let engine = SpeedupEngine::with_workload(TraceKind::Production, 8, 1, 8, 7);
+    group.bench_function("kernel", |b| {
+        let mut cfg = RecNmpConfig::optimized(4, 2);
+        cfg.refresh = false;
+        b.iter(|| {
+            let report = engine.run_host(&cfg).expect("valid config");
+            criterion::black_box(report)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

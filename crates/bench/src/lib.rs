@@ -1,0 +1,9 @@
+//! Benchmark and reproduction harness for the RecNMP workspace.
+//!
+//! * `cargo run -p recnmp-bench --release --bin repro -- all` regenerates
+//!   every table and figure of the paper (see `EXPERIMENTS.md`).
+//! * `cargo bench -p recnmp-bench` runs the Criterion benchmarks — one
+//!   target per paper artifact, each timing the simulation kernel that
+//!   regenerates it.
+
+pub use recnmp_sim::experiments::{run, run_all, ExperimentResult, Scale, IDS};

@@ -1,0 +1,37 @@
+//! Cache simulators for the RecNMP reproduction.
+//!
+//! Two consumers drive this crate:
+//!
+//! * the **locality characterization** of Section II-F (Figure 7), which
+//!   sweeps capacity (8–64 MiB) and line size (64–512 B) of a 4-way (and
+//!   fully-associative) LRU cache over production-like embedding traces,
+//!   and
+//! * the **RankCache** of Section III (Figures 12 and 15), the small
+//!   memory-side cache inside each rank-NMP module, which adds a software
+//!   *cacheability hint* (the `LocalityBit` of the NMP instruction): hinted
+//!   requests allocate on miss, unhinted requests bypass the cache
+//!   entirely.
+//!
+//! # Examples
+//!
+//! ```
+//! use recnmp_cache::{CacheConfig, SetAssocCache};
+//!
+//! # fn main() -> Result<(), recnmp_types::ConfigError> {
+//! let mut c = SetAssocCache::new(CacheConfig::new(1024, 64, 4))?;
+//! assert!(!c.access(0x40).is_hit()); // cold miss
+//! assert!(c.access(0x40).is_hit()); // now cached
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod fa;
+pub mod rank_cache;
+pub mod set_assoc;
+pub mod stats;
+
+pub use config::{CacheConfig, ReplacementPolicy};
+pub use rank_cache::{RankCache, RankCacheOutcome};
+pub use set_assoc::{AccessOutcome, SetAssocCache};
+pub use stats::CacheStats;

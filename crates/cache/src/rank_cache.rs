@@ -1,0 +1,183 @@
+//! The RankCache: RecNMP's memory-side cache with bypass hints.
+//!
+//! One RankCache sits in each rank-NMP module (Section III-A of the paper).
+//! It differs from an ordinary cache in two ways:
+//!
+//! * embedding tables are **read-only during inference**, so there is no
+//!   dirty state and bypassing never affects correctness; and
+//! * each access carries a **cacheability hint** — the `LocalityBit` set by
+//!   hot-entry profiling. Unhinted accesses bypass the cache, which avoids
+//!   polluting the small structure with single-use vectors.
+//!
+//! Access latency and energy come from Table I: 1 cycle and 50 pJ per
+//! access.
+
+use recnmp_types::ConfigError;
+
+use crate::config::CacheConfig;
+use crate::set_assoc::SetAssocCache;
+use crate::stats::CacheStats;
+
+/// RankCache access latency in DRAM cycles (Table I).
+pub const RANK_CACHE_LATENCY_CYCLES: u64 = 1;
+/// RankCache access energy in picojoules (Table I).
+pub const RANK_CACHE_ACCESS_PJ: f64 = 50.0;
+
+/// What happened to a RankCache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankCacheOutcome {
+    /// Served from the cache: no DRAM access needed.
+    Hit,
+    /// Missed; the line was fetched from DRAM and allocated.
+    MissFill,
+    /// The hint said "low locality": went straight to DRAM, no allocation.
+    Bypass,
+}
+
+impl RankCacheOutcome {
+    /// True when the access must read DRAM.
+    pub fn needs_dram(self) -> bool {
+        !matches!(self, Self::Hit)
+    }
+}
+
+/// Memory-side cache of one rank-NMP module.
+///
+/// # Examples
+///
+/// ```
+/// use recnmp_cache::{CacheConfig, RankCache, RankCacheOutcome};
+///
+/// # fn main() -> Result<(), recnmp_types::ConfigError> {
+/// let mut rc = RankCache::new(CacheConfig::rank_cache_default())?;
+/// assert_eq!(rc.access(0x80, true), RankCacheOutcome::MissFill);
+/// assert_eq!(rc.access(0x80, true), RankCacheOutcome::Hit);
+/// // A low-locality access bypasses even though the line is absent.
+/// assert_eq!(rc.access(0x4000, false), RankCacheOutcome::Bypass);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RankCache {
+    inner: SetAssocCache,
+    bypasses: u64,
+}
+
+impl RankCache {
+    /// Builds an empty RankCache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the configuration is inconsistent.
+    pub fn new(config: CacheConfig) -> Result<Self, ConfigError> {
+        Ok(Self {
+            inner: SetAssocCache::new(config)?,
+            bypasses: 0,
+        })
+    }
+
+    /// Performs one access.
+    ///
+    /// `cacheable` carries the NMP instruction's `LocalityBit`: when false
+    /// the lookup is skipped entirely and the access goes to DRAM. A
+    /// *hit* is still possible for uncacheable lines that happen to be
+    /// resident — the paper bypasses the lookup too, so we match that and
+    /// do not probe.
+    pub fn access(&mut self, addr: u64, cacheable: bool) -> RankCacheOutcome {
+        if !cacheable {
+            self.bypasses += 1;
+            return RankCacheOutcome::Bypass;
+        }
+        if self.inner.access(addr).is_hit() {
+            RankCacheOutcome::Hit
+        } else {
+            RankCacheOutcome::MissFill
+        }
+    }
+
+    /// Statistics, with bypasses folded in.
+    pub fn stats(&self) -> CacheStats {
+        let mut s = *self.inner.stats();
+        s.bypasses = self.bypasses;
+        s
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &CacheConfig {
+        self.inner.config()
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        self.inner.reset();
+        self.bypasses = 0;
+    }
+
+    /// Energy consumed by cache lookups so far, in nanojoules.
+    pub fn access_energy_nj(&self) -> f64 {
+        (self.stats().lookups() as f64) * RANK_CACHE_ACCESS_PJ / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rc() -> RankCache {
+        RankCache::new(CacheConfig::new(512, 64, 4)).unwrap()
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = rc();
+        assert_eq!(c.access(0, true), RankCacheOutcome::MissFill);
+        assert_eq!(c.access(0, true), RankCacheOutcome::Hit);
+        assert!(!RankCacheOutcome::Hit.needs_dram());
+        assert!(RankCacheOutcome::MissFill.needs_dram());
+    }
+
+    #[test]
+    fn bypass_does_not_allocate() {
+        let mut c = rc();
+        assert_eq!(c.access(0, false), RankCacheOutcome::Bypass);
+        // Still a miss when later accessed cacheably.
+        assert_eq!(c.access(0, true), RankCacheOutcome::MissFill);
+        assert_eq!(c.stats().bypasses, 1);
+    }
+
+    #[test]
+    fn bypass_skips_lookup_even_when_resident() {
+        let mut c = rc();
+        c.access(0, true);
+        assert_eq!(c.access(0, false), RankCacheOutcome::Bypass);
+    }
+
+    #[test]
+    fn effective_hit_rate_penalizes_bypasses() {
+        let mut c = rc();
+        c.access(0, true); // miss
+        c.access(0, true); // hit
+        c.access(64, false); // bypass
+        c.access(128, false); // bypass
+        let s = c.stats();
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((s.effective_hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_counts_lookups_only() {
+        let mut c = rc();
+        c.access(0, true);
+        c.access(0, true);
+        c.access(64, false);
+        assert!((c.access_energy_nj() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_bypasses() {
+        let mut c = rc();
+        c.access(0, false);
+        c.reset();
+        assert_eq!(c.stats().bypasses, 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! The DIMM-NMP module (Figure 8(b)).
+//!
+//! Receives NMP instructions over the DIMM interface, multiplexes them to
+//! rank-NMP modules by Rank-ID, buffers per-rank partial sums, and reduces
+//! them through an element-wise adder tree before returning the final
+//! `DIMM.Sum` to the host.
+
+use recnmp_types::{ConfigError, Cycle, DimmId, RankId};
+
+use crate::config::RecNmpConfig;
+use crate::inst::NmpInst;
+use crate::rank_nmp::RankNmp;
+
+/// Outcome of one packet's slice on a DIMM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimmPacketResult {
+    /// Cycle the DIMM finished reducing its ranks' partial sums.
+    pub done_cycle: Cycle,
+    /// Instructions executed per rank of this DIMM.
+    pub rank_insts: Vec<u64>,
+}
+
+/// One DIMM's processing unit: its rank-NMP modules plus the adder tree.
+#[derive(Debug)]
+pub struct DimmNmp {
+    id: DimmId,
+    ranks: Vec<RankNmp>,
+}
+
+impl DimmNmp {
+    /// Builds the PU for DIMM `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the per-rank configuration is invalid.
+    pub fn new(id: DimmId, config: &RecNmpConfig) -> Result<Self, ConfigError> {
+        let base = id.index() as u32 * config.ranks_per_dimm as u32;
+        let ranks = (0..config.ranks_per_dimm as u32)
+            .map(|r| RankNmp::new(RankId::new(base + r), config))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { id, ranks })
+    }
+
+    /// This DIMM's identifier.
+    pub fn id(&self) -> DimmId {
+        self.id
+    }
+
+    /// The rank engines (read access for stats aggregation).
+    pub fn ranks(&self) -> &[RankNmp] {
+        &self.ranks
+    }
+
+    /// Adder-tree depth: one pipelined element-wise adder stage per level.
+    pub fn adder_tree_latency(&self) -> Cycle {
+        (self.ranks.len().max(1) as f64).log2().ceil() as Cycle
+    }
+
+    /// Executes this DIMM's slice of a packet.
+    ///
+    /// `per_rank[r]` holds the delivery-stamped instructions for local
+    /// rank `r`. The DIMM finishes when its slowest rank finishes plus the
+    /// adder-tree and sum-buffer latency.
+    pub fn process(
+        &mut self,
+        start: Cycle,
+        per_rank: &[Vec<(Cycle, NmpInst)>],
+    ) -> DimmPacketResult {
+        assert_eq!(
+            per_rank.len(),
+            self.ranks.len(),
+            "one instruction slice per rank"
+        );
+        let mut done = start;
+        let mut rank_insts = Vec::with_capacity(self.ranks.len());
+        for (rank, slice) in self.ranks.iter_mut().zip(per_rank) {
+            let res = rank.process(start, slice);
+            done = done.max(res.done_cycle);
+            rank_insts.push(res.insts);
+        }
+        let total: u64 = rank_insts.iter().sum();
+        let done_cycle = if total == 0 {
+            start
+        } else {
+            // Adder tree + one cycle into the DIMM.Sum buffer.
+            done + self.adder_tree_latency() + 1
+        };
+        DimmPacketResult {
+            done_cycle,
+            rank_insts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recnmp_dram::DramAddr;
+
+    fn config() -> RecNmpConfig {
+        let mut cfg = RecNmpConfig::with_ranks(1, 2);
+        cfg.refresh = false;
+        cfg
+    }
+
+    fn inst(rank: u8, row: u32) -> NmpInst {
+        NmpInst::sum(
+            DramAddr {
+                rank,
+                bank_group: 0,
+                bank: 0,
+                row,
+                column: 0,
+            },
+            1,
+            0,
+        )
+    }
+
+    #[test]
+    fn adder_tree_depth_scales() {
+        let d = DimmNmp::new(DimmId::new(0), &config()).unwrap();
+        assert_eq!(d.adder_tree_latency(), 1); // 2 ranks -> 1 level
+        let mut cfg4 = RecNmpConfig::with_ranks(1, 4);
+        cfg4.refresh = false;
+        let d4 = DimmNmp::new(DimmId::new(0), &cfg4).unwrap();
+        assert_eq!(d4.adder_tree_latency(), 2);
+    }
+
+    #[test]
+    fn ranks_process_in_parallel() {
+        let mut d = DimmNmp::new(DimmId::new(0), &config()).unwrap();
+        // Two instructions, one per rank, both arriving at cycle 0.
+        let res = d.process(0, &[vec![(0, inst(0, 1))], vec![(0, inst(1, 2))]]);
+        // Parallel ranks: latency close to a single read, not double.
+        assert!(res.done_cycle < 2 * 40, "{}", res.done_cycle);
+        assert_eq!(res.rank_insts, vec![1, 1]);
+    }
+
+    #[test]
+    fn slowest_rank_determines_latency() {
+        let mut d = DimmNmp::new(DimmId::new(0), &config()).unwrap();
+        // Rank 0 gets 8 conflicting reads, rank 1 gets one.
+        let heavy: Vec<(Cycle, NmpInst)> = (0..8).map(|i| (0, inst(0, i * 7 + 1))).collect();
+        let res = d.process(0, &[heavy, vec![(0, inst(1, 2))]]);
+        let single = {
+            let mut d2 = DimmNmp::new(DimmId::new(0), &config()).unwrap();
+            d2.process(0, &[vec![(0, inst(0, 1))], Vec::new()]).done_cycle
+        };
+        assert!(res.done_cycle > single, "{} vs {single}", res.done_cycle);
+    }
+
+    #[test]
+    fn empty_packet_is_free() {
+        let mut d = DimmNmp::new(DimmId::new(0), &config()).unwrap();
+        let res = d.process(55, &[Vec::new(), Vec::new()]);
+        assert_eq!(res.done_cycle, 55);
+    }
+
+    #[test]
+    fn rank_ids_are_global() {
+        let mut cfg = config();
+        cfg.dimms = 2;
+        let d1 = DimmNmp::new(DimmId::new(1), &cfg).unwrap();
+        assert_eq!(d1.ranks()[0].id(), RankId::new(2));
+        assert_eq!(d1.ranks()[1].id(), RankId::new(3));
+    }
+}

@@ -1,0 +1,159 @@
+//! Memory-path energy accounting for RecNMP vs the host baseline.
+//!
+//! Table I energy constants: DDR activate 2.1 nJ, DDR RD/WR 14 pJ/b,
+//! off-chip I/O 22 pJ/b, RankCache access 50 pJ, FP32 add 7.89 pJ/op,
+//! FP32 multiply 25.2 pJ/op.
+//!
+//! The host baseline pays array + I/O energy for every gathered vector.
+//! RecNMP reads the array only on RankCache misses and sends just the
+//! compressed instructions in and pooled sums out across the DIMM
+//! interface — the source of the paper's 45.8% memory energy saving.
+
+use recnmp_cache::rank_cache::RANK_CACHE_ACCESS_PJ;
+use recnmp_dram::{DramEnergy, DramStats, EnergyParams};
+use serde::{Deserialize, Serialize};
+
+use crate::system::NmpRunReport;
+
+/// Datapath energy constants (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NmpEnergyParams {
+    /// FP32 adder energy, picojoules per operation.
+    pub fp32_add_pj: f64,
+    /// FP32 multiplier energy, picojoules per operation.
+    pub fp32_mult_pj: f64,
+    /// RankCache access energy, picojoules per lookup.
+    pub cache_access_pj: f64,
+}
+
+impl NmpEnergyParams {
+    /// The Table I constants.
+    pub const fn table1() -> Self {
+        Self {
+            fp32_add_pj: 7.89,
+            fp32_mult_pj: 25.2,
+            cache_access_pj: RANK_CACHE_ACCESS_PJ,
+        }
+    }
+}
+
+impl Default for NmpEnergyParams {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+/// Energy breakdown of one SLS execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// DRAM array + I/O energy.
+    pub dram: DramEnergy,
+    /// RankCache lookup energy (nJ).
+    pub cache_nj: f64,
+    /// Datapath arithmetic energy (nJ).
+    pub alu_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.dram.total_nj() + self.cache_nj + self.alu_nj
+    }
+}
+
+/// Energy of a RecNMP run.
+pub fn nmp_energy(
+    report: &NmpRunReport,
+    dram: &EnergyParams,
+    nmp: &NmpEnergyParams,
+) -> EnergyBreakdown {
+    let array_bytes = report.dram_bursts * 64;
+    EnergyBreakdown {
+        dram: DramEnergy::from_counts(report.dram_acts, array_bytes, report.io_bytes, dram),
+        cache_nj: (report.cache.lookups() as f64) * nmp.cache_access_pj / 1000.0,
+        alu_nj: (report.alu_adds as f64 * nmp.fp32_add_pj
+            + report.alu_mults as f64 * nmp.fp32_mult_pj)
+            / 1000.0,
+    }
+}
+
+/// Energy of the host baseline serving the same SLS workload: every
+/// gathered burst is read from the array *and* crosses the DIMM interface
+/// (pooling happens in the CPU, whose core energy is out of scope for the
+/// memory-energy comparison, as in the paper).
+pub fn host_energy(stats: &DramStats, dram: &EnergyParams) -> EnergyBreakdown {
+    EnergyBreakdown {
+        dram: DramEnergy::from_stats(stats, dram),
+        cache_nj: 0.0,
+        alu_nj: 0.0,
+    }
+}
+
+/// Fractional memory-energy saving of `nmp` relative to `host`.
+pub fn energy_saving(host: &EnergyBreakdown, nmp: &EnergyBreakdown) -> f64 {
+    if host.total_nj() == 0.0 {
+        0.0
+    } else {
+        1.0 - nmp.total_nj() / host.total_nj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recnmp_cache::CacheStats;
+
+    fn report(bursts: u64, acts: u64, hits: u64, io: u64) -> NmpRunReport {
+        NmpRunReport {
+            dram_bursts: bursts,
+            dram_acts: acts,
+            io_bytes: io,
+            insts: bursts + hits,
+            gathered_bytes: (bursts + hits) * 64,
+            alu_adds: (bursts + hits) * 16,
+            cache: CacheStats {
+                hits,
+                misses: bursts,
+                ..CacheStats::default()
+            },
+            ..NmpRunReport::default()
+        }
+    }
+
+    #[test]
+    fn nmp_beats_host_on_same_workload() {
+        // 1000 lookups, NMP hits 40% in cache and returns only sums.
+        let nmp_report = report(600, 540, 400, 1000 * 10 + 64 * 13);
+        let mut host_stats = DramStats::new();
+        host_stats.reads = 1000;
+        host_stats.acts = 900;
+        let host = host_energy(&host_stats, &EnergyParams::table1());
+        let nmp = nmp_energy(&nmp_report, &EnergyParams::table1(), &NmpEnergyParams::table1());
+        let saving = energy_saving(&host, &nmp);
+        assert!(saving > 0.3, "saving {saving}");
+        assert!(saving < 0.9, "saving {saving}");
+    }
+
+    #[test]
+    fn alu_energy_counts_ops() {
+        let r = report(10, 10, 0, 100);
+        let e = nmp_energy(&r, &EnergyParams::table1(), &NmpEnergyParams::table1());
+        // 10 lookups * 16 adds * 7.89 pJ = 1.2624 nJ.
+        assert!((e.alu_nj - 1.2624).abs() < 1e-9, "{}", e.alu_nj);
+    }
+
+    #[test]
+    fn cache_energy_counts_lookups() {
+        let r = report(5, 5, 5, 50);
+        let e = nmp_energy(&r, &EnergyParams::table1(), &NmpEnergyParams::table1());
+        // 10 lookups * 50 pJ = 0.5 nJ.
+        assert!((e.cache_nj - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saving_is_zero_for_empty_host() {
+        let host = EnergyBreakdown::default();
+        let nmp = EnergyBreakdown::default();
+        assert_eq!(energy_saving(&host, &nmp), 0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! RecNMP: a near-memory processing architecture for recommendation
+//! embedding operators.
+//!
+//! This crate implements the paper's primary contribution — the RecNMP
+//! processing unit that lives in a DIMM's buffer chip and executes the
+//! SparseLengths (SLS) operator family against locally fetched DRAM data:
+//!
+//! * [`inst`] — the compressed 79-bit **NMP instruction** (Figure 8(d)):
+//!   opcode, embedded DDR command flags, packed DRAM coordinates, vector
+//!   size, FP32 weight, `LocalityBit` cacheability hint and `PsumTag`;
+//! * [`packet`] — **NMP packets** grouping up to 16 poolings (4-bit
+//!   PsumTag) for counter-controlled execution;
+//! * [`rank_nmp`] — the per-rank module: local command decoding into a
+//!   single-rank DDR4 simulator, the memory-side [`RankCache`], and the
+//!   pipelined weighted-sum datapath with its PSum register file;
+//! * [`dimm_nmp`] — rank dispatch and the PSum adder tree;
+//! * [`system`] — the full channel ([`RecNmpSystem`]): the NMP-extended
+//!   memory-controller front end that streams two NMP-Insts per DRAM cycle
+//!   (the 8× C/A bandwidth expansion of Figure 9), serial per-packet
+//!   execution where each packet's latency is set by its slowest rank, and
+//!   the run report used by every experiment;
+//! * [`sched`] / [`optimizer`] — table-aware packet scheduling and
+//!   hot-entry profiling (Section III-D);
+//! * [`datapath`] — the functional datapath equivalence layer: executes a
+//!   packet's arithmetic exactly as the rank-NMP pipeline would, for
+//!   verification against the reference operators;
+//! * [`energy`] / [`physical`] — memory energy accounting and the
+//!   area/power roll-up behind Table II;
+//! * [`ca`] — command/address bandwidth-expansion analysis (Figure 9).
+//!
+//! [`RankCache`]: recnmp_cache::RankCache
+//!
+//! # Examples
+//!
+//! ```
+//! use recnmp::{RecNmpConfig, RecNmpSystem};
+//! use recnmp_trace::{EmbeddingTableSpec, IndexDistribution, TraceGenerator};
+//! use recnmp_types::TableId;
+//!
+//! # fn main() -> Result<(), recnmp_types::ConfigError> {
+//! // An SLS batch against one table, offloaded to a 2-rank RecNMP channel.
+//! let spec = EmbeddingTableSpec::dlrm_default();
+//! let mut gen = TraceGenerator::new(
+//!     TableId::new(0), spec, IndexDistribution::Zipf { s: 0.9 }, 7,
+//! );
+//! let batch = gen.batch(8, 80);
+//!
+//! let mut sys = RecNmpSystem::new(RecNmpConfig::with_ranks(1, 2))?;
+//! let report = sys.offload(&[batch])?;
+//! assert!(report.total_cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ca;
+pub mod config;
+pub mod datapath;
+pub mod dimm_nmp;
+pub mod energy;
+pub mod inst;
+pub mod optimizer;
+pub mod packet;
+pub mod physical;
+pub mod rank_nmp;
+pub mod sched;
+pub mod system;
+
+pub use config::{RecNmpConfig, SchedulingPolicy};
+pub use inst::{NmpInst, NmpOpcode};
+pub use optimizer::LocalityAwareOptimizer;
+pub use packet::{NmpPacket, PacketBuilder};
+pub use system::{NmpRunReport, RecNmpSystem};

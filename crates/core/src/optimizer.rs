@@ -1,0 +1,94 @@
+//! The locality-aware optimizer: table-aware scheduling plus hot-entry
+//! profiling (Section III-D), bundled behind one switchboard.
+
+use recnmp_trace::profile::{HotEntryProfile, HotEntryProfiler};
+use recnmp_trace::SlsBatch;
+
+use crate::config::{RecNmpConfig, SchedulingPolicy};
+use crate::packet::NmpPacket;
+use crate::sched;
+
+/// Applies the paper's two HW/SW co-optimizations to a packet stream.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalityAwareOptimizer {
+    /// Packet ordering policy.
+    pub scheduling: SchedulingPolicy,
+    /// Whether hot-entry profiling runs before kernel launch.
+    pub profiling: bool,
+    /// RankCache line count used to pick the profiling threshold.
+    pub cache_lines: usize,
+    /// Largest threshold evaluated in the sweep.
+    pub max_threshold: u64,
+}
+
+impl LocalityAwareOptimizer {
+    /// Derives the optimizer settings from a system configuration.
+    pub fn from_config(config: &RecNmpConfig) -> Self {
+        Self {
+            scheduling: config.scheduling,
+            profiling: config.hot_entry_profiling && config.rank_cache.is_some(),
+            cache_lines: config
+                .rank_cache
+                .as_ref()
+                .map_or(0, |c| c.num_lines()),
+            max_threshold: 4,
+        }
+    }
+
+    /// Profiles one batch's indices into `LocalityBit` hints, when
+    /// profiling is enabled. The threshold is swept 0..=max and the value
+    /// with the best predicted hit rate wins, as in the paper.
+    pub fn profile_batch(&self, batch: &SlsBatch) -> Option<HotEntryProfile> {
+        if !self.profiling || self.cache_lines == 0 {
+            return None;
+        }
+        let indices = batch.flat_indices();
+        Some(HotEntryProfiler::new().sweep(&indices, self.cache_lines, self.max_threshold))
+    }
+
+    /// Orders the packet queue.
+    pub fn schedule(&self, packets: Vec<NmpPacket>) -> Vec<NmpPacket> {
+        sched::schedule(packets, self.scheduling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recnmp_trace::{EmbeddingTableSpec, Pooling};
+    use recnmp_types::TableId;
+
+    fn batch() -> SlsBatch {
+        SlsBatch {
+            table: TableId::new(0),
+            spec: EmbeddingTableSpec::new(1000, 64),
+            poolings: vec![Pooling::unweighted(vec![1, 1, 1, 2, 3, 4])],
+        }
+    }
+
+    #[test]
+    fn base_config_disables_everything() {
+        let opt = LocalityAwareOptimizer::from_config(&RecNmpConfig::with_ranks(1, 2));
+        assert!(!opt.profiling);
+        assert!(opt.profile_batch(&batch()).is_none());
+        assert_eq!(opt.scheduling, SchedulingPolicy::Fcfs);
+    }
+
+    #[test]
+    fn optimized_config_profiles() {
+        let opt = LocalityAwareOptimizer::from_config(&RecNmpConfig::optimized(1, 2));
+        assert!(opt.profiling);
+        assert_eq!(opt.cache_lines, 2048);
+        let profile = opt.profile_batch(&batch()).expect("profiling enabled");
+        // Row 1 repeats; with any positive threshold it is the hot one.
+        assert!(profile.is_hot(1) || profile.threshold == 0);
+    }
+
+    #[test]
+    fn profiling_requires_cache() {
+        let mut cfg = RecNmpConfig::with_ranks(1, 2);
+        cfg.hot_entry_profiling = true; // but no rank_cache
+        let opt = LocalityAwareOptimizer::from_config(&cfg);
+        assert!(!opt.profiling);
+    }
+}

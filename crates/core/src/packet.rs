@@ -1,0 +1,308 @@
+//! NMP packets and the packet builder.
+//!
+//! An NMP kernel (one SLS batch) is compiled into packets of NMP
+//! instructions (Figure 10(b)). Each packet carries up to 16 poolings
+//! (bounded by the 4-bit PsumTag); the host memory controller configures
+//! the PU's accumulation counters from the packet header, streams the
+//! instructions, and receives one summed vector per pooling back.
+
+use recnmp_dram::address::{AddressMapping, Geometry};
+use recnmp_trace::profile::HotEntryProfile;
+use recnmp_trace::SlsBatch;
+use recnmp_types::{ModelId, PhysAddr, TableId};
+use serde::{Deserialize, Serialize};
+
+use crate::inst::{DdrCmdFlags, NmpInst, NmpOpcode, MAX_POOLINGS_PER_PACKET};
+
+/// Provenance of one instruction: which logical row it fetches.
+///
+/// Not part of the wire format; kept alongside packets so the functional
+/// datapath can verify arithmetic and experiments can attribute traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstOrigin {
+    /// Source embedding table.
+    pub table: TableId,
+    /// Row index within the table.
+    pub row: u64,
+}
+
+/// One NMP packet: a counter-controlled group of instructions whose
+/// partial sums the PU accumulates and returns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NmpPacket {
+    /// Model instance that issued the kernel (for co-location accounting).
+    pub model: ModelId,
+    /// Embedding table the packet targets.
+    pub table: TableId,
+    /// The instructions, in issue order.
+    pub insts: Vec<NmpInst>,
+    /// Per-instruction provenance, aligned with `insts`.
+    pub origins: Vec<InstOrigin>,
+    /// Pooling sizes, indexed by PsumTag (the header's counter values).
+    pub pooling_sizes: Vec<usize>,
+}
+
+impl NmpPacket {
+    /// Number of poolings in this packet.
+    pub fn poolings(&self) -> usize {
+        self.pooling_sizes.len()
+    }
+
+    /// Total instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when the packet carries no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Bytes of embedding data the packet gathers from DRAM.
+    pub fn gathered_bytes(&self) -> u64 {
+        self.insts.iter().map(NmpInst::vector_bytes).sum()
+    }
+
+    /// Bytes returned to the host (one 64-byte-per-burst vector per
+    /// pooling; vectors keep the instruction vsize).
+    pub fn output_bytes(&self) -> u64 {
+        let vsize = self.insts.first().map_or(1, |i| i.vsize) as u64;
+        self.poolings() as u64 * vsize * 64
+    }
+
+    /// Bytes of instruction traffic on the channel (79 bits rounded to 10
+    /// bytes each, plus a 16-byte header/tail).
+    pub fn inst_bytes(&self) -> u64 {
+        self.len() as u64 * 10 + 16
+    }
+}
+
+/// Compiles SLS batches into NMP packets.
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    /// Operation all instructions perform.
+    pub opcode: NmpOpcode,
+    /// Poolings per packet (1–16; the Figure 14(a) sweep parameter).
+    pub poolings_per_packet: usize,
+    /// Channel address mapping used to derive DRAM coordinates.
+    pub mapping: AddressMapping,
+    /// Channel geometry.
+    pub geo: Geometry,
+}
+
+impl PacketBuilder {
+    /// Creates a builder for a channel with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poolings_per_packet` is 0 or exceeds 16.
+    pub fn new(
+        opcode: NmpOpcode,
+        poolings_per_packet: usize,
+        mapping: AddressMapping,
+        geo: Geometry,
+    ) -> Self {
+        assert!(
+            (1..=MAX_POOLINGS_PER_PACKET).contains(&poolings_per_packet),
+            "poolings_per_packet must be 1..=16"
+        );
+        Self {
+            opcode,
+            poolings_per_packet,
+            mapping,
+            geo,
+        }
+    }
+
+    /// Compiles one SLS batch into packets.
+    ///
+    /// `translate` maps a row index of this batch's table to its physical
+    /// address (the OS page-mapping step). `profile`, when present,
+    /// supplies the hot-entry `LocalityBit` hints; without it every
+    /// instruction is marked cacheable (the unprofiled RecNMP-cache
+    /// configuration).
+    pub fn build(
+        &self,
+        model: ModelId,
+        batch: &SlsBatch,
+        translate: &mut dyn FnMut(u64) -> PhysAddr,
+        profile: Option<&HotEntryProfile>,
+    ) -> Vec<NmpPacket> {
+        let vsize = batch.spec.bursts_per_vector() as u8;
+        let weighted = matches!(
+            self.opcode,
+            NmpOpcode::WeightedSum
+                | NmpOpcode::WeightedMean
+                | NmpOpcode::WeightedSum8
+                | NmpOpcode::WeightedMean8
+        );
+        let mut packets = Vec::new();
+        for chunk in batch.poolings.chunks(self.poolings_per_packet) {
+            let mut insts = Vec::new();
+            let mut origins = Vec::new();
+            let mut pooling_sizes = Vec::with_capacity(chunk.len());
+            // Track last row per bank to set the embedded DDR command
+            // flags the way the host MC would (consecutive-access
+            // heuristic; the rank-NMP re-derives actual commands locally).
+            let mut last_row: std::collections::HashMap<(u8, u8, u8), u32> =
+                std::collections::HashMap::new();
+            for (tag, pooling) in chunk.iter().enumerate() {
+                pooling_sizes.push(pooling.len());
+                for (i, &row) in pooling.indices.iter().enumerate() {
+                    let phys = translate(row);
+                    let daddr = self.mapping.decode(phys, &self.geo);
+                    let bank_key = (daddr.rank, daddr.bank_group, daddr.bank);
+                    let ddr_cmd = match last_row.insert(bank_key, daddr.row) {
+                        Some(prev) if prev == daddr.row => DdrCmdFlags::row_hit(),
+                        Some(_) => DdrCmdFlags::row_conflict(),
+                        None => DdrCmdFlags::row_closed(),
+                    };
+                    let locality = match profile {
+                        Some(p) => p.is_hot(row),
+                        None => true,
+                    };
+                    insts.push(NmpInst {
+                        opcode: self.opcode,
+                        ddr_cmd,
+                        daddr,
+                        vsize,
+                        weight: if weighted { pooling.weight(i) } else { 1.0 },
+                        locality,
+                        psum_tag: tag as u8,
+                    });
+                    origins.push(InstOrigin {
+                        table: batch.table,
+                        row,
+                    });
+                }
+            }
+            packets.push(NmpPacket {
+                model,
+                table: batch.table,
+                insts,
+                origins,
+                pooling_sizes,
+            });
+        }
+        packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recnmp_trace::{EmbeddingTableSpec, Pooling};
+
+    fn batch(poolings: usize, pooling_len: usize) -> SlsBatch {
+        SlsBatch {
+            table: TableId::new(3),
+            spec: EmbeddingTableSpec::new(1000, 64),
+            poolings: (0..poolings)
+                .map(|p| {
+                    Pooling::unweighted(
+                        (0..pooling_len).map(|i| ((p * pooling_len + i) % 1000) as u64).collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn builder(ppp: usize) -> PacketBuilder {
+        PacketBuilder::new(
+            NmpOpcode::Sum,
+            ppp,
+            AddressMapping::RowRankBankColumn,
+            Geometry::ddr4_8gb_x8(2),
+        )
+    }
+
+    fn identity_translate(row: u64) -> PhysAddr {
+        PhysAddr::new(row * 64)
+    }
+
+    #[test]
+    fn packets_chunk_poolings() {
+        let b = batch(10, 4);
+        let packets = builder(4).build(ModelId::new(0), &b, &mut identity_translate, None);
+        assert_eq!(packets.len(), 3); // 4 + 4 + 2
+        assert_eq!(packets[0].poolings(), 4);
+        assert_eq!(packets[2].poolings(), 2);
+        assert_eq!(packets[0].len(), 16);
+    }
+
+    #[test]
+    fn psum_tags_identify_poolings() {
+        let b = batch(3, 5);
+        let packets = builder(16).build(ModelId::new(0), &b, &mut identity_translate, None);
+        assert_eq!(packets.len(), 1);
+        let tags: Vec<u8> = packets[0].insts.iter().map(|i| i.psum_tag).collect();
+        assert_eq!(tags[0..5], [0; 5]);
+        assert_eq!(tags[5..10], [1; 5]);
+        assert_eq!(tags[10..15], [2; 5]);
+    }
+
+    #[test]
+    fn origins_align_with_insts() {
+        let b = batch(2, 3);
+        let packets = builder(16).build(ModelId::new(7), &b, &mut identity_translate, None);
+        let p = &packets[0];
+        assert_eq!(p.origins.len(), p.insts.len());
+        assert!(p.origins.iter().all(|o| o.table == TableId::new(3)));
+        assert_eq!(p.origins[0].row, 0);
+        assert_eq!(p.origins[4].row, 4);
+    }
+
+    #[test]
+    fn locality_defaults_to_cacheable_without_profile() {
+        let b = batch(1, 4);
+        let packets = builder(8).build(ModelId::new(0), &b, &mut identity_translate, None);
+        assert!(packets[0].insts.iter().all(|i| i.locality));
+    }
+
+    #[test]
+    fn profile_sets_locality_bits() {
+        use recnmp_trace::HotEntryProfiler;
+        let b = batch(1, 4); // rows 0,1,2,3
+        let profile = HotEntryProfiler::new().profile(&[0, 0, 2], 0); // hot: {0, 2}
+        let packets =
+            builder(8).build(ModelId::new(0), &b, &mut identity_translate, Some(&profile));
+        let bits: Vec<bool> = packets[0].insts.iter().map(|i| i.locality).collect();
+        assert_eq!(bits, [true, false, true, false]);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let b = batch(2, 4);
+        let packets = builder(8).build(ModelId::new(0), &b, &mut identity_translate, None);
+        let p = &packets[0];
+        assert_eq!(p.gathered_bytes(), 8 * 64);
+        assert_eq!(p.output_bytes(), 2 * 64);
+        assert_eq!(p.inst_bytes(), 8 * 10 + 16);
+    }
+
+    #[test]
+    fn weighted_opcode_carries_weights() {
+        let b = SlsBatch {
+            table: TableId::new(0),
+            spec: EmbeddingTableSpec::new(10, 64),
+            poolings: vec![Pooling::weighted(vec![1, 2], vec![0.5, 2.0])],
+        };
+        let mut builder = builder(8);
+        builder.opcode = NmpOpcode::WeightedSum;
+        let packets = builder.build(ModelId::new(0), &b, &mut identity_translate, None);
+        let w: Vec<f32> = packets[0].insts.iter().map(|i| i.weight).collect();
+        assert_eq!(w, [0.5, 2.0]);
+    }
+
+    #[test]
+    fn repeated_row_in_same_bank_marks_row_hit() {
+        let b = SlsBatch {
+            table: TableId::new(0),
+            spec: EmbeddingTableSpec::new(10, 64),
+            poolings: vec![Pooling::unweighted(vec![5, 5])],
+        };
+        let packets = builder(8).build(ModelId::new(0), &b, &mut identity_translate, None);
+        assert_eq!(packets[0].insts[0].ddr_cmd, DdrCmdFlags::row_closed());
+        assert_eq!(packets[0].insts[1].ddr_cmd, DdrCmdFlags::row_hit());
+    }
+}

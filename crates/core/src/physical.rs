@@ -1,0 +1,146 @@
+//! Area and power roll-up (Table II).
+//!
+//! The paper synthesizes the RecNMP PU at 250 MHz in 40 nm (Synopsys DC
+//! for logic, Cacti for the RankCache SRAM) and reports per-PU totals.
+//! This module reproduces Table II from a per-component breakdown that
+//! sums to the published numbers for the paper's 2-rank DIMM and scales
+//! with the rank count.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::RecNmpConfig;
+
+/// Area (mm²) and power (mW) of one component in 40 nm at 250 MHz.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentCost {
+    /// Component label.
+    pub name: &'static str,
+    /// Silicon area in mm².
+    pub area_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+/// DIMM-NMP shared logic: DDR PHY add-ons, instruction queue/mux, PSum
+/// buffers and the adder tree.
+pub const DIMM_NMP_LOGIC: ComponentCost = ComponentCost {
+    name: "DIMM-NMP logic",
+    area_mm2: 0.06,
+    power_mw: 27.3,
+};
+
+/// One rank-NMP datapath: instruction decoder, command generator,
+/// multiply/accumulate lanes and register files.
+pub const RANK_NMP_DATAPATH: ComponentCost = ComponentCost {
+    name: "rank-NMP datapath",
+    area_mm2: 0.14,
+    power_mw: 62.0,
+};
+
+/// One 128 KiB RankCache (SRAM + tags).
+pub const RANK_CACHE_128K: ComponentCost = ComponentCost {
+    name: "RankCache (128 KiB)",
+    area_mm2: 0.10,
+    power_mw: 16.45,
+};
+
+/// Chameleon's per-DIMM cost (8 CGRA accelerators), from Table II.
+pub const CHAMELEON_PU: ComponentCost = ComponentCost {
+    name: "Chameleon (8 CGRA)",
+    area_mm2: 8.34,
+    power_mw: 3195.2, // midpoint of the 3138.6-3251.8 mW range
+};
+
+/// Area/power estimate of one RecNMP PU.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PuPhysical {
+    /// Total area in mm².
+    pub area_mm2: f64,
+    /// Total power in mW.
+    pub power_mw: f64,
+}
+
+impl PuPhysical {
+    /// Estimates the PU for a configuration: shared DIMM logic plus one
+    /// datapath (and one RankCache, if configured) per rank.
+    pub fn estimate(config: &RecNmpConfig) -> Self {
+        let ranks = config.ranks_per_dimm as f64;
+        let mut area = DIMM_NMP_LOGIC.area_mm2 + ranks * RANK_NMP_DATAPATH.area_mm2;
+        let mut power = DIMM_NMP_LOGIC.power_mw + ranks * RANK_NMP_DATAPATH.power_mw;
+        if let Some(cache) = &config.rank_cache {
+            // Scale the 128 KiB reference roughly linearly in capacity
+            // (SRAM-dominated).
+            let scale = cache.capacity_bytes as f64 / (128.0 * 1024.0);
+            area += ranks * RANK_CACHE_128K.area_mm2 * scale;
+            power += ranks * RANK_CACHE_128K.power_mw * scale;
+        }
+        Self {
+            area_mm2: area,
+            power_mw: power,
+        }
+    }
+
+    /// Fraction of a typical 100 mm² DIMM buffer chip this PU occupies.
+    pub fn buffer_chip_fraction(&self) -> f64 {
+        self.area_mm2 / 100.0
+    }
+
+    /// Fraction of a typical 13 W DIMM power budget this PU draws.
+    pub fn dimm_power_fraction(&self) -> f64 {
+        self.power_mw / 13_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_pu_matches_table2() {
+        // RecNMP-base (2 ranks, no cache): 0.34 mm^2, 151.3 mW.
+        let p = PuPhysical::estimate(&RecNmpConfig::with_ranks(1, 2));
+        assert!((p.area_mm2 - 0.34).abs() < 1e-9, "{}", p.area_mm2);
+        assert!((p.power_mw - 151.3).abs() < 1e-9, "{}", p.power_mw);
+    }
+
+    #[test]
+    fn opt_pu_matches_table2() {
+        // RecNMP-opt (adds two 128 KiB RankCaches): 0.54 mm^2, 184.2 mW.
+        let p = PuPhysical::estimate(&RecNmpConfig::optimized(1, 2));
+        assert!((p.area_mm2 - 0.54).abs() < 1e-9, "{}", p.area_mm2);
+        assert!((p.power_mw - 184.2).abs() < 1e-9, "{}", p.power_mw);
+    }
+
+    #[test]
+    fn far_cheaper_than_chameleon() {
+        let p = PuPhysical::estimate(&RecNmpConfig::optimized(1, 2));
+        // Paper: 6.5% of Chameleon's area, ~5.9% of its power.
+        let area_frac = p.area_mm2 / CHAMELEON_PU.area_mm2;
+        let power_frac = p.power_mw / CHAMELEON_PU.power_mw;
+        assert!((0.04..0.08).contains(&area_frac), "{area_frac}");
+        assert!((0.04..0.08).contains(&power_frac), "{power_frac}");
+    }
+
+    #[test]
+    fn overhead_fits_buffer_chip_budget() {
+        let p = PuPhysical::estimate(&RecNmpConfig::optimized(1, 2));
+        assert!(p.buffer_chip_fraction() < 0.01);
+        assert!(p.dimm_power_fraction() < 0.02);
+    }
+
+    #[test]
+    fn area_scales_with_ranks() {
+        let two = PuPhysical::estimate(&RecNmpConfig::optimized(1, 2));
+        let four = PuPhysical::estimate(&RecNmpConfig::optimized(1, 4));
+        assert!(four.area_mm2 > two.area_mm2);
+    }
+
+    #[test]
+    fn cache_size_scales_cost() {
+        let mut big = RecNmpConfig::optimized(1, 2);
+        big.rank_cache = Some(recnmp_cache::CacheConfig::new(1024 * 1024, 64, 4));
+        let p_big = PuPhysical::estimate(&big);
+        let p_std = PuPhysical::estimate(&RecNmpConfig::optimized(1, 2));
+        assert!(p_big.area_mm2 > 2.0 * p_std.area_mm2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Table-aware packet scheduling (Section III-D, Figure 11).
+//!
+//! Production servers run many SLS threads whose packets interleave at the
+//! memory controller, destroying intra-table temporal locality before it
+//! reaches the RankCache. The table-aware scheduler reorders the packet
+//! queue so packets from the same (model, table) batch issue
+//! consecutively, the same idea as thread-level memory schedulers.
+
+use recnmp_types::{ModelId, TableId};
+
+use crate::config::SchedulingPolicy;
+use crate::packet::NmpPacket;
+
+/// Orders a packet queue according to `policy`.
+///
+/// * [`SchedulingPolicy::Fcfs`] returns the queue unchanged.
+/// * [`SchedulingPolicy::TableAware`] groups packets by (model, table),
+///   groups ordered by first appearance, preserving order within groups
+///   (a stable grouping, so no packet starves).
+pub fn schedule(packets: Vec<NmpPacket>, policy: SchedulingPolicy) -> Vec<NmpPacket> {
+    match policy {
+        SchedulingPolicy::Fcfs => packets,
+        SchedulingPolicy::TableAware => {
+            let mut order: Vec<(ModelId, TableId)> = Vec::new();
+            for p in &packets {
+                let key = (p.model, p.table);
+                if !order.contains(&key) {
+                    order.push(key);
+                }
+            }
+            let mut out = Vec::with_capacity(packets.len());
+            for key in order {
+                // Stable: drain matching packets in original order.
+                for p in &packets {
+                    if (p.model, p.table) == key {
+                        out.push(p.clone());
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(model: u32, table: u32, marker: usize) -> NmpPacket {
+        NmpPacket {
+            model: ModelId::new(model),
+            table: TableId::new(table),
+            insts: Vec::new(),
+            origins: Vec::new(),
+            pooling_sizes: vec![marker],
+        }
+    }
+
+    #[test]
+    fn fcfs_is_identity() {
+        let q = vec![packet(0, 1, 0), packet(0, 2, 1), packet(0, 1, 2)];
+        let out = schedule(q.clone(), SchedulingPolicy::Fcfs);
+        assert_eq!(out, q);
+    }
+
+    #[test]
+    fn table_aware_groups_by_table() {
+        // Interleaved arrival: T1, T2, T1, T2.
+        let q = vec![
+            packet(0, 1, 0),
+            packet(0, 2, 1),
+            packet(0, 1, 2),
+            packet(0, 2, 3),
+        ];
+        let out = schedule(q, SchedulingPolicy::TableAware);
+        let keys: Vec<(u32, usize)> = out
+            .iter()
+            .map(|p| (u32::from(p.table), p.pooling_sizes[0]))
+            .collect();
+        assert_eq!(keys, vec![(1, 0), (1, 2), (2, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn table_aware_distinguishes_models() {
+        // Same table id in two co-located models must not merge.
+        let q = vec![
+            packet(0, 1, 0),
+            packet(1, 1, 1),
+            packet(0, 1, 2),
+            packet(1, 1, 3),
+        ];
+        let out = schedule(q, SchedulingPolicy::TableAware);
+        let keys: Vec<(u32, usize)> = out
+            .iter()
+            .map(|p| (u32::from(p.model), p.pooling_sizes[0]))
+            .collect();
+        assert_eq!(keys, vec![(0, 0), (0, 2), (1, 1), (1, 3)]);
+    }
+
+    #[test]
+    fn grouping_preserves_within_group_order() {
+        let q = vec![
+            packet(0, 5, 10),
+            packet(0, 5, 11),
+            packet(0, 5, 12),
+        ];
+        let out = schedule(q.clone(), SchedulingPolicy::TableAware);
+        assert_eq!(out, q);
+    }
+
+    #[test]
+    fn empty_queue_is_fine() {
+        assert!(schedule(Vec::new(), SchedulingPolicy::TableAware).is_empty());
+    }
+}

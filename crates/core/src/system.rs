@@ -1,0 +1,451 @@
+//! The full RecNMP-equipped memory channel.
+
+use recnmp_cache::CacheStats;
+use recnmp_dram::address::{AddressMapping, Geometry};
+use recnmp_trace::{PageMapper, SlsBatch};
+use recnmp_types::{ConfigError, Cycle, ModelId};
+use serde::{Deserialize, Serialize};
+
+use crate::config::RecNmpConfig;
+use crate::dimm_nmp::DimmNmp;
+use crate::inst::{NmpInst, NmpOpcode};
+use crate::optimizer::LocalityAwareOptimizer;
+use crate::packet::{NmpPacket, PacketBuilder};
+
+/// Aggregate results of running a packet stream on a [`RecNmpSystem`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct NmpRunReport {
+    /// End-to-end cycles from first delivery to last sum.
+    pub total_cycles: Cycle,
+    /// Packets executed.
+    pub packets: usize,
+    /// Instructions executed.
+    pub insts: u64,
+    /// Per-packet latency (delivery start to DIMM.Sum).
+    pub packet_latencies: Vec<Cycle>,
+    /// Per-packet fraction of instructions handled by the busiest rank
+    /// (the Figure 14(b) load-imbalance metric; 1/ranks is perfect).
+    pub slowest_rank_fraction: Vec<f64>,
+    /// Total instructions per rank.
+    pub rank_insts: Vec<u64>,
+    /// Aggregated RankCache statistics.
+    pub cache: CacheStats,
+    /// ACT commands issued across all ranks.
+    pub dram_acts: u64,
+    /// 64-byte bursts read from DRAM devices.
+    pub dram_bursts: u64,
+    /// Embedding bytes gathered (before cache filtering).
+    pub gathered_bytes: u64,
+    /// Bytes crossing the channel interface (instructions in, sums out).
+    pub io_bytes: u64,
+    /// FP32 additions performed by the datapath.
+    pub alu_adds: u64,
+    /// FP32 multiplications performed by the datapath.
+    pub alu_mults: u64,
+}
+
+impl NmpRunReport {
+    /// Mean packet latency in cycles.
+    pub fn mean_packet_latency(&self) -> f64 {
+        if self.packet_latencies.is_empty() {
+            0.0
+        } else {
+            self.packet_latencies.iter().sum::<Cycle>() as f64 / self.packet_latencies.len() as f64
+        }
+    }
+
+    /// Mean slowest-rank fraction (load imbalance).
+    pub fn mean_imbalance(&self) -> f64 {
+        if self.slowest_rank_fraction.is_empty() {
+            0.0
+        } else {
+            self.slowest_rank_fraction.iter().sum::<f64>() / self.slowest_rank_fraction.len() as f64
+        }
+    }
+
+    /// Cycles per gathered vector — the throughput figure experiments
+    /// normalize against the host baseline.
+    pub fn cycles_per_lookup(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.insts as f64
+        }
+    }
+}
+
+/// One RecNMP-equipped memory channel: the NMP-extended controller front
+/// end plus one PU per DIMM.
+///
+/// Execution follows the paper's methodology: packets run serially (the
+/// host configures the accumulation counter, streams instructions at two
+/// per DRAM cycle, and waits for the sum), each packet's latency set by
+/// its slowest rank; rank state (DRAM rows, RankCache contents) persists
+/// across packets.
+#[derive(Debug)]
+pub struct RecNmpSystem {
+    config: RecNmpConfig,
+    dimms: Vec<DimmNmp>,
+    now: Cycle,
+    report: NmpRunReport,
+}
+
+impl RecNmpSystem {
+    /// Builds the channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the configuration is invalid.
+    pub fn new(config: RecNmpConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let dimms = (0..config.dimms)
+            .map(|d| DimmNmp::new(recnmp_types::DimmId::new(d as u32), &config))
+            .collect::<Result<Vec<_>, _>>()?;
+        let ranks = config.total_ranks() as usize;
+        Ok(Self {
+            config,
+            dimms,
+            now: 0,
+            report: NmpRunReport {
+                rank_insts: vec![0; ranks],
+                ..NmpRunReport::default()
+            },
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RecNmpConfig {
+        &self.config
+    }
+
+    /// Channel geometry (for packet building and page mapping).
+    pub fn geometry(&self) -> Geometry {
+        Geometry::ddr4_8gb_x8(self.config.total_ranks())
+    }
+
+    /// The physical-to-DRAM mapping the NMP-extended controller applies.
+    pub fn mapping(&self) -> AddressMapping {
+        AddressMapping::SkylakeXor
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.now
+    }
+
+    /// Runs a scheduled packet stream; returns the cumulative report.
+    pub fn run_packets(&mut self, packets: &[NmpPacket]) -> NmpRunReport {
+        let run_start = self.now;
+        for packet in packets {
+            self.run_one(packet);
+        }
+        self.report.total_cycles = self.now - run_start;
+        self.aggregate();
+        self.report.clone()
+    }
+
+    /// Refreshes the aggregated per-rank statistics in the report.
+    fn aggregate(&mut self) {
+        let mut cache = CacheStats::default();
+        let mut acts = 0;
+        let mut bursts = 0;
+        let mut adds = 0;
+        let mut mults = 0;
+        for dimm in &self.dimms {
+            for rank in dimm.ranks() {
+                let cs = rank.cache_stats();
+                cache.hits += cs.hits;
+                cache.misses += cs.misses;
+                cache.compulsory_misses += cs.compulsory_misses;
+                cache.evictions += cs.evictions;
+                cache.bypasses += cs.bypasses;
+                acts += rank.dram_stats().acts;
+                bursts += rank.stats().dram_bursts;
+                adds += rank.stats().adds;
+                mults += rank.stats().mults;
+            }
+        }
+        self.report.cache = cache;
+        self.report.dram_acts = acts;
+        self.report.dram_bursts = bursts;
+        self.report.alu_adds = adds;
+        self.report.alu_mults = mults;
+    }
+
+    fn run_one(&mut self, packet: &NmpPacket) {
+        if packet.is_empty() {
+            return;
+        }
+        let start = self.now;
+        let ranks_per_dimm = self.config.ranks_per_dimm as usize;
+        let total_ranks = self.config.total_ranks() as usize;
+
+        // Delivery schedule: insts_per_cycle instructions per DRAM cycle
+        // over the shared channel interface (the compressed-format C/A
+        // expansion of Figure 9(b)).
+        let mut per_dimm: Vec<Vec<Vec<(Cycle, NmpInst)>>> =
+            vec![vec![Vec::new(); ranks_per_dimm]; self.dimms.len()];
+        let mut rank_counts = vec![0u64; total_ranks];
+        for (i, inst) in packet.insts.iter().enumerate() {
+            let arrival = start + (i as u64) / self.config.insts_per_cycle as u64;
+            let rank = inst.daddr.rank as usize % total_ranks;
+            let dimm = rank / ranks_per_dimm;
+            per_dimm[dimm][rank % ranks_per_dimm].push((arrival, *inst));
+            rank_counts[rank] += 1;
+        }
+
+        let mut done = start;
+        for (dimm, slices) in self.dimms.iter_mut().zip(&per_dimm) {
+            let res = dimm.process(start, slices);
+            done = done.max(res.done_cycle);
+        }
+        // Return the pooled sums to the host: one burst (4 cycles) per
+        // pooling per vsize unit over the channel DQ bus.
+        let vsize = packet.insts.first().map_or(1, |i| i.vsize) as u64;
+        let out_cycles = packet.poolings() as u64 * vsize * 4;
+        let packet_done = done + 1 + out_cycles;
+
+        let total = packet.len() as u64;
+        let max_rank = rank_counts.iter().copied().max().unwrap_or(0);
+        self.report
+            .slowest_rank_fraction
+            .push(max_rank as f64 / total as f64);
+        self.report.packet_latencies.push(packet_done - start);
+        for (acc, c) in self.report.rank_insts.iter_mut().zip(&rank_counts) {
+            *acc += c;
+        }
+        self.report.packets += 1;
+        self.report.insts += total;
+        self.report.gathered_bytes += packet.gathered_bytes();
+        self.report.io_bytes += packet.inst_bytes() + packet.output_bytes();
+        self.now = packet_done;
+    }
+
+    /// Runs a packet stream with *overlapped* execution: instructions
+    /// stream continuously at the channel delivery rate and every rank
+    /// consumes its share as it arrives, with no per-packet barrier.
+    ///
+    /// This models the high task-level-parallelism regime the paper
+    /// invokes for the page-coloring data layout (Figure 14(a)), where
+    /// packets from different SLS operators are in flight on different
+    /// ranks simultaneously. The run is reported as a single latency
+    /// entry; per-packet latencies are not meaningful here.
+    pub fn run_packets_overlapped(&mut self, packets: &[NmpPacket]) -> NmpRunReport {
+        let start = self.now;
+        let ranks_per_dimm = self.config.ranks_per_dimm as usize;
+        let total_ranks = self.config.total_ranks() as usize;
+        let mut per_dimm: Vec<Vec<Vec<(Cycle, NmpInst)>>> =
+            vec![vec![Vec::new(); ranks_per_dimm]; self.dimms.len()];
+        let mut rank_counts = vec![0u64; total_ranks];
+        let mut delivered = 0u64;
+        let mut gathered = 0u64;
+        let mut io = 0u64;
+        // Packets issue *simultaneously*: the controller round-robins one
+        // instruction from each in-flight packet per delivery slot, so
+        // every rank starts receiving work immediately (this is the
+        // task-level parallelism the page-coloring layout requires).
+        let mut cursors = vec![0usize; packets.len()];
+        let mut remaining: usize = packets.iter().map(NmpPacket::len).sum();
+        while remaining > 0 {
+            for (packet, cursor) in packets.iter().zip(cursors.iter_mut()) {
+                let Some(inst) = packet.insts.get(*cursor) else {
+                    continue;
+                };
+                *cursor += 1;
+                remaining -= 1;
+                let arrival = start + delivered / self.config.insts_per_cycle as u64;
+                delivered += 1;
+                let rank = inst.daddr.rank as usize % total_ranks;
+                per_dimm[rank / ranks_per_dimm][rank % ranks_per_dimm].push((arrival, *inst));
+                rank_counts[rank] += 1;
+            }
+        }
+        for packet in packets {
+            gathered += packet.gathered_bytes();
+            io += packet.inst_bytes() + packet.output_bytes();
+        }
+        let mut done = start;
+        for (dimm, slices) in self.dimms.iter_mut().zip(&per_dimm) {
+            let res = dimm.process(start, slices);
+            done = done.max(res.done_cycle);
+        }
+        // Pooled outputs stream back overlapped with execution; only the
+        // final buffer write adds a cycle.
+        self.now = done + 1;
+        let total = delivered.max(1);
+        let max_rank = rank_counts.iter().copied().max().unwrap_or(0);
+        self.report.packets += packets.len();
+        self.report.insts += delivered;
+        self.report
+            .packet_latencies
+            .push(self.now.saturating_sub(start));
+        self.report
+            .slowest_rank_fraction
+            .push(max_rank as f64 / total as f64);
+        for (acc, c) in self.report.rank_insts.iter_mut().zip(&rank_counts) {
+            *acc += c;
+        }
+        self.report.gathered_bytes += gathered;
+        self.report.io_bytes += io;
+        self.report.total_cycles = self.now - start;
+        self.aggregate();
+        self.report.clone()
+    }
+
+    /// Convenience entry point: compiles, optimizes and runs a set of SLS
+    /// batches using an internally managed page mapping (each table gets
+    /// contiguous logical space mapped to random physical pages).
+    ///
+    /// Experiments that need a *shared* mapping with a host-baseline run
+    /// should use [`PacketBuilder`] plus [`run_packets`] directly.
+    ///
+    /// [`run_packets`]: Self::run_packets
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if a batch's table spec is inconsistent.
+    pub fn offload(&mut self, batches: &[SlsBatch]) -> Result<NmpRunReport, ConfigError> {
+        let geo = self.geometry();
+        let mapping = self.mapping();
+        let builder = PacketBuilder::new(
+            NmpOpcode::Sum,
+            self.config.poolings_per_packet,
+            mapping,
+            geo,
+        );
+        let optimizer = LocalityAwareOptimizer::from_config(&self.config);
+        let mut mapper = PageMapper::new(geo.capacity_bytes() / 4096, 0x5eed);
+        let mut packets = Vec::new();
+        let mut base = 0u64;
+        for batch in batches {
+            batch.spec.validate()?;
+            let profile = optimizer.profile_batch(batch);
+            let table_base = base;
+            let vector_bytes = batch.spec.vector_bytes;
+            let mut translate =
+                |row: u64| mapper.translate(table_base + row * vector_bytes);
+            packets.extend(builder.build(
+                ModelId::new(0),
+                batch,
+                &mut translate,
+                profile.as_ref(),
+            ));
+            base += batch.spec.bytes();
+        }
+        let scheduled = optimizer.schedule(packets);
+        Ok(self.run_packets(&scheduled))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recnmp_trace::{EmbeddingTableSpec, IndexDistribution, TraceGenerator};
+    use recnmp_types::TableId;
+
+    fn batches(n_tables: u32, batch: usize) -> Vec<SlsBatch> {
+        (0..n_tables)
+            .map(|t| {
+                TraceGenerator::new(
+                    TableId::new(t),
+                    EmbeddingTableSpec::dlrm_default(),
+                    IndexDistribution::Zipf { s: 0.9 },
+                    42 + t as u64,
+                )
+                .batch(batch, 80)
+            })
+            .collect()
+    }
+
+    fn quiet(mut cfg: RecNmpConfig) -> RecNmpConfig {
+        cfg.refresh = false;
+        cfg
+    }
+
+    #[test]
+    fn offload_runs_all_instructions() {
+        let mut sys = RecNmpSystem::new(quiet(RecNmpConfig::with_ranks(1, 2))).unwrap();
+        let report = sys.offload(&batches(1, 8)).unwrap();
+        assert_eq!(report.insts, 8 * 80);
+        assert_eq!(report.packets, 1);
+        assert!(report.total_cycles > 0);
+        assert_eq!(report.rank_insts.iter().sum::<u64>(), 640);
+    }
+
+    #[test]
+    fn more_ranks_run_faster() {
+        let run = |dimms, ranks| {
+            let mut sys = RecNmpSystem::new(quiet(RecNmpConfig::with_ranks(dimms, ranks))).unwrap();
+            sys.offload(&batches(2, 16)).unwrap().total_cycles
+        };
+        let two = run(1, 2);
+        let eight = run(4, 2);
+        assert!(
+            (eight as f64) < 0.45 * two as f64,
+            "2-rank {two} vs 8-rank {eight}"
+        );
+    }
+
+    #[test]
+    fn cache_reduces_dram_traffic() {
+        let base_cfg = quiet(RecNmpConfig::with_ranks(1, 2));
+        let mut cached_cfg = quiet(RecNmpConfig::optimized(1, 2));
+        cached_cfg.scheduling = crate::config::SchedulingPolicy::Fcfs;
+        let w = batches(1, 32);
+        let mut base = RecNmpSystem::new(base_cfg).unwrap();
+        let mut cached = RecNmpSystem::new(cached_cfg).unwrap();
+        let rb = base.offload(&w).unwrap();
+        let rc = cached.offload(&w).unwrap();
+        assert_eq!(rb.insts, rc.insts);
+        assert!(rc.dram_bursts < rb.dram_bursts, "{} vs {}", rc.dram_bursts, rb.dram_bursts);
+        assert!(rc.cache.hits > 0);
+        assert!(rc.total_cycles <= rb.total_cycles);
+    }
+
+    #[test]
+    fn fewer_poolings_per_packet_cost_more() {
+        let run = |ppp| {
+            let mut cfg = quiet(RecNmpConfig::with_ranks(4, 2));
+            cfg.poolings_per_packet = ppp;
+            let mut sys = RecNmpSystem::new(cfg).unwrap();
+            sys.offload(&batches(1, 16)).unwrap().total_cycles
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert!(eight < one, "ppp=1 {one} vs ppp=8 {eight}");
+    }
+
+    #[test]
+    fn imbalance_shrinks_with_packet_size() {
+        let imb = |ppp| {
+            let mut cfg = quiet(RecNmpConfig::with_ranks(4, 2));
+            cfg.poolings_per_packet = ppp;
+            let mut sys = RecNmpSystem::new(cfg).unwrap();
+            sys.offload(&batches(1, 16)).unwrap().mean_imbalance()
+        };
+        let small = imb(1);
+        let large = imb(8);
+        // Perfect balance on 8 ranks is 0.125.
+        assert!(large < small, "ppp=1 {small} vs ppp=8 {large}");
+        assert!(large >= 0.125);
+    }
+
+    #[test]
+    fn report_accounting_consistent() {
+        let mut sys = RecNmpSystem::new(quiet(RecNmpConfig::with_ranks(2, 2))).unwrap();
+        let report = sys.offload(&batches(2, 8)).unwrap();
+        assert_eq!(report.packet_latencies.len(), report.packets);
+        assert_eq!(report.slowest_rank_fraction.len(), report.packets);
+        assert_eq!(report.gathered_bytes, report.insts * 128);
+        assert!(report.io_bytes < report.gathered_bytes);
+        assert_eq!(report.alu_adds, report.insts * 32);
+    }
+
+    #[test]
+    fn empty_offload_is_zero() {
+        let mut sys = RecNmpSystem::new(quiet(RecNmpConfig::with_ranks(1, 2))).unwrap();
+        let report = sys.offload(&[]).unwrap();
+        assert_eq!(report.total_cycles, 0);
+        assert_eq!(report.packets, 0);
+    }
+}

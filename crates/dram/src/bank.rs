@@ -1,0 +1,299 @@
+//! Per-bank and per-rank DRAM timing state machines.
+
+use recnmp_types::Cycle;
+use serde::{Deserialize, Serialize};
+
+use crate::timing::DdrTiming;
+
+/// Row-buffer state of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BankState {
+    /// All rows closed; an ACT is required before column commands.
+    #[default]
+    Closed,
+    /// The given row is open in the row buffer.
+    Open(u32),
+}
+
+/// Timing state of a single bank.
+///
+/// Each field records the earliest cycle at which the corresponding command
+/// may legally be issued to this bank. The bank does not know about
+/// rank-level constraints (tRRD, tFAW, tCCD); those live in [`RankTimer`].
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Bank {
+    /// Current row-buffer state.
+    pub state: BankState,
+    next_act: Cycle,
+    next_rd: Cycle,
+    next_wr: Cycle,
+    next_pre: Cycle,
+}
+
+impl Bank {
+    /// Creates a closed bank with no pending constraints.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Earliest cycle an ACT may be issued.
+    pub fn act_ready(&self) -> Cycle {
+        self.next_act
+    }
+
+    /// Earliest cycle a RD may be issued (assuming the row is open).
+    pub fn rd_ready(&self) -> Cycle {
+        self.next_rd
+    }
+
+    /// Earliest cycle a WR may be issued (assuming the row is open).
+    pub fn wr_ready(&self) -> Cycle {
+        self.next_wr
+    }
+
+    /// Earliest cycle a PRE may be issued.
+    pub fn pre_ready(&self) -> Cycle {
+        self.next_pre
+    }
+
+    /// Applies an ACT issued at `now` for `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if the bank is open or the ACT violates
+    /// timing; the controller must check legality first.
+    pub fn do_act(&mut self, now: Cycle, row: u32, t: &DdrTiming) {
+        debug_assert_eq!(self.state, BankState::Closed, "ACT to open bank");
+        debug_assert!(now >= self.next_act, "ACT violates tRC/tRP");
+        self.state = BankState::Open(row);
+        self.next_act = now + t.t_rc;
+        self.next_rd = now + t.t_rcd;
+        self.next_wr = now + t.t_rcd;
+        self.next_pre = now + t.t_ras;
+    }
+
+    /// Applies a RD issued at `now`.
+    pub fn do_rd(&mut self, now: Cycle, t: &DdrTiming) {
+        debug_assert!(matches!(self.state, BankState::Open(_)), "RD to closed bank");
+        debug_assert!(now >= self.next_rd, "RD violates tRCD/tCCD");
+        // Reads delay a following precharge by tRTP.
+        self.next_pre = self.next_pre.max(now + t.t_rtp);
+    }
+
+    /// Applies a WR issued at `now`.
+    pub fn do_wr(&mut self, now: Cycle, t: &DdrTiming) {
+        debug_assert!(matches!(self.state, BankState::Open(_)), "WR to closed bank");
+        debug_assert!(now >= self.next_wr, "WR violates tRCD");
+        // Writes delay a following precharge until write recovery is done.
+        self.next_pre = self.next_pre.max(now + t.t_cwl + t.t_bl + t.t_wr);
+    }
+
+    /// Applies a PRE issued at `now`.
+    pub fn do_pre(&mut self, now: Cycle, t: &DdrTiming) {
+        debug_assert!(now >= self.next_pre, "PRE violates tRAS/tRTP/tWR");
+        self.state = BankState::Closed;
+        self.next_act = self.next_act.max(now + t.t_rp);
+    }
+
+    /// Forces the bank closed with the post-refresh constraint applied
+    /// (used when a refresh completes).
+    pub fn finish_refresh(&mut self, refresh_done: Cycle) {
+        self.state = BankState::Closed;
+        self.next_act = self.next_act.max(refresh_done);
+    }
+}
+
+/// Rank-level timing state: tRRD, tFAW, tCCD, write-to-read turnaround and
+/// refresh bookkeeping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankTimer {
+    /// Issue times of the most recent ACTs (for the four-activate window).
+    act_history: Vec<Cycle>,
+    next_act_any: Cycle,
+    next_act_same_bg: Vec<Cycle>,
+    next_rd_any: Cycle,
+    next_rd_same_bg: Vec<Cycle>,
+    next_wr_any: Cycle,
+    faw: Cycle,
+    /// Rank unavailable until this cycle (refresh in progress).
+    pub busy_until: Cycle,
+    /// Next cycle a refresh becomes due.
+    pub refresh_due: Cycle,
+}
+
+impl RankTimer {
+    /// Creates an idle rank timer for a rank with `bank_groups` groups.
+    pub fn new(bank_groups: u8, t: &DdrTiming) -> Self {
+        Self {
+            act_history: Vec::with_capacity(4),
+            next_act_any: 0,
+            next_act_same_bg: vec![0; bank_groups as usize],
+            next_rd_any: 0,
+            next_rd_same_bg: vec![0; bank_groups as usize],
+            next_wr_any: 0,
+            faw: t.t_faw,
+            busy_until: 0,
+            refresh_due: t.t_refi,
+        }
+    }
+
+    /// Earliest cycle an ACT to `bank_group` satisfies tRRD and tFAW.
+    pub fn act_ready(&self, bank_group: u8) -> Cycle {
+        let mut ready = self
+            .next_act_any
+            .max(self.next_act_same_bg[bank_group as usize])
+            .max(self.busy_until);
+        if self.act_history.len() == 4 {
+            // tFAW counts from the oldest of the last four ACTs.
+            ready = ready.max(self.act_history[0] + self.faw_window());
+        }
+        ready
+    }
+
+    fn faw_window(&self) -> Cycle {
+        self.faw
+    }
+
+    /// Earliest cycle a RD to `bank_group` satisfies tCCD and turnaround.
+    pub fn rd_ready(&self, bank_group: u8) -> Cycle {
+        self.next_rd_any
+            .max(self.next_rd_same_bg[bank_group as usize])
+            .max(self.busy_until)
+    }
+
+    /// Earliest cycle a WR to `bank_group` satisfies tCCD.
+    pub fn wr_ready(&self, bank_group: u8) -> Cycle {
+        // Writes share the CCD structure with reads; we track the rank-wide
+        // constraint only (writes are rare in inference workloads).
+        self.next_wr_any
+            .max(self.next_rd_same_bg[bank_group as usize])
+            .max(self.busy_until)
+    }
+
+    /// Records an ACT issued at `now` to `bank_group`.
+    pub fn did_act(&mut self, now: Cycle, bank_group: u8, t: &DdrTiming) {
+        self.next_act_any = now + t.t_rrd_s;
+        self.next_act_same_bg[bank_group as usize] = now + t.t_rrd_l;
+        if self.act_history.len() == 4 {
+            self.act_history.remove(0);
+        }
+        self.act_history.push(now);
+        self.faw = t.t_faw;
+    }
+
+    /// Records a RD issued at `now` to `bank_group`.
+    pub fn did_rd(&mut self, now: Cycle, bank_group: u8, t: &DdrTiming) {
+        self.next_rd_any = now + t.t_ccd_s;
+        self.next_rd_same_bg[bank_group as usize] = now + t.t_ccd_l;
+    }
+
+    /// Records a WR issued at `now` to `bank_group`.
+    pub fn did_wr(&mut self, now: Cycle, bank_group: u8, t: &DdrTiming) {
+        self.next_wr_any = now + t.t_ccd_s;
+        self.next_rd_same_bg[bank_group as usize] = now + t.t_ccd_l;
+        // Write-to-read turnaround applies rank-wide.
+        self.next_rd_any = self.next_rd_any.max(now + t.t_cwl + t.t_bl + t.t_wtr);
+    }
+
+    /// Records a REF issued at `now`; the rank is busy for tRFC.
+    pub fn did_ref(&mut self, now: Cycle, t: &DdrTiming) {
+        self.busy_until = now + t.t_rfc;
+        self.refresh_due = now + t.t_refi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> DdrTiming {
+        DdrTiming::ddr4_2400()
+    }
+
+    #[test]
+    fn act_opens_row_and_arms_timers() {
+        let timing = t();
+        let mut b = Bank::new();
+        b.do_act(0, 42, &timing);
+        assert_eq!(b.state, BankState::Open(42));
+        assert_eq!(b.rd_ready(), timing.t_rcd);
+        assert_eq!(b.act_ready(), timing.t_rc);
+        assert_eq!(b.pre_ready(), timing.t_ras);
+    }
+
+    #[test]
+    fn rd_extends_pre_by_trtp() {
+        let timing = t();
+        let mut b = Bank::new();
+        b.do_act(0, 1, &timing);
+        b.do_rd(timing.t_rcd + 100, &timing);
+        assert_eq!(b.pre_ready(), timing.t_rcd + 100 + timing.t_rtp);
+    }
+
+    #[test]
+    fn pre_closes_and_requires_trp() {
+        let timing = t();
+        let mut b = Bank::new();
+        b.do_act(0, 1, &timing);
+        b.do_pre(timing.t_ras, &timing);
+        assert_eq!(b.state, BankState::Closed);
+        // After PRE at tRAS, the next ACT must wait tRP more, but also the
+        // original tRC from the first ACT.
+        assert_eq!(b.act_ready(), timing.t_rc.max(timing.t_ras + timing.t_rp));
+    }
+
+    #[test]
+    fn write_recovery_blocks_pre() {
+        let timing = t();
+        let mut b = Bank::new();
+        b.do_act(0, 1, &timing);
+        let wr_at = timing.t_rcd;
+        b.do_wr(wr_at, &timing);
+        assert_eq!(
+            b.pre_ready(),
+            (wr_at + timing.t_cwl + timing.t_bl + timing.t_wr).max(timing.t_ras)
+        );
+    }
+
+    #[test]
+    fn rank_faw_limits_fifth_act() {
+        let timing = t();
+        let mut r = RankTimer::new(4, &timing);
+        // Issue four ACTs as fast as tRRD_S allows, rotating bank groups.
+        let mut now = 0;
+        for i in 0..4u8 {
+            now = r.act_ready(i % 4).max(now);
+            r.did_act(now, i % 4, &timing);
+        }
+        // Fifth ACT must wait for the tFAW window from the first ACT.
+        let fifth = r.act_ready(0);
+        assert!(fifth >= timing.t_faw, "fifth ACT at {fifth}");
+    }
+
+    #[test]
+    fn rank_ccd_long_within_group() {
+        let timing = t();
+        let mut r = RankTimer::new(4, &timing);
+        r.did_rd(10, 2, &timing);
+        assert_eq!(r.rd_ready(2), 10 + timing.t_ccd_l);
+        assert_eq!(r.rd_ready(1), 10 + timing.t_ccd_s);
+    }
+
+    #[test]
+    fn refresh_blocks_rank() {
+        let timing = t();
+        let mut r = RankTimer::new(4, &timing);
+        r.did_ref(100, &timing);
+        assert_eq!(r.busy_until, 100 + timing.t_rfc);
+        assert_eq!(r.refresh_due, 100 + timing.t_refi);
+        assert!(r.act_ready(0) >= 100 + timing.t_rfc);
+    }
+
+    #[test]
+    fn write_to_read_turnaround() {
+        let timing = t();
+        let mut r = RankTimer::new(4, &timing);
+        r.did_wr(50, 0, &timing);
+        assert!(r.rd_ready(1) >= 50 + timing.t_cwl + timing.t_bl + timing.t_wtr);
+    }
+}

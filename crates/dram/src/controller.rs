@@ -1,0 +1,157 @@
+//! Memory-controller configuration.
+
+use recnmp_types::ConfigError;
+use serde::{Deserialize, Serialize};
+
+use crate::address::{AddressMapping, Geometry};
+use crate::timing::DdrTiming;
+
+/// Configuration of one memory channel and its controller.
+///
+/// Use [`DramConfig::table1_baseline`] for the paper's per-channel baseline
+/// (1 DIMM × 2 ranks of 8 Gb ×8 devices, FR-FCFS, 32-entry read queue,
+/// open-page policy) or [`DramConfig::single_rank`] for the DRAM devices
+/// behind one rank-NMP module.
+///
+/// # Examples
+///
+/// ```
+/// use recnmp_dram::DramConfig;
+///
+/// let cfg = DramConfig::with_ranks(2, 2); // 2 DIMMs x 2 ranks
+/// assert_eq!(cfg.geometry().ranks, 4);
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// DIMMs on the channel.
+    pub dimms: u8,
+    /// Ranks per DIMM.
+    pub ranks_per_dimm: u8,
+    /// DDR timing set.
+    pub timing: DdrTiming,
+    /// Physical-address mapping policy.
+    pub mapping: AddressMapping,
+    /// Read-queue capacity (Table I: 32).
+    pub read_queue: usize,
+    /// Write-queue capacity.
+    pub write_queue: usize,
+    /// Whether periodic refresh is simulated.
+    pub refresh: bool,
+    /// Age (cycles) after which the oldest request preempts row-hit
+    /// prioritization, bounding FR-FCFS starvation.
+    pub starvation_cycles: u64,
+}
+
+impl DramConfig {
+    /// The paper's Table I per-channel baseline: 1 DIMM × 2 ranks,
+    /// DDR4-2400, FR-FCFS with a 32-entry read queue, open-page policy,
+    /// Skylake-style address mapping.
+    pub fn table1_baseline() -> Self {
+        Self::with_ranks(1, 2)
+    }
+
+    /// A channel with `dimms × ranks_per_dimm` ranks and default policies.
+    pub fn with_ranks(dimms: u8, ranks_per_dimm: u8) -> Self {
+        Self {
+            dimms,
+            ranks_per_dimm,
+            timing: DdrTiming::ddr4_2400(),
+            mapping: AddressMapping::SkylakeXor,
+            read_queue: 32,
+            write_queue: 32,
+            refresh: true,
+            starvation_cycles: 2048,
+        }
+    }
+
+    /// The DRAM devices behind a single rank, as seen by a rank-NMP module:
+    /// one rank, no host-side mapping games (identity interleave), refresh
+    /// on.
+    pub fn single_rank() -> Self {
+        let mut cfg = Self::with_ranks(1, 1);
+        cfg.mapping = AddressMapping::RowRankBankColumn;
+        cfg
+    }
+
+    /// Channel geometry implied by the DIMM/rank counts.
+    pub fn geometry(&self) -> Geometry {
+        Geometry::ddr4_8gb_x8(self.dimms * self.ranks_per_dimm)
+    }
+
+    /// Total ranks on the channel.
+    pub fn total_ranks(&self) -> u8 {
+        self.dimms * self.ranks_per_dimm
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the rank count is not a positive power
+    /// of two, a queue is empty, or the timing set is inconsistent.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.dimms == 0 {
+            return Err(ConfigError::new("dimms", "must be positive"));
+        }
+        if self.ranks_per_dimm == 0 {
+            return Err(ConfigError::new("ranks_per_dimm", "must be positive"));
+        }
+        if self.read_queue == 0 {
+            return Err(ConfigError::new("read_queue", "must be positive"));
+        }
+        if self.write_queue == 0 {
+            return Err(ConfigError::new("write_queue", "must be positive"));
+        }
+        self.timing.validate()?;
+        self.geometry().validate()
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::table1_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let cfg = DramConfig::table1_baseline();
+        assert_eq!(cfg.total_ranks(), 2);
+        assert_eq!(cfg.read_queue, 32);
+        assert!(cfg.refresh);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn single_rank_geometry() {
+        let cfg = DramConfig::single_rank();
+        assert_eq!(cfg.geometry().ranks, 1);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_dimms() {
+        let mut cfg = DramConfig::table1_baseline();
+        cfg.dimms = 0;
+        assert_eq!(cfg.validate().unwrap_err().field(), "dimms");
+    }
+
+    #[test]
+    fn validate_rejects_empty_queue() {
+        let mut cfg = DramConfig::table1_baseline();
+        cfg.read_queue = 0;
+        assert_eq!(cfg.validate().unwrap_err().field(), "read_queue");
+    }
+
+    #[test]
+    fn capacity_scales_with_ranks() {
+        let small = DramConfig::with_ranks(1, 2).geometry().capacity_bytes();
+        let large = DramConfig::with_ranks(4, 2).geometry().capacity_bytes();
+        assert_eq!(large, 4 * small);
+    }
+}

@@ -1,0 +1,129 @@
+//! DRAM energy accounting.
+//!
+//! Uses the latency/energy parameters from Table I of the paper:
+//! `DDR Activate = 2.1 nJ`, `DDR RD/WR = 14 pJ/b`, `Off-chip IO = 22 pJ/b`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::DramStats;
+
+/// Per-event DRAM energy constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Energy of one ACT/PRE pair, in nanojoules.
+    pub act_nj: f64,
+    /// Read/write array access energy, picojoules per bit.
+    pub rdwr_pj_per_bit: f64,
+    /// Off-chip (DIMM interface) I/O energy, picojoules per bit.
+    pub io_pj_per_bit: f64,
+}
+
+impl EnergyParams {
+    /// Table I constants.
+    pub const fn table1() -> Self {
+        Self {
+            act_nj: 2.1,
+            rdwr_pj_per_bit: 14.0,
+            io_pj_per_bit: 22.0,
+        }
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+/// Energy consumed by a DRAM channel, broken down by component.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DramEnergy {
+    /// Row activation energy (nJ).
+    pub act_nj: f64,
+    /// Array read/write energy (nJ).
+    pub rdwr_nj: f64,
+    /// Off-chip I/O energy (nJ).
+    pub io_nj: f64,
+}
+
+impl DramEnergy {
+    /// Computes energy from raw event counts.
+    ///
+    /// `io_bytes` is accounted separately from array traffic because
+    /// near-memory processing reads the array without sending every burst
+    /// across the DIMM interface.
+    pub fn from_counts(acts: u64, burst_bytes: u64, io_bytes: u64, p: &EnergyParams) -> Self {
+        Self {
+            act_nj: acts as f64 * p.act_nj,
+            rdwr_nj: burst_bytes as f64 * 8.0 * p.rdwr_pj_per_bit / 1000.0,
+            io_nj: io_bytes as f64 * 8.0 * p.io_pj_per_bit / 1000.0,
+        }
+    }
+
+    /// Computes host-path energy from controller statistics: every serviced
+    /// burst crosses the DIMM interface.
+    pub fn from_stats(stats: &DramStats, p: &EnergyParams) -> Self {
+        let bytes = stats.data_bytes();
+        Self::from_counts(stats.acts, bytes, bytes, p)
+    }
+
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.act_nj + self.rdwr_nj + self.io_nj
+    }
+
+    /// Adds another breakdown to this one.
+    pub fn accumulate(&mut self, other: &DramEnergy) {
+        self.act_nj += other.act_nj;
+        self.rdwr_nj += other.rdwr_nj;
+        self.io_nj += other.io_nj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_read_burst_energy() {
+        let p = EnergyParams::table1();
+        // One ACT + one 64 B burst crossing the interface.
+        let e = DramEnergy::from_counts(1, 64, 64, &p);
+        assert!((e.act_nj - 2.1).abs() < 1e-12);
+        // 64 B = 512 bits; 512 * 14 pJ = 7.168 nJ.
+        assert!((e.rdwr_nj - 7.168).abs() < 1e-9);
+        // 512 * 22 pJ = 11.264 nJ.
+        assert!((e.io_nj - 11.264).abs() < 1e-9);
+        assert!((e.total_nj() - 20.532).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmp_saves_io_energy() {
+        let p = EnergyParams::table1();
+        let host = DramEnergy::from_counts(10, 640, 640, &p);
+        // NMP: same array traffic, but only one 64 B sum crosses the pins.
+        let nmp = DramEnergy::from_counts(10, 640, 64, &p);
+        assert!(nmp.total_nj() < host.total_nj());
+        assert!((host.io_nj / nmp.io_nj - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulate_sums_components() {
+        let p = EnergyParams::table1();
+        let mut a = DramEnergy::from_counts(1, 64, 64, &p);
+        let b = a;
+        a.accumulate(&b);
+        assert!((a.total_nj() - 2.0 * b.total_nj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_stats_uses_all_bursts() {
+        let p = EnergyParams::table1();
+        let mut s = DramStats::new();
+        s.reads = 4;
+        s.acts = 2;
+        let e = DramEnergy::from_stats(&s, &p);
+        assert!((e.act_nj - 4.2).abs() < 1e-12);
+        assert!(e.io_nj > 0.0);
+    }
+}

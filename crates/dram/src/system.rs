@@ -1,0 +1,698 @@
+//! The cycle-level memory-channel engine.
+
+use std::collections::VecDeque;
+
+use recnmp_types::{Cycle, PhysAddr, RequestId};
+
+use crate::address::{DramAddr, Geometry};
+use crate::bank::{Bank, BankState, RankTimer};
+use crate::command::{DdrCommand, DdrCommandKind};
+use crate::controller::DramConfig;
+use crate::monitor::ProtocolMonitor;
+use crate::request::{CompletedRequest, Request, RequestKind, RowOutcome};
+use crate::stats::DramStats;
+use crate::timing::DdrTiming;
+
+/// An in-service request tracked by the controller.
+#[derive(Debug, Clone)]
+struct Queued {
+    id: RequestId,
+    kind: RequestKind,
+    addr: DramAddr,
+    arrival: Cycle,
+    seq: u64,
+    acts: u8,
+    pres: u8,
+}
+
+impl Queued {
+    fn outcome(&self) -> RowOutcome {
+        match (self.pres, self.acts) {
+            (0, 0) => RowOutcome::Hit,
+            (0, _) => RowOutcome::Miss,
+            _ => RowOutcome::Conflict,
+        }
+    }
+}
+
+/// One simulated memory channel: DDR4 devices plus an FR-FCFS controller.
+///
+/// The system advances one DRAM clock cycle per [`tick`](Self::tick) and
+/// issues at most one DDR command per cycle (the command/address bus limit
+/// that RecNMP's compressed instructions work around).
+///
+/// # Examples
+///
+/// ```
+/// use recnmp_dram::{DramConfig, MemorySystem};
+/// use recnmp_types::PhysAddr;
+///
+/// # fn main() -> Result<(), recnmp_types::ConfigError> {
+/// let mut mem = MemorySystem::new(DramConfig::single_rank())?;
+/// for i in 0..8u64 {
+///     mem.enqueue_read(PhysAddr::new(i * 64), 0);
+/// }
+/// let done = mem.run_until_idle();
+/// assert_eq!(done.len(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MemorySystem {
+    config: DramConfig,
+    timing: DdrTiming,
+    geo: Geometry,
+    cycle: Cycle,
+    banks: Vec<Vec<Bank>>,
+    ranks: Vec<RankTimer>,
+    refresh_pending: Vec<bool>,
+    data_bus_free: Cycle,
+    last_data_rank: Option<u8>,
+    staged: VecDeque<Queued>,
+    read_q: Vec<Queued>,
+    write_q: Vec<Queued>,
+    completed: Vec<CompletedRequest>,
+    next_seq: u64,
+    next_auto_id: u64,
+    stats: DramStats,
+    monitor: Option<ProtocolMonitor>,
+}
+
+impl MemorySystem {
+    /// Builds a memory system for the given channel configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`recnmp_types::ConfigError`] when the configuration is
+    /// inconsistent (see [`DramConfig::validate`]).
+    pub fn new(config: DramConfig) -> Result<Self, recnmp_types::ConfigError> {
+        config.validate()?;
+        let geo = config.geometry();
+        let timing = config.timing;
+        let ranks = (0..geo.ranks)
+            .map(|_| RankTimer::new(geo.bank_groups, &timing))
+            .collect();
+        let banks = (0..geo.ranks)
+            .map(|_| vec![Bank::new(); geo.banks_per_rank()])
+            .collect();
+        Ok(Self {
+            refresh_pending: vec![false; geo.ranks as usize],
+            config,
+            timing,
+            geo,
+            cycle: 0,
+            banks,
+            ranks,
+            data_bus_free: 0,
+            last_data_rank: None,
+            staged: VecDeque::new(),
+            read_q: Vec::new(),
+            write_q: Vec::new(),
+            completed: Vec::new(),
+            next_seq: 0,
+            next_auto_id: 0,
+            stats: DramStats::new(),
+            monitor: None,
+        })
+    }
+
+    /// Returns the active configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Returns the channel geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Attaches an independent protocol monitor that checks every issued
+    /// command against the DDR timing rules (used by the test suite).
+    pub fn attach_monitor(&mut self) {
+        self.monitor = Some(ProtocolMonitor::new(self.geo, self.timing));
+    }
+
+    /// Timing violations recorded by the attached monitor, if any.
+    pub fn monitor_violations(&self) -> &[String] {
+        self.monitor.as_ref().map_or(&[], |m| m.violations())
+    }
+
+    /// Requests known to the controller but not yet completed.
+    pub fn pending(&self) -> usize {
+        self.staged.len() + self.read_q.len() + self.write_q.len()
+    }
+
+    /// Enqueues a request built by the caller.
+    pub fn enqueue(&mut self, req: Request) {
+        let addr = self.config.mapping.decode(req.addr, &self.geo);
+        self.enqueue_decoded(addr, req.kind, req.arrival, req.id);
+    }
+
+    /// Enqueues a read of the burst containing `addr`, arriving at
+    /// `arrival`, and returns the auto-assigned request id.
+    pub fn enqueue_read(&mut self, addr: PhysAddr, arrival: Cycle) -> RequestId {
+        let id = RequestId::new(self.next_auto_id);
+        self.next_auto_id += 1;
+        self.enqueue(Request::read(id, addr, arrival));
+        id
+    }
+
+    /// Enqueues a request at pre-decoded DRAM coordinates. Rank-NMP modules
+    /// use this path: their instructions carry device coordinates directly.
+    pub fn enqueue_decoded(
+        &mut self,
+        addr: DramAddr,
+        kind: RequestKind,
+        arrival: Cycle,
+        id: RequestId,
+    ) {
+        assert!(
+            addr.rank < self.geo.ranks
+                && addr.bank_group < self.geo.bank_groups
+                && addr.bank < self.geo.banks_per_group
+                && addr.row < self.geo.rows
+                && addr.column < self.geo.columns,
+            "decoded address out of range for geometry"
+        );
+        let q = Queued {
+            id,
+            kind,
+            addr,
+            arrival,
+            seq: self.next_seq,
+            acts: 0,
+            pres: 0,
+        };
+        self.next_seq += 1;
+        self.staged.push_back(q);
+    }
+
+    /// Advances the channel by one cycle.
+    pub fn tick(&mut self) {
+        self.admit_arrivals();
+        if self.config.refresh {
+            self.update_refresh_state();
+        }
+        let issued = if self.config.refresh {
+            self.try_issue_refresh()
+        } else {
+            false
+        };
+        if !issued {
+            self.issue_request_command();
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs until every request has completed, returning all completions
+    /// (also recorded in [`stats`](Self::stats)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system fails to drain within a very large bound
+    /// (indicating a scheduling deadlock bug).
+    pub fn run_until_idle(&mut self) -> Vec<CompletedRequest> {
+        let bound = self.cycle + 500_000_000;
+        while self.pending() > 0 {
+            self.tick();
+            assert!(self.cycle < bound, "memory system failed to drain");
+        }
+        // Let in-flight data bursts finish.
+        let drain_to = self.data_bus_free.max(self.cycle);
+        while self.cycle < drain_to {
+            self.tick();
+        }
+        self.drain_completed()
+    }
+
+    /// Removes and returns all completions whose data has fully transferred
+    /// by the current cycle.
+    pub fn drain_completed(&mut self) -> Vec<CompletedRequest> {
+        let now = self.cycle;
+        let (done, rest): (Vec<_>, Vec<_>) = self
+            .completed
+            .drain(..)
+            .partition(|c| c.finish_cycle <= now);
+        self.completed = rest;
+        done
+    }
+
+    fn admit_arrivals(&mut self) {
+        while let Some(front) = self.staged.front() {
+            if front.arrival > self.cycle {
+                // Staged requests are admitted in FIFO order; later arrivals
+                // cannot jump the queue.
+                break;
+            }
+            let is_read = front.kind == RequestKind::Read;
+            let q = if is_read {
+                &mut self.read_q
+            } else {
+                &mut self.write_q
+            };
+            let cap = if is_read {
+                self.config.read_queue
+            } else {
+                self.config.write_queue
+            };
+            if q.len() >= cap {
+                break;
+            }
+            q.push(self.staged.pop_front().expect("front checked"));
+        }
+    }
+
+    fn update_refresh_state(&mut self) {
+        for r in 0..self.geo.ranks as usize {
+            if self.cycle >= self.ranks[r].refresh_due {
+                self.refresh_pending[r] = true;
+            }
+        }
+    }
+
+    /// Tries to make progress on a pending refresh; returns true if a
+    /// command slot was consumed.
+    fn try_issue_refresh(&mut self) -> bool {
+        let now = self.cycle;
+        for r in 0..self.geo.ranks as usize {
+            if !self.refresh_pending[r] {
+                continue;
+            }
+            // Close any open bank first.
+            if let Some(b) = self.banks[r]
+                .iter()
+                .position(|b| matches!(b.state, BankState::Open(_)))
+            {
+                if self.banks[r][b].pre_ready() <= now {
+                    let addr = self.bank_addr(r as u8, b);
+                    self.issue(DdrCommand::new(DdrCommandKind::Pre, addr));
+                    self.banks[r][b].do_pre(now, &self.timing);
+                    self.stats.pres += 1;
+                    return true;
+                }
+                // An open bank is not yet precharge-able; wait.
+                return false;
+            }
+            // All banks closed: wait out tRP, then refresh.
+            let ready = self.banks[r].iter().map(Bank::act_ready).max().unwrap_or(0);
+            if ready <= now && self.ranks[r].busy_until <= now {
+                let addr = self.bank_addr(r as u8, 0);
+                self.issue(DdrCommand::new(DdrCommandKind::Ref, addr));
+                self.ranks[r].did_ref(now, &self.timing);
+                let done = now + self.timing.t_rfc;
+                for bank in &mut self.banks[r] {
+                    bank.finish_refresh(done);
+                }
+                self.stats.refs += 1;
+                self.refresh_pending[r] = false;
+                return true;
+            }
+            return false;
+        }
+        false
+    }
+
+    fn bank_addr(&self, rank: u8, flat_bank: usize) -> DramAddr {
+        DramAddr {
+            rank,
+            bank_group: (flat_bank / self.geo.banks_per_group as usize) as u8,
+            bank: (flat_bank % self.geo.banks_per_group as usize) as u8,
+            row: 0,
+            column: 0,
+        }
+    }
+
+    /// FR-FCFS issue: one command per cycle.
+    fn issue_request_command(&mut self) {
+        let drain_writes = self.write_q.len() * 4 >= self.config.write_queue * 3
+            || (self.read_q.is_empty() && !self.write_q.is_empty());
+
+        // Order of consideration: reads oldest-first, then writes when in
+        // drain mode.
+        let mut order: Vec<(bool, usize)> = Vec::with_capacity(self.read_q.len());
+        let mut read_idx: Vec<usize> = (0..self.read_q.len()).collect();
+        read_idx.sort_by_key(|&i| self.read_q[i].seq);
+        order.extend(read_idx.into_iter().map(|i| (true, i)));
+        if drain_writes {
+            let mut wr_idx: Vec<usize> = (0..self.write_q.len()).collect();
+            wr_idx.sort_by_key(|&i| self.write_q[i].seq);
+            order.extend(wr_idx.into_iter().map(|i| (false, i)));
+        }
+        if order.is_empty() {
+            return;
+        }
+
+        // Starvation guard: when the oldest request has waited too long,
+        // skip the row-hit pass so it makes progress.
+        let oldest_age = {
+            let (is_read, i) = order[0];
+            let q = if is_read {
+                &self.read_q[i]
+            } else {
+                &self.write_q[i]
+            };
+            self.cycle.saturating_sub(q.arrival)
+        };
+        let allow_fr = oldest_age < self.config.starvation_cycles;
+
+        if allow_fr {
+            // Pass 1: first-ready — any request whose row is open and whose
+            // column command is legal right now.
+            for &(is_read, i) in &order {
+                if self.try_issue_column(is_read, i, true) {
+                    return;
+                }
+            }
+        }
+        // Pass 2: oldest-first — issue whatever command the request needs
+        // next, if legal.
+        for &(is_read, i) in &order {
+            if self.try_progress(is_read, i) {
+                return;
+            }
+        }
+    }
+
+    /// Attempts the column command for queue entry `i`; `require_open`
+    /// restricts to row hits. Returns true if a command was issued.
+    fn try_issue_column(&mut self, is_read: bool, i: usize, require_open: bool) -> bool {
+        let now = self.cycle;
+        let q = if is_read {
+            &self.read_q[i]
+        } else {
+            &self.write_q[i]
+        };
+        let (rank, bg) = (q.addr.rank, q.addr.bank_group);
+        if self.refresh_pending[rank as usize] {
+            return false;
+        }
+        let flat = q.addr.flat_bank(self.geo.banks_per_group);
+        let bank = &self.banks[rank as usize][flat];
+        match bank.state {
+            BankState::Open(row) if row == q.addr.row => {}
+            _ if require_open => return false,
+            _ => return false,
+        }
+        let (bank_ready, rank_ready, data_offset) = if is_read {
+            (
+                bank.rd_ready(),
+                self.ranks[rank as usize].rd_ready(bg),
+                self.timing.t_cl,
+            )
+        } else {
+            (
+                bank.wr_ready(),
+                self.ranks[rank as usize].wr_ready(bg),
+                self.timing.t_cwl,
+            )
+        };
+        if bank_ready > now || rank_ready > now {
+            return false;
+        }
+        // Data-bus reservation, including the rank-to-rank switch penalty.
+        let mut bus_free = self.data_bus_free;
+        if self.last_data_rank.is_some() && self.last_data_rank != Some(rank) {
+            bus_free += self.timing.rank_switch;
+        }
+        if now + data_offset < bus_free {
+            return false;
+        }
+
+        // Legal: issue.
+        let kind = if is_read {
+            DdrCommandKind::Rd
+        } else {
+            DdrCommandKind::Wr
+        };
+        let q = if is_read {
+            self.read_q.swap_remove(i)
+        } else {
+            self.write_q.swap_remove(i)
+        };
+        self.issue(DdrCommand::new(kind, q.addr));
+        let bank = &mut self.banks[rank as usize][flat];
+        if is_read {
+            bank.do_rd(now, &self.timing);
+            self.ranks[rank as usize].did_rd(now, bg, &self.timing);
+            self.stats.reads += 1;
+        } else {
+            bank.do_wr(now, &self.timing);
+            self.ranks[rank as usize].did_wr(now, bg, &self.timing);
+            self.stats.writes += 1;
+        }
+        let finish = now + data_offset + self.timing.t_bl;
+        self.data_bus_free = now + data_offset + self.timing.t_bl;
+        self.last_data_rank = Some(rank);
+        self.stats.data_bus_busy += self.timing.t_bl;
+        let outcome = q.outcome();
+        self.stats.record_outcome(outcome);
+        self.stats.record_latency(finish - q.arrival);
+        self.completed.push(CompletedRequest {
+            id: q.id,
+            addr: q.addr,
+            kind: q.kind,
+            arrival: q.arrival,
+            finish_cycle: finish,
+            outcome,
+        });
+        true
+    }
+
+    /// Issues whatever command queue entry `i` needs next (PRE, ACT or the
+    /// column command). Returns true if a command was issued.
+    fn try_progress(&mut self, is_read: bool, i: usize) -> bool {
+        let now = self.cycle;
+        let (addr, _seq) = {
+            let q = if is_read {
+                &self.read_q[i]
+            } else {
+                &self.write_q[i]
+            };
+            (q.addr, q.seq)
+        };
+        if self.refresh_pending[addr.rank as usize] {
+            return false;
+        }
+        let flat = addr.flat_bank(self.geo.banks_per_group);
+        let state = self.banks[addr.rank as usize][flat].state;
+        match state {
+            BankState::Open(row) if row == addr.row => self.try_issue_column(is_read, i, true),
+            BankState::Open(_) => {
+                // Row conflict: precharge.
+                let bank = &mut self.banks[addr.rank as usize][flat];
+                if bank.pre_ready() > now {
+                    return false;
+                }
+                bank.do_pre(now, &self.timing);
+                self.stats.pres += 1;
+                let q = if is_read {
+                    &mut self.read_q[i]
+                } else {
+                    &mut self.write_q[i]
+                };
+                q.pres = q.pres.saturating_add(1);
+                self.issue(DdrCommand::new(DdrCommandKind::Pre, addr));
+                true
+            }
+            BankState::Closed => {
+                let bank_ready = self.banks[addr.rank as usize][flat].act_ready();
+                let rank_ready = self.ranks[addr.rank as usize].act_ready(addr.bank_group);
+                if bank_ready > now || rank_ready > now {
+                    return false;
+                }
+                self.banks[addr.rank as usize][flat].do_act(now, addr.row, &self.timing);
+                self.ranks[addr.rank as usize].did_act(now, addr.bank_group, &self.timing);
+                self.stats.acts += 1;
+                let q = if is_read {
+                    &mut self.read_q[i]
+                } else {
+                    &mut self.write_q[i]
+                };
+                q.acts = q.acts.saturating_add(1);
+                self.issue(DdrCommand::new(DdrCommandKind::Act, addr));
+                true
+            }
+        }
+    }
+
+    fn issue(&mut self, cmd: DdrCommand) {
+        self.stats.cmd_bus_busy += 1;
+        if let Some(m) = self.monitor.as_mut() {
+            m.observe(self.cycle, cmd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recnmp_types::units::CACHELINE_BYTES;
+
+    fn single_rank() -> MemorySystem {
+        MemorySystem::new(DramConfig::single_rank()).expect("valid config")
+    }
+
+    #[test]
+    fn cold_read_latency_is_trcd_tcl_tbl() {
+        let mut mem = single_rank();
+        mem.enqueue_read(PhysAddr::new(0), 0);
+        let done = mem.run_until_idle();
+        assert_eq!(done.len(), 1);
+        let t = DdrTiming::ddr4_2400();
+        // ACT at cycle 0 is legal immediately; RD at tRCD; data done
+        // tCL + tBL later.
+        assert_eq!(done[0].finish_cycle, t.t_rcd + t.t_cl + t.t_bl);
+        assert_eq!(done[0].outcome, RowOutcome::Miss);
+    }
+
+    #[test]
+    fn row_hit_follows_open_row() {
+        let mut mem = single_rank();
+        mem.enqueue_read(PhysAddr::new(0), 0);
+        mem.enqueue_read(PhysAddr::new(64), 0);
+        let done = mem.run_until_idle();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[1].outcome, RowOutcome::Hit);
+        // Second burst streams tCCD after the first RD.
+        assert!(done[1].finish_cycle <= done[0].finish_cycle + 7);
+    }
+
+    #[test]
+    fn row_conflict_requires_pre_act() {
+        let mut mem = single_rank();
+        let geo = *mem.geometry();
+        // Same bank, different row: stride by one full row of bursts.
+        let row_bytes = geo.columns as u64 * CACHELINE_BYTES;
+        let banks = geo.banks_per_rank() as u64;
+        mem.enqueue_read(PhysAddr::new(0), 0);
+        mem.enqueue_read(PhysAddr::new(row_bytes * banks), 0);
+        let done = mem.run_until_idle();
+        assert_eq!(done[1].outcome, RowOutcome::Conflict);
+        let t = DdrTiming::ddr4_2400();
+        assert!(done[1].finish_cycle >= t.t_ras + t.t_rp + t.t_rcd);
+    }
+
+    #[test]
+    fn bank_interleaved_reads_saturate_bus() {
+        let mut mem = single_rank();
+        // 64 reads spread across banks in open rows: after warm-up the data
+        // bus should stream a burst every tBL cycles.
+        let geo = *mem.geometry();
+        let row_bytes = geo.columns as u64 * CACHELINE_BYTES;
+        for i in 0..64u64 {
+            // Rotate across all 16 banks, two bursts each.
+            let bank = i % 16;
+            let col = i / 16;
+            mem.enqueue_read(PhysAddr::new(bank * row_bytes + col * 64), 0);
+        }
+        let done = mem.run_until_idle();
+        assert_eq!(done.len(), 64);
+        let finish = done.iter().map(|c| c.finish_cycle).max().unwrap();
+        // Perfect streaming would take 64*4 = 256 cycles of data after the
+        // first word; allow generous startup slack.
+        assert!(finish < 450, "took {finish} cycles");
+    }
+
+    #[test]
+    fn monitor_sees_no_violations_under_load() {
+        let mut mem = MemorySystem::new(DramConfig::table1_baseline()).unwrap();
+        mem.attach_monitor();
+        for i in 0..200u64 {
+            mem.enqueue_read(PhysAddr::new(i * 64 * 4097), 0);
+        }
+        let done = mem.run_until_idle();
+        assert_eq!(done.len(), 200);
+        assert!(
+            mem.monitor_violations().is_empty(),
+            "{:?}",
+            mem.monitor_violations()
+        );
+    }
+
+    #[test]
+    fn refresh_occurs_periodically() {
+        let mut mem = single_rank();
+        // Run past several tREFI windows with sparse traffic.
+        for i in 0..32u64 {
+            mem.enqueue_read(PhysAddr::new(i * 64), i * 2000);
+        }
+        let _ = mem.run_until_idle();
+        assert!(mem.stats().refs >= 5, "refs = {}", mem.stats().refs);
+    }
+
+    #[test]
+    fn writes_complete_and_count() {
+        let mut mem = single_rank();
+        let id = RequestId::new(77);
+        mem.enqueue(Request::write(id, PhysAddr::new(64), 0));
+        let done = mem.run_until_idle();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        assert_eq!(mem.stats().writes, 1);
+    }
+
+    #[test]
+    fn arrival_times_are_respected() {
+        let mut mem = single_rank();
+        mem.enqueue_read(PhysAddr::new(0), 1000);
+        let done = mem.run_until_idle();
+        assert!(done[0].finish_cycle >= 1000);
+        assert!(done[0].latency() < 1000);
+    }
+
+    #[test]
+    fn two_ranks_overlap_activation() {
+        // The same request stream takes fewer cycles on 2 ranks than 1 when
+        // requests conflict in banks.
+        let run = |ranks: u8| {
+            let mut cfg = DramConfig::with_ranks(1, ranks);
+            cfg.refresh = false;
+            let mut mem = MemorySystem::new(cfg).unwrap();
+            // Strided addresses that pound a few banks.
+            for i in 0..128u64 {
+                mem.enqueue_read(PhysAddr::new(i * 1024 * 1024), 0);
+            }
+            let done = mem.run_until_idle();
+            done.iter().map(|c| c.finish_cycle).max().unwrap()
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!(two < one, "1-rank {one} vs 2-rank {two}");
+    }
+
+    #[test]
+    fn stats_outcomes_sum_to_reads() {
+        let mut mem = single_rank();
+        for i in 0..50u64 {
+            mem.enqueue_read(PhysAddr::new(i * 640_000), 0);
+        }
+        mem.run_until_idle();
+        let s = mem.stats();
+        assert_eq!(s.row_hits + s.row_misses + s.row_conflicts, s.reads);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decoded_enqueue_validates_bounds() {
+        let mut mem = single_rank();
+        mem.enqueue_decoded(
+            DramAddr {
+                rank: 3,
+                ..DramAddr::default()
+            },
+            RequestKind::Read,
+            0,
+            RequestId::new(0),
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! The assembled DLRM forward pass.
+//!
+//! Mirrors the architecture of Figure 2(a): dense features go through the
+//! bottom MLP; sparse features index embedding tables via SLS; the pooled
+//! vectors and the bottom output interact via pairwise dot products; the
+//! top MLP produces the click-through-rate prediction.
+
+use recnmp_trace::SlsBatch;
+use recnmp_types::rng::DetRng;
+
+use crate::config::ModelConfig;
+use crate::fc::Mlp;
+use crate::ops::SlsOp;
+use crate::table::EmbeddingTable;
+
+/// A functional DLRM instance with materialized weights and tables.
+///
+/// Performance experiments are trace-driven and never materialize tables;
+/// this type exists for functional correctness (examples, operator
+/// equivalence tests). Use a scaled-down [`recnmp_trace::EmbeddingTableSpec`]
+/// via [`DlrmModel::build_with_spec`] to keep memory reasonable.
+#[derive(Debug, Clone)]
+pub struct DlrmModel {
+    config: ModelConfig,
+    bottom: Mlp,
+    top: Mlp,
+    tables: Vec<EmbeddingTable>,
+}
+
+impl DlrmModel {
+    /// Materializes a model, overriding the table shape (row count) so
+    /// functional tests don't allocate production-sized tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's vector dimension differs from the config's.
+    pub fn build_with_spec(
+        mut config: ModelConfig,
+        spec: recnmp_trace::EmbeddingTableSpec,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            spec.dims(),
+            config.table_spec.dims(),
+            "vector dimension must match the model configuration"
+        );
+        config.table_spec = spec;
+        let mut rng = DetRng::seed(seed);
+        let bottom = Mlp::random(&config.bottom_fc, &mut rng);
+        let top = Mlp::random(&config.top_fc, &mut rng);
+        let tables = (0..config.num_tables)
+            .map(|t| EmbeddingTable::random(spec, seed.wrapping_add(1 + t as u64)))
+            .collect();
+        Self {
+            config,
+            bottom,
+            top,
+            tables,
+        }
+    }
+
+    /// The model configuration (with the possibly overridden table spec).
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The embedding tables.
+    pub fn tables(&self) -> &[EmbeddingTable] {
+        &self.tables
+    }
+
+    /// Pairwise-dot feature interaction (upper triangle, no diagonal),
+    /// concatenated with the bottom output.
+    fn interact(bottom_out: &[f32], pooled: &[Vec<f32>]) -> Vec<f32> {
+        let mut vectors: Vec<&[f32]> = Vec::with_capacity(pooled.len() + 1);
+        vectors.push(bottom_out);
+        for p in pooled {
+            vectors.push(p);
+        }
+        let mut feats = Vec::new();
+        for i in 0..vectors.len() {
+            for j in (i + 1)..vectors.len() {
+                let dot: f32 = vectors[i].iter().zip(vectors[j]).map(|(a, b)| a * b).sum();
+                feats.push(dot);
+            }
+        }
+        feats.extend_from_slice(bottom_out);
+        feats
+    }
+
+    /// Runs one sample: `dense` features plus one pooling per table.
+    ///
+    /// `sparse` holds, for each table, the rows to pool for this sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sparse.len()` differs from the table count or `dense`
+    /// has the wrong width.
+    pub fn forward(&self, dense: &[f32], sparse: &[Vec<u64>]) -> f32 {
+        assert_eq!(
+            sparse.len(),
+            self.config.num_tables,
+            "one pooling per table"
+        );
+        let bottom_out = self.bottom.forward(dense);
+        let pooled: Vec<Vec<f32>> = sparse
+            .iter()
+            .zip(&self.tables)
+            .map(|(indices, table)| {
+                let batch = SlsBatch {
+                    table: recnmp_types::TableId::new(0),
+                    spec: *table.spec(),
+                    poolings: vec![recnmp_trace::Pooling::unweighted(indices.clone())],
+                };
+                SlsOp::Sum.execute(table, &batch).remove(0)
+            })
+            .collect();
+        let feats = Self::interact(&bottom_out, &pooled);
+        let out = self.top.forward(&feats);
+        sigmoid(out[0])
+    }
+
+    /// Runs a batch of samples; returns one CTR prediction each.
+    pub fn forward_batch(&self, dense: &[Vec<f32>], sparse: &[Vec<Vec<u64>>]) -> Vec<f32> {
+        assert_eq!(dense.len(), sparse.len(), "batch sizes must match");
+        dense
+            .iter()
+            .zip(sparse)
+            .map(|(d, s)| self.forward(d, s))
+            .collect()
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RecModelKind;
+    use recnmp_trace::EmbeddingTableSpec;
+
+    fn tiny_model() -> DlrmModel {
+        DlrmModel::build_with_spec(
+            ModelConfig::new(RecModelKind::Rm1Small),
+            EmbeddingTableSpec::new(100, 128),
+            11,
+        )
+    }
+
+    #[test]
+    fn forward_produces_probability() {
+        let m = tiny_model();
+        let dense = vec![0.5; 13];
+        let sparse: Vec<Vec<u64>> = (0..8).map(|t| vec![t, t + 1, t + 2]).collect();
+        let y = m.forward(&dense, &sparse);
+        assert!((0.0..=1.0).contains(&y), "{y}");
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let m = tiny_model();
+        let dense = vec![0.1; 13];
+        let sparse: Vec<Vec<u64>> = (0..8).map(|_| vec![1, 2]).collect();
+        assert_eq!(m.forward(&dense, &sparse), m.forward(&dense, &sparse));
+    }
+
+    #[test]
+    fn different_sparse_ids_change_output() {
+        let m = tiny_model();
+        let dense = vec![0.1; 13];
+        let a: Vec<Vec<u64>> = (0..8).map(|_| vec![1, 2]).collect();
+        let b: Vec<Vec<u64>> = (0..8).map(|_| vec![50, 60]).collect();
+        assert_ne!(m.forward(&dense, &a), m.forward(&dense, &b));
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let m = tiny_model();
+        let dense = vec![vec![0.2; 13], vec![0.9; 13]];
+        let sparse: Vec<Vec<Vec<u64>>> = vec![
+            (0..8).map(|_| vec![3]).collect(),
+            (0..8).map(|_| vec![4, 5]).collect(),
+        ];
+        let batch = m.forward_batch(&dense, &sparse);
+        assert_eq!(batch[0], m.forward(&dense[0], &sparse[0]));
+        assert_eq!(batch[1], m.forward(&dense[1], &sparse[1]));
+    }
+
+    #[test]
+    fn interaction_dim_matches_config() {
+        let m = tiny_model();
+        let dims = m.config().table_spec.dims();
+        let feats = DlrmModel::interact(&vec![1.0; dims], &vec![vec![0.5; dims]; 8]);
+        assert_eq!(feats.len(), ModelConfig::interaction_dim(8, dims));
+        assert_eq!(feats.len(), m.config().top_fc[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one pooling per table")]
+    fn forward_checks_table_count() {
+        let m = tiny_model();
+        m.forward(&[0.0; 13], &[vec![1]]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Fully-connected layers and MLP stacks.
+
+use rand::Rng;
+use recnmp_types::rng::DetRng;
+
+/// One fully-connected layer with ReLU activation.
+#[derive(Debug, Clone)]
+pub struct FcLayer {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major `[out_dim][in_dim]` weights.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    relu: bool,
+}
+
+impl FcLayer {
+    /// Creates a layer with small random weights.
+    pub fn random(in_dim: usize, out_dim: usize, relu: bool, rng: &mut DetRng) -> Self {
+        let scale = (2.0 / in_dim as f32).sqrt();
+        Self {
+            in_dim,
+            out_dim,
+            weights: (0..in_dim * out_dim)
+                .map(|_| rng.gen_range(-scale..scale))
+                .collect(),
+            bias: vec![0.0; out_dim],
+            relu,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Weight footprint in bytes (FP32, including bias).
+    pub fn param_bytes(&self) -> u64 {
+        4 * (self.weights.len() + self.bias.len()) as u64
+    }
+
+    /// FLOPs per sample (2 per MAC).
+    pub fn flops_per_sample(&self) -> u64 {
+        2 * (self.in_dim as u64) * (self.out_dim as u64)
+    }
+
+    /// Forward pass for one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.in_dim, "input width mismatch");
+        let mut out = Vec::with_capacity(self.out_dim);
+        for o in 0..self.out_dim {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.bias[o];
+            for (w, v) in row.iter().zip(x) {
+                acc += w * v;
+            }
+            out.push(if self.relu { acc.max(0.0) } else { acc });
+        }
+        out
+    }
+}
+
+/// A stack of FC layers.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<FcLayer>,
+}
+
+impl Mlp {
+    /// Builds an MLP from layer widths (input first). All hidden layers use
+    /// ReLU; the final layer is linear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn random(widths: &[usize], rng: &mut DetRng) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least one layer");
+        let last = widths.len() - 2;
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| FcLayer::random(w[0], w[1], i != last, rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[FcLayer] {
+        &self.layers
+    }
+
+    /// Forward pass for one sample.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        for layer in &self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Total parameter bytes.
+    pub fn param_bytes(&self) -> u64 {
+        self.layers.iter().map(FcLayer::param_bytes).sum()
+    }
+
+    /// Total FLOPs per sample.
+    pub fn flops_per_sample(&self) -> u64 {
+        self.layers.iter().map(FcLayer::flops_per_sample).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let mut rng = DetRng::seed(1);
+        let mlp = Mlp::random(&[8, 16, 4], &mut rng);
+        let y = mlp.forward(&[1.0; 8]);
+        assert_eq!(y.len(), 4);
+        let mut rng2 = DetRng::seed(1);
+        let mlp2 = Mlp::random(&[8, 16, 4], &mut rng2);
+        assert_eq!(y, mlp2.forward(&[1.0; 8]));
+    }
+
+    #[test]
+    fn relu_applies_to_hidden_only() {
+        let mut rng = DetRng::seed(2);
+        // Single-layer MLP: output must be allowed to go negative.
+        let mlp = Mlp::random(&[4, 1], &mut rng);
+        let ys: Vec<f32> = (0..100)
+            .map(|i| mlp.forward(&[i as f32, -(i as f32), 1.0, -1.0])[0])
+            .collect();
+        assert!(ys.iter().any(|&y| y < 0.0), "linear output never negative");
+    }
+
+    #[test]
+    fn param_and_flop_accounting() {
+        let mut rng = DetRng::seed(3);
+        let layer = FcLayer::random(10, 20, true, &mut rng);
+        assert_eq!(layer.param_bytes(), 4 * (200 + 20));
+        assert_eq!(layer.flops_per_sample(), 400);
+        let mlp = Mlp::random(&[10, 20, 5], &mut rng);
+        assert_eq!(mlp.flops_per_sample(), 400 + 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn forward_checks_width() {
+        let mut rng = DetRng::seed(4);
+        FcLayer::random(4, 2, false, &mut rng).forward(&[0.0; 3]);
+    }
+
+    #[test]
+    fn known_weights_compute_exactly() {
+        let mut rng = DetRng::seed(5);
+        let mut layer = FcLayer::random(2, 1, false, &mut rng);
+        layer.weights = vec![2.0, -1.0];
+        layer.bias = vec![0.5];
+        assert_eq!(layer.forward(&[3.0, 4.0]), vec![2.5]);
+    }
+}

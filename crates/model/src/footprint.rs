@@ -1,0 +1,122 @@
+//! Operator compute/memory footprints (Figure 1(a)).
+//!
+//! The paper opens by contrasting the footprint of sparse embedding
+//! operators (SLS) against FC, RNN and convolution layers across batch
+//! sizes: SLS has tiny compute but a table footprint of tens of GB, while
+//! the dense operators have the opposite profile. The FC and SLS entries
+//! here are computed from our model configurations; the RNN and CNN
+//! entries use representative layer shapes (an LSTM layer and a ResNet-
+//! style 3x3 convolution) since they appear in the figure only as
+//! reference points.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ModelConfig;
+
+/// Compute and memory footprint of one operator invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorFootprint {
+    /// Operator label.
+    pub name: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Total floating-point operations.
+    pub flops: u64,
+    /// Bytes of state + activations touched.
+    pub bytes: u64,
+}
+
+impl OperatorFootprint {
+    /// Operational intensity in FLOP/byte.
+    pub fn oi(&self) -> f64 {
+        self.flops as f64 / self.bytes as f64
+    }
+}
+
+/// SLS footprint: negligible compute (one add per element), table-scale
+/// memory.
+pub fn sls_footprint(config: &ModelConfig, batch: usize) -> OperatorFootprint {
+    let lookups = (batch * config.num_tables * config.pooling) as u64;
+    OperatorFootprint {
+        name: "SLS".into(),
+        batch,
+        flops: lookups * config.table_spec.dims() as u64,
+        // Working set: the tables themselves dominate.
+        bytes: config.embedding_bytes(),
+    }
+}
+
+/// FC footprint: weight-scale memory, batch-scaled compute.
+pub fn fc_footprint(config: &ModelConfig, batch: usize) -> OperatorFootprint {
+    let flops = batch as u64 * (config.bottom_fc_flops() + config.top_fc_flops());
+    OperatorFootprint {
+        name: "FC".into(),
+        batch,
+        flops,
+        bytes: config.bottom_fc_bytes() + config.top_fc_bytes(),
+    }
+}
+
+/// Reference LSTM layer (hidden 1024, input 1024): 8*H*(H+I) MACs/step.
+pub fn rnn_footprint(batch: usize) -> OperatorFootprint {
+    let h: u64 = 1024;
+    let i: u64 = 1024;
+    let weights = 4 * h * (h + i) * 4;
+    OperatorFootprint {
+        name: "RNN".into(),
+        batch,
+        flops: batch as u64 * 8 * h * (h + i),
+        bytes: weights,
+    }
+}
+
+/// Reference ResNet-style conv layer: 3x3, 256 channels, 14x14 map.
+pub fn conv_footprint(batch: usize) -> OperatorFootprint {
+    let (k, c, hw): (u64, u64, u64) = (3, 256, 14 * 14);
+    let weights = k * k * c * c * 4;
+    OperatorFootprint {
+        name: "Conv".into(),
+        batch,
+        flops: batch as u64 * 2 * k * k * c * c * hw,
+        bytes: weights + batch as u64 * c * hw * 4 * 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RecModelKind;
+
+    #[test]
+    fn sls_oi_orders_of_magnitude_below_fc() {
+        // The Figure 1 contrast: at batch 64, SLS OI is far below FC/Conv.
+        let cfg = RecModelKind::Rm1Small.config();
+        let sls = sls_footprint(&cfg, 64);
+        let fc = fc_footprint(&cfg, 64);
+        let conv = conv_footprint(64);
+        assert!(sls.oi() * 100.0 < fc.oi(), "{} vs {}", sls.oi(), fc.oi());
+        assert!(sls.oi() * 100.0 < conv.oi());
+    }
+
+    #[test]
+    fn sls_memory_dwarfs_dense_operators() {
+        let cfg = RecModelKind::Rm2Large.config();
+        let sls = sls_footprint(&cfg, 8);
+        let rnn = rnn_footprint(8);
+        assert!(sls.bytes > 100 * rnn.bytes);
+    }
+
+    #[test]
+    fn dense_flops_scale_with_batch() {
+        let cfg = RecModelKind::Rm1Small.config();
+        let f1 = fc_footprint(&cfg, 1).flops;
+        let f256 = fc_footprint(&cfg, 256).flops;
+        assert_eq!(f256, 256 * f1);
+    }
+
+    #[test]
+    fn conv_is_compute_dense() {
+        let c = conv_footprint(32);
+        assert!(c.oi() > 50.0, "{}", c.oi());
+    }
+}

@@ -1,0 +1,39 @@
+//! DLRM workload models, operators and the CPU performance model.
+//!
+//! This crate is the workload side of the RecNMP reproduction:
+//!
+//! * [`config`] — the four recommendation model configurations the paper
+//!   evaluates (RM1-small/large, RM2-small/large, Figure 2(b)), with
+//!   concrete FC layer shapes chosen to match the published operator
+//!   breakdown and cache-residency behavior,
+//! * [`table`] / [`ops`] — functional embedding tables and the
+//!   SLS operator family (sum, mean, weighted, 8-bit row-wise quantized),
+//!   the reference semantics the NMP datapath must match,
+//! * [`fc`] / [`dlrm`] — fully-connected layers and the assembled DLRM
+//!   forward pass (bottom MLP → embedding lookups → feature interaction →
+//!   top MLP),
+//! * [`perf`] — the calibrated analytic CPU model standing in for the
+//!   paper's 18-core Skylake measurements (operator latency breakdown,
+//!   Figure 4; co-location FC contention, Figure 17),
+//! * [`bandwidth`] — the memory-bandwidth saturation model (Figure 6),
+//! * [`roofline`] — roofline analysis (Figures 1(b) and 5), and
+//! * [`footprint`] — operator compute/memory footprints (Figure 1(a)).
+
+pub mod bandwidth;
+pub mod config;
+pub mod dlrm;
+pub mod fc;
+pub mod footprint;
+pub mod ops;
+pub mod perf;
+pub mod roofline;
+pub mod table;
+
+pub use bandwidth::BandwidthModel;
+pub use config::{ModelConfig, RecModelKind};
+pub use dlrm::DlrmModel;
+pub use fc::{FcLayer, Mlp};
+pub use ops::SlsOp;
+pub use perf::{CpuPerfModel, CpuSpec, OperatorBreakdown};
+pub use roofline::{Roofline, RooflinePoint};
+pub use table::{EmbeddingTable, QuantizedTable};

@@ -1,0 +1,220 @@
+//! The SparseLengths (SLS) operator family — functional reference
+//! implementations.
+//!
+//! These define the semantics the RecNMP datapath must reproduce. The
+//! paper's NMP opcodes map onto them directly (Figure 8(d)):
+//!
+//! | NMP opcode                     | function                    |
+//! |--------------------------------|-----------------------------|
+//! | `nmp_sum` / `nmp_mean`         | [`SlsOp::Sum`] / [`SlsOp::Mean`] |
+//! | `nmp_weightedsum` / `..mean`   | [`SlsOp::WeightedSum`] / [`SlsOp::WeightedMean`] |
+//! | `nmp_weightedsum_8bits` / `..` | the same ops over a [`QuantizedTable`] |
+
+use recnmp_trace::SlsBatch;
+use serde::{Deserialize, Serialize};
+
+use crate::table::{EmbeddingTable, QuantizedTable};
+
+/// Which reduction an SLS invocation performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SlsOp {
+    /// Plain element-wise sum of the gathered vectors.
+    Sum,
+    /// Sum divided by the pooling size.
+    Mean,
+    /// Per-index weighted sum.
+    WeightedSum,
+    /// Weighted sum divided by the pooling size.
+    WeightedMean,
+}
+
+impl SlsOp {
+    /// All variants.
+    pub const ALL: [SlsOp; 4] = [
+        SlsOp::Sum,
+        SlsOp::Mean,
+        SlsOp::WeightedSum,
+        SlsOp::WeightedMean,
+    ];
+
+    /// Whether the variant consumes per-index weights.
+    pub fn weighted(self) -> bool {
+        matches!(self, SlsOp::WeightedSum | SlsOp::WeightedMean)
+    }
+
+    /// Whether the variant averages at the end.
+    pub fn averaged(self) -> bool {
+        matches!(self, SlsOp::Mean | SlsOp::WeightedMean)
+    }
+
+    /// Executes the operator against an FP32 table.
+    ///
+    /// Returns one output vector per pooling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range, or if a weighted variant is
+    /// given a pooling without weights.
+    pub fn execute(self, table: &EmbeddingTable, batch: &SlsBatch) -> Vec<Vec<f32>> {
+        let dims = table.spec().dims();
+        batch
+            .poolings
+            .iter()
+            .map(|p| {
+                let mut acc = vec![0.0f32; dims];
+                for (i, &idx) in p.indices.iter().enumerate() {
+                    let w = if self.weighted() {
+                        assert!(
+                            !p.weights.is_empty(),
+                            "weighted SLS requires weights in the pooling"
+                        );
+                        p.weight(i)
+                    } else {
+                        1.0
+                    };
+                    for (a, &v) in acc.iter_mut().zip(table.row(idx)) {
+                        *a += w * v;
+                    }
+                }
+                if self.averaged() && !p.is_empty() {
+                    let n = p.len() as f32;
+                    for a in &mut acc {
+                        *a /= n;
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Executes the operator against an 8-bit quantized table, performing
+    /// the per-row `code * scale + bias` dequantization inline — exactly
+    /// what the rank-NMP datapath's Scalar/Bias registers implement.
+    pub fn execute_quantized(self, table: &QuantizedTable, batch: &SlsBatch) -> Vec<Vec<f32>> {
+        let dims = table.spec().dims();
+        batch
+            .poolings
+            .iter()
+            .map(|p| {
+                let mut acc = vec![0.0f32; dims];
+                for (i, &idx) in p.indices.iter().enumerate() {
+                    let w = if self.weighted() { p.weight(i) } else { 1.0 };
+                    let (scale, bias) = table.row_scale_bias(idx);
+                    for (a, &c) in acc.iter_mut().zip(table.row_codes(idx)) {
+                        *a += w * (c as f32 * scale + bias);
+                    }
+                }
+                if self.averaged() && !p.is_empty() {
+                    let n = p.len() as f32;
+                    for a in &mut acc {
+                        *a /= n;
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// FLOPs performed by this operator over `batch` with vector dimension
+    /// `dims` (used for roofline analysis; weighted variants add one
+    /// multiply per element).
+    pub fn flops(self, total_lookups: usize, dims: usize) -> u64 {
+        let per_elem = if self.weighted() { 2 } else { 1 };
+        (total_lookups * dims * per_elem) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recnmp_trace::{EmbeddingTableSpec, Pooling};
+    use recnmp_types::TableId;
+
+    fn table() -> EmbeddingTable {
+        // 4 rows x 4 dims with recognizable contents.
+        EmbeddingTable::from_data(
+            EmbeddingTableSpec::new(4, 16),
+            vec![
+                1.0, 0.0, 0.0, 0.0, //
+                0.0, 1.0, 0.0, 0.0, //
+                0.0, 0.0, 1.0, 0.0, //
+                1.0, 1.0, 1.0, 1.0,
+            ],
+        )
+    }
+
+    fn batch(poolings: Vec<Pooling>) -> SlsBatch {
+        SlsBatch {
+            table: TableId::new(0),
+            spec: EmbeddingTableSpec::new(4, 16),
+            poolings,
+        }
+    }
+
+    #[test]
+    fn sum_gathers_and_adds() {
+        let out = SlsOp::Sum.execute(&table(), &batch(vec![Pooling::unweighted(vec![0, 1, 3])]));
+        assert_eq!(out, vec![vec![2.0, 2.0, 1.0, 1.0]]);
+    }
+
+    #[test]
+    fn mean_divides_by_pool_size() {
+        let out = SlsOp::Mean.execute(&table(), &batch(vec![Pooling::unweighted(vec![0, 3])]));
+        assert_eq!(out, vec![vec![1.0, 0.5, 0.5, 0.5]]);
+    }
+
+    #[test]
+    fn weighted_sum_applies_weights() {
+        let p = Pooling::weighted(vec![0, 3], vec![2.0, 0.5]);
+        let out = SlsOp::WeightedSum.execute(&table(), &batch(vec![p]));
+        assert_eq!(out, vec![vec![2.5, 0.5, 0.5, 0.5]]);
+    }
+
+    #[test]
+    fn weighted_mean_divides() {
+        let p = Pooling::weighted(vec![0, 3], vec![2.0, 0.5]);
+        let out = SlsOp::WeightedMean.execute(&table(), &batch(vec![p]));
+        assert_eq!(out, vec![vec![1.25, 0.25, 0.25, 0.25]]);
+    }
+
+    #[test]
+    fn multiple_poolings_produce_multiple_outputs() {
+        let b = batch(vec![
+            Pooling::unweighted(vec![0]),
+            Pooling::unweighted(vec![1]),
+            Pooling::unweighted(vec![]),
+        ]);
+        let out = SlsOp::Sum.execute(&table(), &b);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2], vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires weights")]
+    fn weighted_requires_weights() {
+        SlsOp::WeightedSum.execute(&table(), &batch(vec![Pooling::unweighted(vec![0])]));
+    }
+
+    #[test]
+    fn quantized_matches_fp32_within_tolerance() {
+        let t = EmbeddingTable::random(EmbeddingTableSpec::new(64, 64), 9);
+        let q = QuantizedTable::quantize(&t);
+        let b = SlsBatch {
+            table: TableId::new(0),
+            spec: *t.spec(),
+            poolings: vec![Pooling::unweighted((0..64).collect())],
+        };
+        let exact = SlsOp::Sum.execute(&t, &b);
+        let approx = SlsOp::Sum.execute_quantized(&q, &b);
+        for (e, a) in exact[0].iter().zip(&approx[0]) {
+            // 64 lookups, each with quantization error <= scale/2 (~2/255).
+            assert!((e - a).abs() < 64.0 * 0.01, "{e} vs {a}");
+        }
+    }
+
+    #[test]
+    fn flops_accounting() {
+        assert_eq!(SlsOp::Sum.flops(100, 16), 1600);
+        assert_eq!(SlsOp::WeightedSum.flops(100, 16), 3200);
+    }
+}

@@ -1,0 +1,185 @@
+//! Roofline analysis (Figures 1(b) and 5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ModelConfig;
+use crate::perf::CpuPerfModel;
+
+/// A roofline machine model: one compute ceiling, one bandwidth slope.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Compute bound in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Memory bandwidth in GB/s.
+    pub bw_gbs: f64,
+}
+
+impl Roofline {
+    /// The paper's test system: 0.98 TFLOP/s, 62.1 GB/s.
+    pub const fn table1() -> Self {
+        Self {
+            peak_gflops: 980.0,
+            bw_gbs: 62.1,
+        }
+    }
+
+    /// The roofline with memory bandwidth lifted by `factor` — RecNMP's
+    /// internal-bandwidth effect (8x for a 4 DIMM x 2 rank channel).
+    pub fn lifted(&self, factor: f64) -> Self {
+        Self {
+            peak_gflops: self.peak_gflops,
+            bw_gbs: self.bw_gbs * factor,
+        }
+    }
+
+    /// Attainable performance (GFLOP/s) at the given operational
+    /// intensity (FLOP/byte).
+    pub fn attainable_gflops(&self, oi: f64) -> f64 {
+        (self.bw_gbs * oi).min(self.peak_gflops)
+    }
+
+    /// The ridge point: intensity where the machine turns compute-bound.
+    pub fn ridge_oi(&self) -> f64 {
+        self.peak_gflops / self.bw_gbs
+    }
+}
+
+/// One operator or model placed on the roofline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Label, e.g. `"SLS"`, `"FC"`, `"RM1-large"`.
+    pub name: String,
+    /// Batch size the point was computed at.
+    pub batch: usize,
+    /// Operational intensity, FLOP/byte.
+    pub oi: f64,
+    /// Achieved performance, GFLOP/s.
+    pub gflops: f64,
+}
+
+/// Computes roofline points for a model and its FC / SLS operators across
+/// a batch sweep, using the calibrated CPU model for achieved performance.
+pub fn model_points(config: &ModelConfig, batches: &[usize], perf: &CpuPerfModel) -> Vec<RooflinePoint> {
+    let mut points = Vec::new();
+    for &batch in batches {
+        let b = config.kind.name();
+        let bd = perf.breakdown(config, batch);
+        let batch_f = batch as f64;
+
+        // SLS: one add (and implicitly a load) per gathered element; the
+        // paper's key observation is that OI is low and batch-independent.
+        let sls_flops = batch_f * (config.num_tables * config.pooling * config.table_spec.dims()) as f64;
+        let sls_bytes = batch_f * config.sls_bytes_per_sample() as f64;
+        points.push(RooflinePoint {
+            name: format!("SLS ({b})"),
+            batch,
+            oi: sls_flops / sls_bytes,
+            gflops: sls_flops / 1e3 / bd.sls_us.max(1e-9),
+        });
+
+        // FC: weights are read once per batch, activations per sample —
+        // OI grows with batch (weight reuse).
+        let fc_flops = batch_f * (config.bottom_fc_flops() + config.top_fc_flops()) as f64;
+        let fc_weight_bytes = (config.bottom_fc_bytes() + config.top_fc_bytes()) as f64;
+        let fc_act_bytes = batch_f
+            * 4.0
+            * (config.bottom_fc.iter().sum::<usize>() + config.top_fc.iter().sum::<usize>())
+                as f64;
+        let fc_bytes = fc_weight_bytes + fc_act_bytes;
+        points.push(RooflinePoint {
+            name: format!("FC ({b})"),
+            batch,
+            oi: fc_flops / fc_bytes,
+            gflops: fc_flops / 1e3 / bd.fc_us().max(1e-9),
+        });
+
+        // Whole model.
+        points.push(RooflinePoint {
+            name: b.to_string(),
+            batch,
+            oi: (sls_flops + fc_flops) / (sls_bytes + fc_bytes),
+            gflops: (sls_flops + fc_flops) / 1e3 / bd.total_us().max(1e-9),
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RecModelKind;
+
+    #[test]
+    fn attainable_has_two_regimes() {
+        let r = Roofline::table1();
+        // Memory-bound region: linear in OI.
+        assert!((r.attainable_gflops(0.25) - 62.1 * 0.25).abs() < 1e-9);
+        // Compute-bound region: flat at peak.
+        assert_eq!(r.attainable_gflops(1000.0), 980.0);
+    }
+
+    #[test]
+    fn ridge_point_divides_regimes() {
+        let r = Roofline::table1();
+        let ridge = r.ridge_oi();
+        assert!((r.attainable_gflops(ridge) - 980.0).abs() < 1e-6);
+        assert!(r.attainable_gflops(ridge * 0.9) < 980.0);
+    }
+
+    #[test]
+    fn lift_scales_memory_region_only() {
+        let r = Roofline::table1();
+        let l = r.lifted(8.0);
+        assert!((l.attainable_gflops(0.25) - 8.0 * r.attainable_gflops(0.25)).abs() < 1e-9);
+        assert_eq!(l.attainable_gflops(1e6), r.attainable_gflops(1e6));
+    }
+
+    #[test]
+    fn sls_oi_is_low_and_fixed() {
+        let cfg = RecModelKind::Rm1Large.config();
+        let pts = model_points(&cfg, &[1, 64, 256], &CpuPerfModel::table1());
+        let sls: Vec<&RooflinePoint> =
+            pts.iter().filter(|p| p.name.starts_with("SLS")).collect();
+        // OI = dims/vector_bytes = 16/64 = 0.25 FLOP/B, batch-independent.
+        for p in &sls {
+            assert!((p.oi - 0.25).abs() < 1e-12, "{}", p.oi);
+        }
+    }
+
+    #[test]
+    fn fc_oi_grows_with_batch() {
+        let cfg = RecModelKind::Rm1Large.config();
+        let pts = model_points(&cfg, &[1, 256], &CpuPerfModel::table1());
+        let fc: Vec<&RooflinePoint> = pts.iter().filter(|p| p.name.starts_with("FC")).collect();
+        assert!(fc[1].oi > 10.0 * fc[0].oi, "{} -> {}", fc[0].oi, fc[1].oi);
+    }
+
+    #[test]
+    fn achieved_stays_under_roofline() {
+        let r = Roofline::table1();
+        for kind in RecModelKind::ALL {
+            let pts = model_points(&kind.config(), &[8, 64, 256], &CpuPerfModel::table1());
+            for p in pts {
+                assert!(
+                    p.gflops <= r.attainable_gflops(p.oi) * 1.05,
+                    "{} at batch {}: {} > roof {}",
+                    p.name,
+                    p.batch,
+                    p.gflops,
+                    r.attainable_gflops(p.oi)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn models_are_memory_bound() {
+        // Paper Figure 5: RM1/RM2 sit in the bandwidth-constrained region.
+        let r = Roofline::table1();
+        for kind in [RecModelKind::Rm1Large, RecModelKind::Rm2Large] {
+            let pts = model_points(&kind.config(), &[256], &CpuPerfModel::table1());
+            let model_pt = pts.iter().find(|p| p.name == kind.name()).unwrap();
+            assert!(model_pt.oi < r.ridge_oi(), "{}", model_pt.oi);
+        }
+    }
+}

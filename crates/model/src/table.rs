@@ -1,0 +1,189 @@
+//! Functional embedding tables (FP32 and 8-bit row-wise quantized).
+
+use rand::Rng;
+use recnmp_trace::EmbeddingTableSpec;
+use recnmp_types::rng::DetRng;
+
+/// A dense FP32 embedding table with real contents.
+///
+/// Used by the functional operators and correctness tests; the performance
+/// experiments are trace-driven and do not materialize tables.
+///
+/// # Examples
+///
+/// ```
+/// use recnmp_model::EmbeddingTable;
+/// use recnmp_trace::EmbeddingTableSpec;
+///
+/// let t = EmbeddingTable::random(EmbeddingTableSpec::new(100, 64), 1);
+/// assert_eq!(t.row(5).len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EmbeddingTable {
+    spec: EmbeddingTableSpec,
+    data: Vec<f32>,
+}
+
+impl EmbeddingTable {
+    /// Creates a table with uniformly random values in `[-1, 1)`.
+    pub fn random(spec: EmbeddingTableSpec, seed: u64) -> Self {
+        let mut rng = DetRng::seed(seed);
+        let n = spec.rows as usize * spec.dims();
+        let data = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        Self { spec, data }
+    }
+
+    /// Creates a table from explicit row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * dims`.
+    pub fn from_data(spec: EmbeddingTableSpec, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            spec.rows as usize * spec.dims(),
+            "data must be rows x dims"
+        );
+        Self { spec, data }
+    }
+
+    /// The table's shape.
+    pub fn spec(&self) -> &EmbeddingTableSpec {
+        &self.spec
+    }
+
+    /// Embedding vector for `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, row: u64) -> &[f32] {
+        let d = self.spec.dims();
+        let start = row as usize * d;
+        &self.data[start..start + d]
+    }
+}
+
+/// An 8-bit row-wise quantized embedding table.
+///
+/// Each row stores `u8` codes plus an FP32 (scale, bias) pair, matching
+/// Caffe2's `SparseLengthsSum8BitsRowwise` layout that the paper's
+/// `nmp_weightedsum/mean_8bits` opcode serves: the dequantized value is
+/// `code * scale + bias`.
+#[derive(Debug, Clone)]
+pub struct QuantizedTable {
+    spec: EmbeddingTableSpec,
+    codes: Vec<u8>,
+    scale_bias: Vec<(f32, f32)>,
+}
+
+impl QuantizedTable {
+    /// Quantizes an FP32 table row by row (min/max affine quantization).
+    pub fn quantize(table: &EmbeddingTable) -> Self {
+        let spec = *table.spec();
+        let d = spec.dims();
+        let mut codes = Vec::with_capacity(spec.rows as usize * d);
+        let mut scale_bias = Vec::with_capacity(spec.rows as usize);
+        for r in 0..spec.rows {
+            let row = table.row(r);
+            let min = row.iter().copied().fold(f32::INFINITY, f32::min);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let scale = if max > min { (max - min) / 255.0 } else { 1.0 };
+            let bias = min;
+            scale_bias.push((scale, bias));
+            for &v in row {
+                let code = ((v - bias) / scale).round().clamp(0.0, 255.0) as u8;
+                codes.push(code);
+            }
+        }
+        Self {
+            spec,
+            codes,
+            scale_bias,
+        }
+    }
+
+    /// The table's shape (of the dequantized values).
+    pub fn spec(&self) -> &EmbeddingTableSpec {
+        &self.spec
+    }
+
+    /// The (scale, bias) pair of `row`.
+    pub fn row_scale_bias(&self, row: u64) -> (f32, f32) {
+        self.scale_bias[row as usize]
+    }
+
+    /// The quantized codes of `row`.
+    pub fn row_codes(&self, row: u64) -> &[u8] {
+        let d = self.spec.dims();
+        let start = row as usize * d;
+        &self.codes[start..start + d]
+    }
+
+    /// Dequantizes `row` into FP32.
+    pub fn dequantize_row(&self, row: u64) -> Vec<f32> {
+        let (scale, bias) = self.row_scale_bias(row);
+        self.row_codes(row)
+            .iter()
+            .map(|&c| c as f32 * scale + bias)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> EmbeddingTable {
+        EmbeddingTable::random(EmbeddingTableSpec::new(50, 64), 42)
+    }
+
+    #[test]
+    fn random_table_has_right_shape() {
+        let t = small();
+        assert_eq!(t.row(0).len(), 16);
+        assert_eq!(t.row(49).len(), 16);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = EmbeddingTable::random(EmbeddingTableSpec::new(10, 64), 7);
+        let b = EmbeddingTable::random(EmbeddingTableSpec::new(10, 64), 7);
+        assert_eq!(a.row(3), b.row(3));
+    }
+
+    #[test]
+    fn from_data_roundtrips() {
+        let spec = EmbeddingTableSpec::new(2, 8);
+        let t = EmbeddingTable::from_data(spec, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows x dims")]
+    fn from_data_checks_shape() {
+        EmbeddingTable::from_data(EmbeddingTableSpec::new(2, 8), vec![1.0]);
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        let t = small();
+        let q = QuantizedTable::quantize(&t);
+        for r in 0..50u64 {
+            let orig = t.row(r);
+            let deq = q.dequantize_row(r);
+            let (scale, _) = q.row_scale_bias(r);
+            for (o, d) in orig.iter().zip(&deq) {
+                assert!((o - d).abs() <= scale / 2.0 + 1e-6, "{o} vs {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_row_quantizes_exactly() {
+        let spec = EmbeddingTableSpec::new(1, 16);
+        let t = EmbeddingTable::from_data(spec, vec![0.5; 4]);
+        let q = QuantizedTable::quantize(&t);
+        assert_eq!(q.dequantize_row(0), vec![0.5; 4]);
+    }
+}

@@ -1,0 +1,336 @@
+//! Section V SLS-acceleration experiments (Figures 12, 14, 15, 16).
+
+use recnmp::{RecNmpConfig, SchedulingPolicy};
+use recnmp_cache::CacheConfig;
+
+use super::{ExperimentResult, Scale};
+use crate::render::{f2, pct, x2, TextTable};
+use crate::speedup::SpeedupEngine;
+use crate::workload::TraceKind;
+
+fn quiet(mut cfg: RecNmpConfig) -> RecNmpConfig {
+    // Refresh adds noise to small quick-mode runs without changing the
+    // comparisons; both sides of every comparison share this setting.
+    cfg.refresh = false;
+    cfg
+}
+
+fn engine(scale: Scale, tables: usize, seed: u64) -> SpeedupEngine {
+    let rounds = scale.scaled(2, 6);
+    let batch = scale.scaled(32, 32);
+    SpeedupEngine::with_workload(TraceKind::Production, tables, rounds, batch, seed)
+}
+
+/// The four RecNMP-opt variants of Figure 15(a), in order.
+fn opt_ladder(dimms: u8, ranks: u8) -> [(&'static str, RecNmpConfig); 4] {
+    let base = quiet(RecNmpConfig::with_ranks(dimms, ranks));
+    let mut cache = base.clone();
+    cache.rank_cache = Some(CacheConfig::rank_cache_default());
+    let mut sched = cache.clone();
+    sched.scheduling = SchedulingPolicy::TableAware;
+    let mut profiled = sched.clone();
+    profiled.hot_entry_profiling = true;
+    [
+        ("RecNMP-base", base),
+        ("+ RankCache", cache),
+        ("+ table-aware sched", sched),
+        ("+ hot-entry profile", profiled),
+    ]
+}
+
+/// Figure 12: RankCache hit rate under the co-optimizations.
+pub fn fig12_hitrate(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "fig12_hitrate",
+        "Figure 12: RankCache hit rate (1 MiB aggregate) with co-optimizations",
+    );
+    let e = engine(scale, 8, 0x12);
+    let mut t = TextTable::new(
+        "Comb-8 aggregate hit rate (8 x 128 KiB RankCache)",
+        &["configuration", "hit rate", "compulsory limit"],
+    );
+    for (name, cfg) in opt_ladder(4, 2).iter().skip(1) {
+        let report = e.run_nmp(cfg).expect("valid config");
+        t.push_row(vec![
+            name.to_string(),
+            pct(report.cache.effective_hit_rate()),
+            pct(report.cache.compulsory_limit()),
+        ]);
+    }
+    result.tables.push(t);
+
+    // Per-table hit rates, fully optimized vs unoptimized.
+    let mut tp = TextTable::new(
+        "per-table hit rate (single-table runs)",
+        &["table", "no optimization", "sched + profile", "ideal (compulsory)"],
+    );
+    for table in 0..8usize {
+        let rounds = scale.scaled(2, 6);
+        let batch = scale.scaled(32, 32);
+        let single = SpeedupEngine::new(
+            crate::workload::SlsWorkload {
+                batches: {
+                    let spec = recnmp_trace::EmbeddingTableSpec::dlrm_default();
+                    // Single-table workload: the T<i> preset re-tagged as
+                    // table 0 so the one-entry layout lines up.
+                    let preset = recnmp_trace::production::PRODUCTION_TABLES[table];
+                    let mut g = recnmp_trace::TraceGenerator::new(
+                        recnmp_types::TableId::new(0),
+                        spec,
+                        recnmp_trace::IndexDistribution::Zipf { s: preset.zipf_s },
+                        0x12aa + table as u64,
+                    )
+                    .with_burst_reuse(preset.reuse_p, preset.reuse_window);
+                    (0..rounds).map(|_| g.batch(batch, 80)).collect()
+                },
+                specs: vec![recnmp_trace::EmbeddingTableSpec::dlrm_default()],
+            },
+            0x12bb,
+        );
+        let ladder = opt_ladder(4, 2);
+        let plain = single.run_nmp(&ladder[1].1).expect("valid config");
+        let opt = single.run_nmp(&ladder[3].1).expect("valid config");
+        tp.push_row(vec![
+            format!("T{}", table + 1),
+            pct(plain.cache.effective_hit_rate()),
+            pct(opt.cache.effective_hit_rate()),
+            pct(opt.cache.compulsory_limit()),
+        ]);
+    }
+    result.tables.push(tp);
+    result.notes.push(
+        "Paper anchor: with both optimizations the hit rate approaches the ideal \
+         (infinite-cache) limit per table, T8 lowest."
+            .into(),
+    );
+    result
+}
+
+/// Figure 14: RecNMP-base scaling and load imbalance.
+pub fn fig14_scaling(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "fig14_scaling",
+        "Figure 14: RecNMP-base latency scaling and rank load imbalance",
+    );
+    let e = engine(scale, 8, 0x14);
+    let mut t = TextTable::new(
+        "(a) memory-latency speedup over the DRAM baseline",
+        &["config (DIMMxRank)", "ppp=1", "ppp=2", "ppp=4", "ppp=8", "page-colored"],
+    );
+    for (dimms, ranks) in [(1u8, 2u8), (1, 4), (2, 2), (4, 2)] {
+        let mut row = vec![format!("{dimms}x{ranks}")];
+        let host = e
+            .run_host(&quiet(RecNmpConfig::with_ranks(dimms, ranks)))
+            .expect("valid config");
+        for ppp in [1usize, 2, 4, 8] {
+            let mut cfg = quiet(RecNmpConfig::with_ranks(dimms, ranks));
+            cfg.poolings_per_packet = ppp;
+            let nmp = e.run_nmp(&cfg).expect("valid config");
+            row.push(x2(host.cycles_per_lookup() / nmp.cycles_per_lookup()));
+        }
+        let colored = e
+            .run_nmp_colored(&quiet(RecNmpConfig::with_ranks(dimms, ranks)))
+            .expect("valid config");
+        row.push(x2(host.cycles_per_lookup() / colored.cycles_per_lookup()));
+        t.push_row(row);
+    }
+    result.tables.push(t);
+
+    let mut tb = TextTable::new(
+        "(b) load imbalance: fraction of a packet on its busiest rank (ppp=8)",
+        &["ranks", "ideal", "mean", "max"],
+    );
+    for (dimms, ranks) in [(1u8, 2u8), (2, 2), (4, 2)] {
+        let cfg = quiet(RecNmpConfig::with_ranks(dimms, ranks));
+        let report = e.run_nmp(&cfg).expect("valid config");
+        let total = dimms as f64 * ranks as f64;
+        let max = report
+            .slowest_rank_fraction
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        tb.push_row(vec![
+            format!("{}", dimms as u32 * ranks as u32),
+            pct(1.0 / total),
+            pct(report.mean_imbalance()),
+            pct(max),
+        ]);
+    }
+    result.tables.push(tb);
+    result.notes.push(
+        "Paper anchors: 1.61-1.96x (2-rank), 2.40-3.83x (4-rank), 3.37-7.35x (8-rank); \
+         the top of each range is the page-colored layout; imbalance shrinks as packets \
+         grow."
+            .into(),
+    );
+    result
+}
+
+/// Figure 15: the optimization ladder and the RankCache size sweep.
+pub fn fig15_opt(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "fig15_opt",
+        "Figure 15: RecNMP-opt latency breakdown and cache-size sweep (8-rank)",
+    );
+    let e = engine(scale, 8, 0x15);
+    let host = e
+        .run_host(&quiet(RecNmpConfig::with_ranks(4, 2)))
+        .expect("valid config");
+
+    let mut t = TextTable::new(
+        "(a) cumulative optimizations (8 ranks, 8 poolings/packet)",
+        &["configuration", "speedup vs DRAM", "norm. latency", "hit rate"],
+    );
+    let mut best_speedup = 0.0;
+    for (name, cfg) in opt_ladder(4, 2) {
+        let nmp = e.run_nmp(&cfg).expect("valid config");
+        let speedup = host.cycles_per_lookup() / nmp.cycles_per_lookup();
+        best_speedup = f64::max(best_speedup, speedup);
+        t.push_row(vec![
+            name.to_string(),
+            x2(speedup),
+            f2(1.0 / speedup),
+            pct(nmp.cache.effective_hit_rate()),
+        ]);
+    }
+    result.tables.push(t);
+
+    let mut tb = TextTable::new(
+        "(b) RankCache capacity sweep (full optimizations)",
+        &["capacity / rank", "hit rate", "speedup vs DRAM"],
+    );
+    for kib in [8u64, 16, 32, 64, 128, 256, 512, 1024] {
+        let mut cfg = quiet(RecNmpConfig::optimized(4, 2));
+        cfg.rank_cache = Some(CacheConfig::new(kib * 1024, 64, 4));
+        let nmp = e.run_nmp(&cfg).expect("valid config");
+        tb.push_row(vec![
+            recnmp_types::units::human_bytes(kib * 1024),
+            pct(nmp.cache.effective_hit_rate()),
+            x2(host.cycles_per_lookup() / nmp.cycles_per_lookup()),
+        ]);
+    }
+    result.tables.push(tb);
+    result.notes.push(format!(
+        "Paper anchors: 6.1x base, 7.2x +cache, 8.8x +sched, 9.8x +profile; sweep \
+         optimum at 128 KiB. Best measured here: {best_speedup:.2}x."
+    ));
+    result
+}
+
+/// Figure 16: RecNMP vs Chameleon and TensorDIMM.
+pub fn fig16_comparison(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "fig16_comparison",
+        "Figure 16: host vs Chameleon vs TensorDIMM vs RecNMP-opt",
+    );
+    for kind in [TraceKind::Random, TraceKind::Production] {
+        let rounds = scale.scaled(2, 6);
+        let batch = scale.scaled(32, 32);
+        let e = SpeedupEngine::new(
+            crate::workload::SlsWorkload::build(kind, 8, rounds, batch, 80, 0x16),
+            0x16,
+        );
+        let mut t = TextTable::new(
+            format!(
+                "memory-latency speedup over host ({} traces)",
+                match kind {
+                    TraceKind::Random => "random",
+                    TraceKind::Production => "production",
+                }
+            ),
+            &["config", "Chameleon", "TensorDIMM", "RecNMP-opt"],
+        );
+        for (dimms, ranks) in [(2u8, 1u8), (4, 1), (2, 2), (4, 2)] {
+            let cfg = quiet(RecNmpConfig::optimized(dimms, ranks));
+            let host = e.run_host(&cfg).expect("valid config").cycles_per_lookup();
+            let ch = e
+                .run_chameleon(&cfg)
+                .expect("valid config")
+                .cycles_per_lookup();
+            let td = e
+                .run_tensordimm(&cfg)
+                .expect("valid config")
+                .cycles_per_lookup();
+            let nmp = e.run_nmp(&cfg).expect("valid config").cycles_per_lookup();
+            t.push_row(vec![
+                format!("{dimms}x{ranks}"),
+                x2(host / ch),
+                x2(host / td),
+                x2(host / nmp),
+            ]);
+        }
+        result.tables.push(t);
+    }
+    result.notes.push(
+        "Paper anchors: RecNMP 2.4-4.8x over TensorDIMM and 3.3-6.4x over Chameleon as \
+         ranks/DIMM grow; 1.4x/1.9x even at one rank per DIMM; RecNMP alone extracts \
+         extra performance (~40%) from production-trace locality."
+            .into(),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_x(s: &str) -> f64 {
+        s.trim_end_matches('x').parse().unwrap()
+    }
+
+    #[test]
+    fn fig14_speedup_grows_with_ranks_and_packet_size() {
+        let r = fig14_scaling(Scale::Quick);
+        let rows = &r.tables[0].rows;
+        // 8-rank ppp=8 beats 2-rank ppp=8.
+        assert!(parse_x(&rows[3][4]) > parse_x(&rows[0][4]), "{rows:?}");
+        // ppp=8 beats ppp=1 on the 8-rank config.
+        assert!(parse_x(&rows[3][4]) > parse_x(&rows[3][1]), "{rows:?}");
+    }
+
+    #[test]
+    fn fig12_hit_rates_are_positive_and_bounded() {
+        let r = fig12_hitrate(Scale::Quick);
+        let parse = |s: &str| s.trim_end_matches('%').parse::<f64>().unwrap();
+        for row in &r.tables[0].rows {
+            let hit = parse(&row[1]);
+            let limit = parse(&row[2]);
+            assert!(hit > 0.0 && hit <= limit + 1.0, "{row:?}");
+        }
+        assert_eq!(r.tables[1].rows.len(), 8); // T1..T8
+    }
+
+    #[test]
+    fn fig15_ladder_is_monotonic() {
+        let r = fig15_opt(Scale::Quick);
+        let rows = &r.tables[0].rows;
+        let s: Vec<f64> = rows.iter().map(|row| parse_x(&row[1])).collect();
+        assert!(s[1] >= s[0] * 0.98, "cache did not help: {s:?}");
+        assert!(s[3] >= s[1] * 0.98, "full opt regressed: {s:?}");
+        assert!(s[3] > s[0], "opt no better than base: {s:?}");
+    }
+
+    #[test]
+    fn fig16_recnmp_wins_everywhere() {
+        let r = fig16_comparison(Scale::Quick);
+        for table in &r.tables {
+            for row in &table.rows {
+                let ch = parse_x(&row[1]);
+                let td = parse_x(&row[2]);
+                let nmp = parse_x(&row[3]);
+                // TensorDIMM >= Chameleon; they tie when the config is
+                // DRAM-bound rather than command-delivery-bound.
+                assert!(td >= ch * 0.98, "{row:?}");
+                // Multi-rank DIMMs are where rank-level parallelism pays;
+                // at one rank per DIMM the paper's margin (1.4x) comes
+                // from the cache+scheduling optimizations and narrows.
+                let multi_rank = row[0].ends_with("x2");
+                if multi_rank {
+                    assert!(nmp > td, "{row:?}");
+                } else {
+                    assert!(nmp > td * 0.9, "{row:?}");
+                }
+            }
+        }
+    }
+}

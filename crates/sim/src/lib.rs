@@ -1,0 +1,39 @@
+//! End-to-end RecNMP system simulation and the experiment harness.
+//!
+//! This crate glues the substrates together and regenerates every table
+//! and figure of the paper's evaluation:
+//!
+//! * [`workload`] — shared logical→physical layout so the host baseline,
+//!   the comparator NMP systems and RecNMP serve *identical* address
+//!   traces;
+//! * [`speedup`] — the Figure 14/15/16 engine: run the same SLS workload
+//!   through the DRAM baseline and a RecNMP configuration and report the
+//!   memory-latency speedup;
+//! * [`colocation`] — the Figure 17/18 layer: co-located model inference
+//!   latency/throughput built on the calibrated CPU model and the
+//!   cycle-level SLS results;
+//! * [`experiments`] — one entry point per table/figure
+//!   (`fig01_footprint` … `tab02_overhead`), each returning renderable
+//!   tables recorded in `EXPERIMENTS.md`;
+//! * [`render`] — plain-text table rendering shared by the `repro` binary
+//!   and the docs.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! // Regenerate the Figure 15 optimization-breakdown experiment.
+//! let result = recnmp_sim::experiments::run("fig15_opt", recnmp_sim::Scale::Quick)
+//!     .expect("known experiment id");
+//! println!("{result}");
+//! ```
+
+pub mod colocation;
+pub mod experiments;
+pub mod render;
+pub mod speedup;
+pub mod workload;
+
+pub use experiments::{ExperimentResult, Scale};
+pub use render::TextTable;
+pub use speedup::{SlsComparison, SpeedupEngine};
+pub use workload::{SlsWorkload, TableLayout, TraceKind};

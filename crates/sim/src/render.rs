@@ -1,0 +1,122 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A titled table of strings, rendered with aligned columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TextTable {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table with headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Convenience: appends a row of displayable items.
+    pub fn row<D: fmt::Display>(&mut self, items: &[D]) {
+        self.push_row(items.iter().map(|i| i.to_string()).collect());
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        writeln!(f, "## {}", self.title)?;
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (cell, width) in cells.iter().zip(&w) {
+                write!(f, " {cell:>width$} |")?;
+            }
+            writeln!(f)
+        };
+        render_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for width in &w {
+            write!(f, "{}|", "-".repeat(width + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 2 decimal places (the convention in experiment
+/// tables).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a speedup multiplier.
+pub fn x2(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("demo", &["name", "value"]);
+        t.row(&["a", "1"]);
+        t.row(&["long-name", "22"]);
+        let s = t.to_string();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| long-name |"));
+        assert!(s.contains("|      name |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new("demo", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(pct(0.4567), "45.7%");
+        assert_eq!(x2(9.81), "9.81x");
+    }
+}

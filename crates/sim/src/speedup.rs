@@ -1,0 +1,282 @@
+//! The SLS memory-latency comparison engine (Figures 14, 15, 16).
+//!
+//! One [`SpeedupEngine`] owns a workload and serves it, from identical
+//! physical traces, to the DRAM host baseline, RecNMP configurations, and
+//! the DIMM-level NMP comparators, reporting cycles-per-lookup for each.
+
+use recnmp::{NmpRunReport, RecNmpConfig, RecNmpSystem};
+use recnmp_baselines::{BaselineReport, Chameleon, HostBaseline, TensorDimm};
+use recnmp_dram::DramConfig;
+use recnmp_types::{ConfigError, PhysAddr};
+use serde::{Deserialize, Serialize};
+
+use crate::workload::{SlsWorkload, TableLayout, TraceKind};
+
+/// Cycles-per-lookup of two systems on the same trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlsComparison {
+    /// Host baseline cycles per lookup.
+    pub baseline_cpl: f64,
+    /// RecNMP cycles per lookup.
+    pub nmp_cpl: f64,
+    /// The RecNMP run report (cache stats, imbalance, energy inputs).
+    pub nmp_report: NmpRunReport,
+    /// The baseline run report.
+    pub baseline_report: recnmp_dram::DramStats,
+    /// Host total cycles.
+    pub baseline_cycles: u64,
+}
+
+impl SlsComparison {
+    /// Memory-latency speedup of RecNMP over the baseline.
+    pub fn speedup(&self) -> f64 {
+        if self.nmp_cpl == 0.0 {
+            0.0
+        } else {
+            self.baseline_cpl / self.nmp_cpl
+        }
+    }
+}
+
+/// Builds and runs matched SLS comparisons.
+#[derive(Debug)]
+pub struct SpeedupEngine {
+    workload: SlsWorkload,
+    seed: u64,
+}
+
+impl SpeedupEngine {
+    /// Creates an engine over a workload.
+    pub fn new(workload: SlsWorkload, seed: u64) -> Self {
+        Self { workload, seed }
+    }
+
+    /// Convenience constructor: `tables` tables, `rounds` windows of
+    /// `batch_size` poolings of 80.
+    pub fn with_workload(
+        kind: TraceKind,
+        tables: usize,
+        rounds: usize,
+        batch_size: usize,
+        seed: u64,
+    ) -> Self {
+        Self::new(
+            SlsWorkload::build(kind, tables, rounds, batch_size, 80, seed),
+            seed,
+        )
+    }
+
+    /// The workload.
+    pub fn workload(&self) -> &SlsWorkload {
+        &self.workload
+    }
+
+    fn layout_for(&self, config: &RecNmpConfig) -> TableLayout {
+        let capacity = recnmp_dram::address::Geometry::ddr4_8gb_x8(config.total_ranks())
+            .capacity_bytes();
+        TableLayout::random(&self.workload.specs, capacity, self.seed ^ 0xfeed)
+    }
+
+    /// Runs the host baseline on the flat trace, with a channel matching
+    /// `config`'s DIMM/rank counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid configurations.
+    pub fn run_host(&self, config: &RecNmpConfig) -> Result<BaselineReport, ConfigError> {
+        let mut layout = self.layout_for(config);
+        let trace = self
+            .workload
+            .flat_trace(&mut |t, r| layout.translate(t, r));
+        let mut dram_cfg = DramConfig::with_ranks(config.dimms, config.ranks_per_dimm);
+        dram_cfg.refresh = config.refresh;
+        let mut host = HostBaseline::with_config(dram_cfg)?;
+        Ok(host.run(&trace, self.workload.specs[0].bursts_per_vector() as u8))
+    }
+
+    /// Runs a RecNMP configuration on the same workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid configurations.
+    pub fn run_nmp(&self, config: &RecNmpConfig) -> Result<NmpRunReport, ConfigError> {
+        let mut layout = self.layout_for(config);
+        let mut sys = RecNmpSystem::new(config.clone())?;
+        let packets = self.workload.packets(
+            config,
+            sys.geometry(),
+            sys.mapping(),
+            &mut |t, r| layout.translate(t, r),
+        );
+        Ok(sys.run_packets(&packets))
+    }
+
+    /// Runs RecNMP with page-colored table placement (Figure 14(a)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid configurations.
+    pub fn run_nmp_colored(&self, config: &RecNmpConfig) -> Result<NmpRunReport, ConfigError> {
+        let ranks = config.total_ranks() as u32;
+        let capacity = recnmp_dram::address::Geometry::ddr4_8gb_x8(config.total_ranks())
+            .capacity_bytes();
+        let mut sys = RecNmpSystem::new(config.clone())?;
+        let geo = sys.geometry();
+        let mapping = sys.mapping();
+        // Color = the rank a page's bursts decode to (a 4 KiB page spans
+        // 64 columns of one row, hence a single rank even under the XOR
+        // mapping). Page-colored OS allocation needs a capture-free
+        // function, so pick the decoder matching the rank count.
+        fn decode_rank<const R: u8>(frame: u64) -> u32 {
+            recnmp_dram::AddressMapping::SkylakeXor
+                .decode(
+                    PhysAddr::new(frame * 4096),
+                    &recnmp_dram::address::Geometry::ddr4_8gb_x8(R),
+                )
+                .rank as u32
+        }
+        let color_of: fn(u64) -> u32 = match config.total_ranks() {
+            1 => decode_rank::<1>,
+            2 => decode_rank::<2>,
+            4 => decode_rank::<4>,
+            8 => decode_rank::<8>,
+            _ => decode_rank::<2>,
+        };
+        let mut layout = crate::workload::TableLayout::colored(
+            &self.workload.specs,
+            capacity,
+            self.seed ^ 0xc01c,
+            color_of,
+            ranks,
+        );
+        let packets = self.workload.packets(
+            config,
+            geo,
+            mapping,
+            &mut |t, r| layout.translate(t, r),
+        );
+        // Page coloring pays off only with task-level parallelism: packets
+        // from different tables run on different ranks simultaneously
+        // (paper, Section V-A), hence the overlapped execution mode.
+        Ok(sys.run_packets_overlapped(&packets))
+    }
+
+    /// Runs TensorDIMM on the flat trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid configurations.
+    pub fn run_tensordimm(&self, config: &RecNmpConfig) -> Result<BaselineReport, ConfigError> {
+        let mut layout = self.layout_for(config);
+        let trace = self
+            .workload
+            .flat_trace(&mut |t, r| layout.translate(t, r));
+        let mut td = TensorDimm::new(config.dimms, config.ranks_per_dimm)?;
+        Ok(td.run(&trace, self.workload.specs[0].bursts_per_vector() as u8))
+    }
+
+    /// Runs Chameleon on the flat trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid configurations.
+    pub fn run_chameleon(&self, config: &RecNmpConfig) -> Result<BaselineReport, ConfigError> {
+        let mut layout = self.layout_for(config);
+        let trace = self
+            .workload
+            .flat_trace(&mut |t, r| layout.translate(t, r));
+        let mut ch = Chameleon::new(config.dimms, config.ranks_per_dimm)?;
+        Ok(ch.run(&trace, self.workload.specs[0].bursts_per_vector() as u8))
+    }
+
+    /// Full host-vs-RecNMP comparison.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid configurations.
+    pub fn compare(&self, config: &RecNmpConfig) -> Result<SlsComparison, ConfigError> {
+        let host = self.run_host(config)?;
+        let nmp = self.run_nmp(config)?;
+        Ok(SlsComparison {
+            baseline_cpl: host.cycles_per_lookup(),
+            nmp_cpl: nmp.cycles_per_lookup(),
+            nmp_report: nmp,
+            baseline_report: host.dram,
+            baseline_cycles: host.total_cycles,
+        })
+    }
+
+    /// The lookup trace (for external consumers like energy accounting).
+    pub fn trace_for(&self, config: &RecNmpConfig) -> Vec<PhysAddr> {
+        let mut layout = self.layout_for(config);
+        self.workload
+            .flat_trace(&mut |t, r| layout.translate(t, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet(mut cfg: RecNmpConfig) -> RecNmpConfig {
+        cfg.refresh = false;
+        cfg
+    }
+
+    fn engine() -> SpeedupEngine {
+        SpeedupEngine::with_workload(TraceKind::Production, 4, 1, 8, 11)
+    }
+
+    #[test]
+    fn nmp_beats_host_on_8_ranks() {
+        let e = engine();
+        let cmp = e.compare(&quiet(RecNmpConfig::with_ranks(4, 2))).unwrap();
+        assert!(
+            cmp.speedup() > 2.0,
+            "8-rank RecNMP-base speedup only {:.2}",
+            cmp.speedup()
+        );
+        assert!(cmp.speedup() < 10.0, "{:.2}", cmp.speedup());
+    }
+
+    #[test]
+    fn optimized_beats_base() {
+        let e = engine();
+        let base = e.compare(&quiet(RecNmpConfig::with_ranks(4, 2))).unwrap();
+        let opt = e.compare(&quiet(RecNmpConfig::optimized(4, 2))).unwrap();
+        assert!(
+            opt.speedup() > base.speedup(),
+            "base {:.2} vs opt {:.2}",
+            base.speedup(),
+            opt.speedup()
+        );
+    }
+
+    #[test]
+    fn recnmp_beats_dimm_level_comparators() {
+        let e = engine();
+        let cfg = quiet(RecNmpConfig::optimized(4, 2));
+        let nmp = e.run_nmp(&cfg).unwrap();
+        let td = e.run_tensordimm(&cfg).unwrap();
+        let ch = e.run_chameleon(&cfg).unwrap();
+        assert!(nmp.cycles_per_lookup() < td.cycles_per_lookup());
+        assert!(td.cycles_per_lookup() < ch.cycles_per_lookup());
+    }
+
+    #[test]
+    fn page_coloring_reaches_near_ideal_throughput() {
+        // 8 tables on 8 ranks: coloring pins one table per rank and the
+        // overlapped execution keeps all ranks busy — faster than the
+        // serial-packet random layout (paper: 7.35x vs lower).
+        let e = SpeedupEngine::with_workload(TraceKind::Production, 8, 1, 8, 13);
+        let cfg = quiet(RecNmpConfig::with_ranks(4, 2));
+        let random = e.run_nmp(&cfg).unwrap();
+        let colored = e.run_nmp_colored(&cfg).unwrap();
+        assert!(
+            colored.total_cycles < random.total_cycles,
+            "random {} vs colored {}",
+            random.total_cycles,
+            colored.total_cycles
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Production-like table presets T1–T8.
+//!
+//! The paper evaluates locality on eight production embedding-table traces
+//! (T1–T8) from Eisenman et al. Those traces are proprietary; these
+//! presets are the calibrated synthetic substitutes described in
+//! `DESIGN.md`. The skew parameters are chosen so that:
+//!
+//! * the Comb-8 interleave hits 20–60% on 8–64 MiB caches with hit rate
+//!   increasing in capacity (Figure 7(a)),
+//! * hit rate *decreases* with line size (Figure 7(b)),
+//! * per-table hit rates on a 1 MiB cache span a wide range with T8
+//!   distinctly the worst (Figure 12).
+
+use recnmp_types::TableId;
+use serde::{Deserialize, Serialize};
+
+use crate::gen::{IndexDistribution, TraceGenerator};
+use crate::spec::EmbeddingTableSpec;
+
+/// Descriptor of one production-like table preset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProductionTable {
+    /// Trace name (T1..T8).
+    pub name: &'static str,
+    /// Zipf skew calibrated against the paper's locality plots.
+    pub zipf_s: f64,
+    /// Bursty-reuse probability (recently used rows re-referenced).
+    pub reuse_p: f64,
+    /// Burst-reuse window (distinct recent rows).
+    pub reuse_window: usize,
+}
+
+/// The eight presets, ordered T1 (most reuse) to T8 (least reuse).
+pub const PRODUCTION_TABLES: [ProductionTable; 8] = [
+    ProductionTable {
+        name: "T1",
+        zipf_s: 1.05,
+        reuse_p: 0.35,
+        reuse_window: 1024,
+    },
+    ProductionTable {
+        name: "T2",
+        zipf_s: 1.00,
+        reuse_p: 0.32,
+        reuse_window: 1024,
+    },
+    ProductionTable {
+        name: "T3",
+        zipf_s: 0.95,
+        reuse_p: 0.30,
+        reuse_window: 1024,
+    },
+    ProductionTable {
+        name: "T4",
+        zipf_s: 0.90,
+        reuse_p: 0.28,
+        reuse_window: 1024,
+    },
+    ProductionTable {
+        name: "T5",
+        zipf_s: 0.85,
+        reuse_p: 0.25,
+        reuse_window: 2048,
+    },
+    ProductionTable {
+        name: "T6",
+        zipf_s: 0.80,
+        reuse_p: 0.22,
+        reuse_window: 2048,
+    },
+    ProductionTable {
+        name: "T7",
+        zipf_s: 0.72,
+        reuse_p: 0.18,
+        reuse_window: 2048,
+    },
+    ProductionTable {
+        name: "T8",
+        zipf_s: 0.60,
+        reuse_p: 0.10,
+        reuse_window: 4096,
+    },
+];
+
+/// Builds the generator for production-like trace `i` (0-based, T1..T8).
+///
+/// # Panics
+///
+/// Panics if `i >= 8`.
+pub fn production_table(i: usize, spec: EmbeddingTableSpec, seed: u64) -> TraceGenerator {
+    let preset = PRODUCTION_TABLES[i];
+    TraceGenerator::new(
+        TableId::new(i as u32),
+        spec,
+        IndexDistribution::Zipf { s: preset.zipf_s },
+        seed.wrapping_add(0x9e37 * i as u64),
+    )
+    .with_burst_reuse(preset.reuse_p, preset.reuse_window)
+}
+
+/// Builds all eight production-like generators with the default DLRM spec.
+pub fn production_tables(seed: u64) -> Vec<TraceGenerator> {
+    (0..8)
+        .map(|i| production_table(i, EmbeddingTableSpec::dlrm_default(), seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn eight_presets_in_decreasing_skew() {
+        assert_eq!(PRODUCTION_TABLES.len(), 8);
+        for w in PRODUCTION_TABLES.windows(2) {
+            assert!(w[0].zipf_s > w[1].zipf_s);
+        }
+    }
+
+    #[test]
+    fn builders_produce_distinct_tables() {
+        let gens = production_tables(11);
+        assert_eq!(gens.len(), 8);
+        for (i, g) in gens.iter().enumerate() {
+            assert_eq!(g.table().index(), i);
+        }
+    }
+
+    #[test]
+    fn t1_has_more_reuse_than_t8() {
+        let reuse = |i: usize| {
+            let mut g = production_table(i, EmbeddingTableSpec::new(1_000_000, 64), 3);
+            let mut counts: HashMap<u64, u64> = HashMap::new();
+            for idx in g.flat(30_000) {
+                *counts.entry(idx).or_default() += 1;
+            }
+            // Fraction of accesses that are re-references.
+            1.0 - counts.len() as f64 / 30_000.0
+        };
+        let t1 = reuse(0);
+        let t8 = reuse(7);
+        assert!(t1 > t8 + 0.1, "T1 reuse {t1} vs T8 reuse {t8}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Embedding table shape descriptions.
+
+use recnmp_types::ConfigError;
+use serde::{Deserialize, Serialize};
+
+/// Shape of one embedding table.
+///
+/// # Examples
+///
+/// ```
+/// use recnmp_trace::EmbeddingTableSpec;
+///
+/// // The DLRM configuration: one million rows of 128-byte vectors.
+/// let spec = EmbeddingTableSpec::dlrm_default();
+/// assert_eq!(spec.bytes(), 128 * 1_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmbeddingTableSpec {
+    /// Number of rows (embedding vectors).
+    pub rows: u64,
+    /// Bytes per embedding vector. Production sizes are 64–256 B; the
+    /// paper's C/A analysis uses 64 B as the worst case.
+    pub vector_bytes: u64,
+}
+
+impl EmbeddingTableSpec {
+    /// Creates a spec.
+    pub const fn new(rows: u64, vector_bytes: u64) -> Self {
+        Self { rows, vector_bytes }
+    }
+
+    /// The configuration used throughout the paper's DLRM evaluation:
+    /// 1,000,000 rows (Figure 2(b)) of 128-byte vectors — the 32-dim FP32
+    /// embeddings of the open-source DLRM RM1/RM2 configurations. (The
+    /// 64-byte case is the paper's *worst-case* C/A analysis; production
+    /// vectors are 64–256 B.)
+    pub const fn dlrm_default() -> Self {
+        Self::new(1_000_000, 128)
+    }
+
+    /// The paper's worst-case 64-byte vector (one DRAM burst per lookup),
+    /// used by the C/A bandwidth-expansion analysis.
+    pub const fn worst_case_64b() -> Self {
+        Self::new(1_000_000, 64)
+    }
+
+    /// Total table footprint in bytes.
+    pub const fn bytes(&self) -> u64 {
+        self.rows * self.vector_bytes
+    }
+
+    /// Number of 64-byte DRAM bursts needed to read one vector.
+    pub const fn bursts_per_vector(&self) -> u64 {
+        self.vector_bytes.div_ceil(64)
+    }
+
+    /// Byte offset of `row` within the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_offset(&self, row: u64) -> u64 {
+        assert!(row < self.rows, "row {row} out of range");
+        row * self.vector_bytes
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if either dimension is zero or the vector
+    /// size is not a multiple of 4 (FP32 elements).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.rows == 0 {
+            return Err(ConfigError::new("rows", "must be positive"));
+        }
+        if self.vector_bytes == 0 || !self.vector_bytes.is_multiple_of(4) {
+            return Err(ConfigError::new(
+                "vector_bytes",
+                "must be a positive multiple of 4",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of FP32 elements per vector.
+    pub const fn dims(&self) -> usize {
+        (self.vector_bytes / 4) as usize
+    }
+}
+
+impl Default for EmbeddingTableSpec {
+    fn default() -> Self {
+        Self::dlrm_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_dlrm() {
+        let s = EmbeddingTableSpec::default();
+        assert_eq!(s.rows, 1_000_000);
+        assert_eq!(s.vector_bytes, 128);
+        assert_eq!(s.dims(), 32);
+        assert_eq!(s.bursts_per_vector(), 2);
+        assert!(s.validate().is_ok());
+        assert_eq!(EmbeddingTableSpec::worst_case_64b().bursts_per_vector(), 1);
+    }
+
+    #[test]
+    fn bursts_round_up() {
+        assert_eq!(EmbeddingTableSpec::new(10, 64).bursts_per_vector(), 1);
+        assert_eq!(EmbeddingTableSpec::new(10, 128).bursts_per_vector(), 2);
+        assert_eq!(EmbeddingTableSpec::new(10, 100).bursts_per_vector(), 2);
+    }
+
+    #[test]
+    fn row_offset_scales() {
+        let s = EmbeddingTableSpec::new(10, 128);
+        assert_eq!(s.row_offset(3), 384);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn row_offset_checks_bounds() {
+        EmbeddingTableSpec::new(10, 64).row_offset(10);
+    }
+
+    #[test]
+    fn validate_rejects_bad_vector() {
+        assert!(EmbeddingTableSpec::new(10, 62).validate().is_err());
+        assert!(EmbeddingTableSpec::new(0, 64).validate().is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Physical byte addresses in the simulated machine.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A physical byte address in the simulated memory system.
+///
+/// The newtype keeps physical addresses statically distinct from logical
+/// embedding-table offsets and from decoded DRAM coordinates, which use
+/// their own types in `recnmp-dram`.
+///
+/// # Examples
+///
+/// ```
+/// use recnmp_types::PhysAddr;
+///
+/// let a = PhysAddr::new(0x1000);
+/// assert_eq!(a.align_down(64), PhysAddr::new(0x1000));
+/// assert_eq!(PhysAddr::new(0x1033).align_down(64), PhysAddr::new(0x1000));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a raw byte offset.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw byte offset.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address advanced by `bytes`.
+    pub const fn offset(self, bytes: u64) -> Self {
+        Self(self.0 + bytes)
+    }
+
+    /// Rounds the address down to a multiple of `align` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero or not a power of two.
+    pub fn align_down(self, align: u64) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        Self(self.0 & !(align - 1))
+    }
+
+    /// Returns the containing 4 KiB page frame number.
+    pub const fn page_frame(self) -> u64 {
+        self.0 >> 12
+    }
+
+    /// Returns the byte offset within the containing 4 KiB page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 & 0xfff
+    }
+
+    /// Builds an address from a page frame number and an in-page offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is 4096 or larger.
+    pub fn from_page(frame: u64, offset: u64) -> Self {
+        assert!(offset < 4096, "page offset must be below 4096");
+        Self((frame << 12) | offset)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+impl From<PhysAddr> for u64 {
+    fn from(a: PhysAddr) -> Self {
+        a.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_raw() {
+        let a = PhysAddr::new(0xdead_beef);
+        assert_eq!(u64::from(a), 0xdead_beef);
+        assert_eq!(PhysAddr::from(0xdead_beefu64), a);
+    }
+
+    #[test]
+    fn page_decomposition() {
+        let a = PhysAddr::new(5 * 4096 + 123);
+        assert_eq!(a.page_frame(), 5);
+        assert_eq!(a.page_offset(), 123);
+        assert_eq!(PhysAddr::from_page(5, 123), a);
+    }
+
+    #[test]
+    fn align_down_masks_low_bits() {
+        assert_eq!(PhysAddr::new(127).align_down(64).get(), 64);
+        assert_eq!(PhysAddr::new(128).align_down(64).get(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn align_down_rejects_non_power_of_two() {
+        let _ = PhysAddr::new(0).align_down(48);
+    }
+
+    #[test]
+    #[should_panic(expected = "below 4096")]
+    fn from_page_rejects_large_offset() {
+        let _ = PhysAddr::from_page(0, 4096);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(PhysAddr::new(0x40).to_string(), "0x40");
+    }
+}

@@ -1,0 +1,66 @@
+//! Common error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by constructors that validate their configuration.
+///
+/// # Examples
+///
+/// ```
+/// use recnmp_types::ConfigError;
+///
+/// let err = ConfigError::new("ranks_per_dimm", "must be a power of two");
+/// assert_eq!(err.to_string(), "invalid `ranks_per_dimm`: must be a power of two");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    field: String,
+    reason: String,
+}
+
+impl ConfigError {
+    /// Creates an error naming the offending configuration field.
+    pub fn new(field: impl Into<String>, reason: impl Into<String>) -> Self {
+        Self {
+            field: field.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Returns the name of the offending field.
+    pub fn field(&self) -> &str {
+        &self.field
+    }
+
+    /// Returns the human-readable reason.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid `{}`: {}", self.field, self.reason)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_expose_parts() {
+        let e = ConfigError::new("capacity", "must be nonzero");
+        assert_eq!(e.field(), "capacity");
+        assert_eq!(e.reason(), "must be nonzero");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+    }
+}

@@ -1,0 +1,133 @@
+//! Identifier newtypes shared across the workspace.
+//!
+//! Each identifier is a thin wrapper over an integer. The macro also derives
+//! `Display`, ordering and hashing so the ids can be used directly as map
+//! keys and in log output.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates the identifier from its integer index.
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the integer index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> Self {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies one embedding table within a workload.
+    TableId,
+    "T"
+);
+id_type!(
+    /// Identifies one co-located model instance on a machine.
+    ModelId,
+    "M"
+);
+id_type!(
+    /// Identifies a DRAM rank within a memory channel (DIMM-major order).
+    RankId,
+    "rank"
+);
+id_type!(
+    /// Identifies a DIMM within a memory channel.
+    DimmId,
+    "dimm"
+);
+
+/// Identifies a memory request or NMP instruction in flight.
+///
+/// 64-bit because long simulations can issue billions of requests.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// Creates the identifier from its integer index.
+    pub const fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Returns the integer index.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the next sequential id.
+    pub const fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(TableId::new(3).to_string(), "T3");
+        assert_eq!(RankId::new(0).to_string(), "rank0");
+        assert_eq!(ModelId::new(7).to_string(), "M7");
+        assert_eq!(DimmId::new(1).to_string(), "dimm1");
+        assert_eq!(RequestId::new(9).to_string(), "req9");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = TableId::from(5u32);
+        assert_eq!(u32::from(t), 5);
+        assert_eq!(t.index(), 5);
+    }
+
+    #[test]
+    fn request_id_next_increments() {
+        assert_eq!(RequestId::new(1).next(), RequestId::new(2));
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(RankId::new(1) < RankId::new(2));
+    }
+}

@@ -1,0 +1,95 @@
+//! Byte-size and time constants used across the simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use recnmp_types::units::{human_bytes, GIB, KIB};
+//!
+//! assert_eq!(human_bytes(64), "64 B");
+//! assert_eq!(human_bytes(128 * KIB), "128.0 KiB");
+//! assert_eq!(human_bytes(64 * GIB), "64.0 GiB");
+//! ```
+
+/// One kibibyte (1024 bytes).
+pub const KIB: u64 = 1024;
+/// One mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+
+/// Width of one DRAM data burst for a 64-bit channel with burst length 8.
+pub const CACHELINE_BYTES: u64 = 64;
+
+/// DDR4-2400 I/O clock frequency in Hz (commands and bursts are timed in
+/// units of this clock; data moves on both edges).
+pub const DDR4_2400_CLOCK_HZ: f64 = 1.2e9;
+
+/// Seconds per DDR4-2400 clock cycle.
+pub const DDR4_2400_CYCLE_SECS: f64 = 1.0 / DDR4_2400_CLOCK_HZ;
+
+/// Converts a cycle count at the DDR4-2400 clock into nanoseconds.
+pub fn cycles_to_ns(cycles: u64) -> f64 {
+    cycles as f64 * DDR4_2400_CYCLE_SECS * 1e9
+}
+
+/// Converts bytes moved over a cycle span into GB/s at the DDR4-2400 clock.
+///
+/// Returns zero when `cycles` is zero.
+pub fn bandwidth_gbs(bytes: u64, cycles: u64) -> f64 {
+    if cycles == 0 {
+        return 0.0;
+    }
+    bytes as f64 / (cycles as f64 * DDR4_2400_CYCLE_SECS) / 1e9
+}
+
+/// Formats a byte count with a binary-unit suffix.
+pub fn human_bytes(bytes: u64) -> String {
+    if bytes >= GIB {
+        format!("{:.1} GiB", bytes as f64 / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.1} MiB", bytes as f64 / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.1} KiB", bytes as f64 / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(MIB, 1024 * 1024);
+        assert_eq!(GIB, 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn cycles_to_ns_matches_clock() {
+        // 1200 cycles at 1.2 GHz is exactly 1 microsecond.
+        let ns = cycles_to_ns(1200);
+        assert!((ns - 1000.0).abs() < 1e-9, "{ns}");
+    }
+
+    #[test]
+    fn bandwidth_of_peak_channel() {
+        // A DDR4-2400 64-bit channel moves 16 bytes per clock cycle
+        // (8 bytes per edge), i.e. 19.2 GB/s peak.
+        let bw = bandwidth_gbs(16 * 1_200_000_000, 1_200_000_000);
+        assert!((bw - 19.2).abs() < 1e-6, "{bw}");
+    }
+
+    #[test]
+    fn bandwidth_zero_cycles_is_zero() {
+        assert_eq!(bandwidth_gbs(100, 0), 0.0);
+    }
+
+    #[test]
+    fn human_bytes_selects_unit() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(8 * KIB), "8.0 KiB");
+        assert_eq!(human_bytes(24 * MIB + MIB / 2), "24.5 MiB");
+        assert_eq!(human_bytes(2 * GIB), "2.0 GiB");
+    }
+}

@@ -1,0 +1,43 @@
+//! Co-location study: latency/throughput trade-off of running several
+//! recommendation models on one server, with and without RecNMP
+//! (the scenario behind Figure 18(c)).
+//!
+//! ```text
+//! cargo run --release -p recnmp-sim --example colocation
+//! ```
+
+use recnmp_model::RecModelKind;
+use recnmp_sim::colocation::ColocationModel;
+use recnmp_sim::workload::TraceKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ColocationModel::table1();
+    let sls_speedup = 8.6; // measured by the cycle-level engine at 8 ranks
+
+    for kind in [RecModelKind::Rm1Large, RecModelKind::Rm2Small] {
+        let cfg = kind.config();
+        println!("\n{} (batch 256, production traces)", kind.name());
+        println!(
+            "{:>4} {:>14} {:>12} {:>14} {:>12} {:>9}",
+            "co", "host lat(ms)", "host qps", "NMP lat(ms)", "NMP qps", "speedup"
+        );
+        let host = model.curve(&cfg, 256, 8, TraceKind::Production, None);
+        let nmp = model.curve(&cfg, 256, 8, TraceKind::Production, Some(sls_speedup));
+        for (h, n) in host.iter().zip(&nmp) {
+            println!(
+                "{:>4} {:>14.2} {:>12.0} {:>14.2} {:>12.0} {:>8.2}x",
+                h.co_located,
+                h.latency_us / 1000.0,
+                h.throughput_qps,
+                n.latency_us / 1000.0,
+                n.throughput_qps,
+                h.latency_us / n.latency_us
+            );
+        }
+    }
+    println!(
+        "\nCo-location raises throughput at a latency cost; RecNMP shifts the whole \
+         curve (paper: 2.8-3.5x for RM1-large, 3.2-4.0x for RM2-small)."
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: offload one SLS batch to RecNMP and compare against the
+//! host DRAM baseline.
+//!
+//! ```text
+//! cargo run --release -p recnmp-sim --example quickstart
+//! ```
+
+use recnmp::RecNmpConfig;
+use recnmp_sim::speedup::SpeedupEngine;
+use recnmp_sim::workload::TraceKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A production-like SLS workload: 8 embedding tables, two windows of
+    // 32 poolings x 80 lookups each (the paper's pooling factor).
+    let engine = SpeedupEngine::with_workload(TraceKind::Production, 8, 2, 32, 42);
+    println!(
+        "workload: {} embedding lookups across 8 tables",
+        engine.workload().total_lookups()
+    );
+
+    // The paper's largest channel: 4 DIMMs x 2 ranks, fully optimized
+    // (128 KiB RankCache, table-aware scheduling, hot-entry profiling).
+    let config = RecNmpConfig::optimized(4, 2);
+    let comparison = engine.compare(&config)?;
+
+    println!(
+        "host DRAM baseline : {:.2} cycles/lookup",
+        comparison.baseline_cpl
+    );
+    println!(
+        "RecNMP-opt (8-rank): {:.2} cycles/lookup",
+        comparison.nmp_cpl
+    );
+    println!(
+        "memory latency speedup: {:.2}x (paper: up to 9.8x)",
+        comparison.speedup()
+    );
+    println!(
+        "RankCache hit rate: {:.1}%",
+        100.0 * comparison.nmp_report.cache.effective_hit_rate()
+    );
+
+    // Energy: the host ships every embedding byte across the DIMM pins;
+    // RecNMP returns only pooled sums.
+    let dram_params = recnmp_dram::EnergyParams::table1();
+    let nmp_params = recnmp::energy::NmpEnergyParams::table1();
+    let host_e = recnmp::energy::host_energy(&comparison.baseline_report, &dram_params);
+    let nmp_e = recnmp::energy::nmp_energy(&comparison.nmp_report, &dram_params, &nmp_params);
+    println!(
+        "memory energy: host {:.1} uJ vs RecNMP {:.1} uJ ({:.1}% saving; paper: 45.8%)",
+        host_e.total_nj() / 1000.0,
+        nmp_e.total_nj() / 1000.0,
+        100.0 * recnmp::energy::energy_saving(&host_e, &nmp_e)
+    );
+    Ok(())
+}

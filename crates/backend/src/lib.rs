@@ -1,0 +1,77 @@
+//! The unified SLS execution API.
+//!
+//! RecNMP's evaluation methodology (Figure 16) runs *identical* SLS
+//! traces through the host baseline, the DIMM-level NMP comparators and
+//! RecNMP itself. This crate defines the three pieces every execution
+//! system shares so new comparators drop in without touching the
+//! experiment harness:
+//!
+//! * [`SlsTrace`] — one physical SLS workload: batches of poolings with
+//!   their translated physical addresses, the single source of truth every
+//!   backend serves ([`trace`]);
+//! * [`RunReport`] — the unified result of one run: cycles, per-unit
+//!   instruction counts, cache and DRAM statistics, byte accounting
+//!   ([`report`]). Reports are **per-run snapshots** (delta semantics):
+//!   calling [`SlsBackend::run`] twice yields two independent reports,
+//!   never a cumulative blend;
+//! * [`SlsBackend`] — the execution trait:
+//!   `fn run(&mut self, trace: &SlsTrace) -> RunReport`.
+//!
+//! Sharding ([`ShardingPolicy`], [`SlsTrace::shard`]) splits a multi-table
+//! trace across independent channels — the building block of the
+//! multi-channel `RecNmpCluster` in the `recnmp` crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use recnmp_backend::{ShardingPolicy, SlsTrace};
+//! use recnmp_trace::{EmbeddingTableSpec, IndexDistribution, TraceGenerator};
+//! use recnmp_types::{PhysAddr, TableId};
+//!
+//! let spec = EmbeddingTableSpec::dlrm_default();
+//! let batches: Vec<_> = (0..4u32)
+//!     .map(|t| {
+//!         TraceGenerator::new(TableId::new(t), spec, IndexDistribution::Uniform, 7)
+//!             .batch(2, 10)
+//!     })
+//!     .collect();
+//! let trace = SlsTrace::from_batches(&batches, &mut |t, row| {
+//!     PhysAddr::new((t as u64) << 32 | row * 128)
+//! });
+//! assert_eq!(trace.total_lookups(), 4 * 2 * 10);
+//!
+//! // Hash-by-table sharding sends each table to one channel.
+//! let shards = trace.shard(2, ShardingPolicy::HashByTable);
+//! assert_eq!(shards.iter().map(SlsTrace::total_lookups).sum::<u64>(), 80);
+//! ```
+
+pub mod report;
+pub mod trace;
+
+pub use report::RunReport;
+pub use trace::{ShardingPolicy, SlsTrace, TraceBatch};
+
+/// An SLS execution system: anything that can serve a physical SLS trace
+/// and report what that cost.
+///
+/// Implementations in this workspace: the host DRAM baseline, TensorDIMM
+/// and Chameleon (in `recnmp-baselines`), and `RecNmpSystem` plus the
+/// multi-channel `RecNmpCluster` (in `recnmp`). The experiment harness is
+/// written against `&mut dyn SlsBackend`, so adding a comparator never
+/// touches the sim crate.
+///
+/// # Contract
+///
+/// * The backend serves **every** lookup of `trace` (conservation:
+///   `report.insts == trace.total_lookups()`).
+/// * The returned [`RunReport`] covers **this call only** (delta
+///   semantics). Hardware state — DRAM row buffers, cache contents, the
+///   current cycle — persists across calls, as it would on real hardware,
+///   but counters in the report never leak between runs.
+pub trait SlsBackend {
+    /// A short stable label for the system (`"host"`, `"recnmp"`, ...).
+    fn name(&self) -> &str;
+
+    /// Serves `trace` and reports the cost of this run.
+    fn run(&mut self, trace: &SlsTrace) -> RunReport;
+}

@@ -15,10 +15,10 @@
 //! Neither has a memory-side cache, so (per the paper) their latency is
 //! insensitive to trace locality.
 
-use recnmp_dram::{DramConfig, MemorySystem};
+use recnmp_backend::report::{add_dram, dram_delta};
+use recnmp_backend::{RunReport, SlsBackend, SlsTrace};
+use recnmp_dram::{DramConfig, DramStats, MemorySystem};
 use recnmp_types::{ConfigError, PhysAddr};
-
-use crate::report::BaselineReport;
 
 /// Shared engine for DIMM-level NMP systems: per-DIMM memory controllers
 /// fed by a rate-limited shared command stream.
@@ -46,9 +46,29 @@ impl DimmLevelNmp {
         ranks_per_dimm: u8,
         cmd_overhead_per_vector: u64,
     ) -> Result<Self, ConfigError> {
+        Self::with_refresh(name, dimms, ranks_per_dimm, cmd_overhead_per_vector, true)
+    }
+
+    /// Like [`new`](Self::new) with explicit refresh simulation — matched
+    /// comparisons must run every system under the same refresh setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid DRAM configurations.
+    pub fn with_refresh(
+        name: &'static str,
+        dimms: u8,
+        ranks_per_dimm: u8,
+        cmd_overhead_per_vector: u64,
+        refresh: bool,
+    ) -> Result<Self, ConfigError> {
         assert!(dimms > 0, "need at least one DIMM");
         let dimm_systems = (0..dimms)
-            .map(|_| MemorySystem::new(DramConfig::with_ranks(1, ranks_per_dimm)))
+            .map(|_| {
+                let mut cfg = DramConfig::with_ranks(1, ranks_per_dimm);
+                cfg.refresh = refresh;
+                MemorySystem::new(cfg)
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self {
             name,
@@ -65,9 +85,11 @@ impl DimmLevelNmp {
     /// Serves a lookup trace. Vectors are assigned to DIMMs by address
     /// interleave: a 64-byte vector lands in one DIMM; larger vectors
     /// spread consecutive bursts across DIMMs (the TensorDIMM layout).
-    pub fn run(&mut self, vectors: &[PhysAddr], bursts_per_vector: u8) -> BaselineReport {
+    /// The report covers this call only.
+    pub fn serve(&mut self, vectors: &[PhysAddr], bursts_per_vector: u8) -> RunReport {
         let n = self.dimms.len() as u64;
         let start = self.dimms.iter().map(|d| d.cycle()).max().unwrap_or(0);
+        let before: Vec<DramStats> = self.dimms.iter().map(|d| d.stats().clone()).collect();
         let stagger = self.cmd_overhead_per_vector + bursts_per_vector as u64;
         for (i, addr) in vectors.iter().enumerate() {
             // Shared C/A bus: one vector's command bundle per `stagger`
@@ -83,27 +105,36 @@ impl DimmLevelNmp {
         }
         let mut end = start;
         let mut bursts = 0;
-        let mut dram = recnmp_dram::DramStats::new();
-        for d in &mut self.dimms {
+        let mut dram = DramStats::new();
+        for (d, then) in self.dimms.iter_mut().zip(&before) {
             let done = d.run_until_idle();
             end = end.max(done.iter().map(|c| c.finish_cycle).max().unwrap_or(start));
             bursts += done.len() as u64;
-            let s = d.stats();
-            dram.reads += s.reads;
-            dram.acts += s.acts;
-            dram.pres += s.pres;
-            dram.row_hits += s.row_hits;
-            dram.row_misses += s.row_misses;
-            dram.row_conflicts += s.row_conflicts;
-            dram.data_bus_busy += s.data_bus_busy;
+            add_dram(&mut dram, &dram_delta(d.stats(), then));
         }
-        BaselineReport {
+        RunReport {
             system: self.name.into(),
             total_cycles: end - start,
-            vectors: vectors.len() as u64,
-            bursts,
+            insts: vectors.len() as u64,
             dram,
+            dram_bursts: bursts,
+            gathered_bytes: bursts * 64,
+            // Reduction happens in the DIMM; pooled sums cross the
+            // channel, but command traffic dominates the interface cost
+            // modeled here, so byte accounting keeps the gathered view.
+            io_bytes: bursts * 64,
+            ..RunReport::default()
         }
+    }
+}
+
+impl SlsBackend for DimmLevelNmp {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn run(&mut self, trace: &SlsTrace) -> RunReport {
+        self.serve(&trace.flat(), trace.bursts_per_vector())
     }
 }
 
@@ -118,13 +149,38 @@ impl TensorDimm {
     ///
     /// Returns a [`ConfigError`] for invalid DRAM configurations.
     pub fn new(dimms: u8, ranks_per_dimm: u8) -> Result<Self, ConfigError> {
+        Self::with_refresh(dimms, ranks_per_dimm, true)
+    }
+
+    /// Builds a TensorDIMM system with explicit refresh simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid DRAM configurations.
+    pub fn with_refresh(dimms: u8, ranks_per_dimm: u8, refresh: bool) -> Result<Self, ConfigError> {
         // PRE + ACT overhead plus one RD per burst on the shared C/A bus.
-        Ok(Self(DimmLevelNmp::new("tensordimm", dimms, ranks_per_dimm, 2)?))
+        Ok(Self(DimmLevelNmp::with_refresh(
+            "tensordimm",
+            dimms,
+            ranks_per_dimm,
+            2,
+            refresh,
+        )?))
     }
 
     /// Serves a lookup trace.
-    pub fn run(&mut self, vectors: &[PhysAddr], bursts_per_vector: u8) -> BaselineReport {
-        self.0.run(vectors, bursts_per_vector)
+    pub fn serve(&mut self, vectors: &[PhysAddr], bursts_per_vector: u8) -> RunReport {
+        self.0.serve(vectors, bursts_per_vector)
+    }
+}
+
+impl SlsBackend for TensorDimm {
+    fn name(&self) -> &str {
+        "tensordimm"
+    }
+
+    fn run(&mut self, trace: &SlsTrace) -> RunReport {
+        self.0.run(trace)
     }
 }
 
@@ -139,13 +195,38 @@ impl Chameleon {
     ///
     /// Returns a [`ConfigError`] for invalid DRAM configurations.
     pub fn new(dimms: u8, ranks_per_dimm: u8) -> Result<Self, ConfigError> {
+        Self::with_refresh(dimms, ranks_per_dimm, true)
+    }
+
+    /// Builds a Chameleon system with explicit refresh simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid DRAM configurations.
+    pub fn with_refresh(dimms: u8, ranks_per_dimm: u8, refresh: bool) -> Result<Self, ConfigError> {
         // PRE + ACT plus one time-multiplexed NDA control word per vector.
-        Ok(Self(DimmLevelNmp::new("chameleon", dimms, ranks_per_dimm, 3)?))
+        Ok(Self(DimmLevelNmp::with_refresh(
+            "chameleon",
+            dimms,
+            ranks_per_dimm,
+            3,
+            refresh,
+        )?))
     }
 
     /// Serves a lookup trace.
-    pub fn run(&mut self, vectors: &[PhysAddr], bursts_per_vector: u8) -> BaselineReport {
-        self.0.run(vectors, bursts_per_vector)
+    pub fn serve(&mut self, vectors: &[PhysAddr], bursts_per_vector: u8) -> RunReport {
+        self.0.serve(vectors, bursts_per_vector)
+    }
+}
+
+impl SlsBackend for Chameleon {
+    fn name(&self) -> &str {
+        "chameleon"
+    }
+
+    fn run(&mut self, trace: &SlsTrace) -> RunReport {
+        self.0.run(trace)
     }
 }
 
@@ -164,9 +245,9 @@ mod tests {
     #[test]
     fn all_vectors_complete() {
         let mut td = TensorDimm::new(4, 1).unwrap();
-        let report = td.run(&random_addrs(200, 1), 1);
-        assert_eq!(report.vectors, 200);
-        assert_eq!(report.bursts, 200);
+        let report = td.serve(&random_addrs(200, 1), 1);
+        assert_eq!(report.insts, 200);
+        assert_eq!(report.dram_bursts, 200);
     }
 
     #[test]
@@ -174,9 +255,17 @@ mod tests {
         // 64-byte vectors: TensorDIMM is C/A-delivery-bound at ~3
         // cycles/vector no matter how many DIMMs.
         let mut td = TensorDimm::new(4, 2).unwrap();
-        let report = td.run(&random_addrs(400, 2), 1);
-        assert!(report.cycles_per_lookup() >= 3.0, "{}", report.cycles_per_lookup());
-        assert!(report.cycles_per_lookup() < 6.0, "{}", report.cycles_per_lookup());
+        let report = td.serve(&random_addrs(400, 2), 1);
+        assert!(
+            report.cycles_per_lookup() >= 3.0,
+            "{}",
+            report.cycles_per_lookup()
+        );
+        assert!(
+            report.cycles_per_lookup() < 6.0,
+            "{}",
+            report.cycles_per_lookup()
+        );
     }
 
     #[test]
@@ -184,8 +273,8 @@ mod tests {
         let addrs = random_addrs(400, 3);
         let mut td = TensorDimm::new(4, 2).unwrap();
         let mut ch = Chameleon::new(4, 2).unwrap();
-        let t = td.run(&addrs, 1).total_cycles;
-        let c = ch.run(&addrs, 1).total_cycles;
+        let t = td.serve(&addrs, 1).total_cycles;
+        let c = ch.serve(&addrs, 1).total_cycles;
         assert!(c > t, "chameleon {c} vs tensordimm {t}");
     }
 
@@ -195,11 +284,15 @@ mod tests {
         // point. Throughput per vector should beat 4 sequential bursts on
         // one DIMM.
         let mut td = TensorDimm::new(4, 1).unwrap();
-        let report = td.run(&random_addrs(100, 4), 4);
-        assert_eq!(report.bursts, 400);
+        let report = td.serve(&random_addrs(100, 4), 4);
+        assert_eq!(report.dram_bursts, 400);
         // Delivery is 3 cycles/vector; data 4x4=16 cycles/vector spread
         // over 4 DIMMs = 4 cycles/vector effective.
-        assert!(report.cycles_per_lookup() < 12.0, "{}", report.cycles_per_lookup());
+        assert!(
+            report.cycles_per_lookup() < 12.0,
+            "{}",
+            report.cycles_per_lookup()
+        );
     }
 
     #[test]
@@ -210,8 +303,18 @@ mod tests {
         let repeated: Vec<PhysAddr> = addrs.iter().chain(addrs.iter()).copied().collect();
         let mut td1 = TensorDimm::new(2, 2).unwrap();
         let mut td2 = TensorDimm::new(2, 2).unwrap();
-        let once = td1.run(&addrs, 1).cycles_per_lookup();
-        let twice = td2.run(&repeated, 1).cycles_per_lookup();
+        let once = td1.serve(&addrs, 1).cycles_per_lookup();
+        let twice = td2.serve(&repeated, 1).cycles_per_lookup();
         assert!((twice - once).abs() < 0.5 * once, "{once} vs {twice}");
+    }
+
+    #[test]
+    fn back_to_back_runs_report_deltas() {
+        let mut td = TensorDimm::new(2, 2).unwrap();
+        let r1 = td.serve(&random_addrs(50, 6), 1);
+        let r2 = td.serve(&random_addrs(50, 7), 1);
+        assert_eq!(r1.dram.reads, 50);
+        assert_eq!(r2.dram.reads, 50);
+        assert_eq!(r2.dram_bursts, 50);
     }
 }

@@ -1,9 +1,9 @@
 //! The conventional CPU/DRAM baseline.
 
+use recnmp_backend::report::dram_delta;
+use recnmp_backend::{RunReport, SlsBackend, SlsTrace};
 use recnmp_dram::{DramConfig, MemorySystem};
 use recnmp_types::{ConfigError, PhysAddr};
-
-use crate::report::BaselineReport;
 
 /// The host baseline: SLS lookups served as ordinary cacheline reads over
 /// one memory channel, pooled on the CPU.
@@ -17,8 +17,8 @@ use crate::report::BaselineReport;
 /// # fn main() -> Result<(), recnmp_types::ConfigError> {
 /// let mut host = HostBaseline::new(1, 2)?;
 /// let addrs: Vec<PhysAddr> = (0..64u64).map(|i| PhysAddr::new(i * 4096)).collect();
-/// let report = host.run(&addrs, 1);
-/// assert_eq!(report.vectors, 64);
+/// let report = host.serve(&addrs, 1);
+/// assert_eq!(report.insts, 64);
 /// # Ok(())
 /// # }
 /// ```
@@ -55,9 +55,11 @@ impl HostBaseline {
     }
 
     /// Serves one lookup trace: each vector of `bursts_per_vector`
-    /// 64-byte bursts is read in full over the channel.
-    pub fn run(&mut self, vectors: &[PhysAddr], bursts_per_vector: u8) -> BaselineReport {
+    /// 64-byte bursts is read in full over the channel. The report covers
+    /// this call only (row-buffer state persists across calls).
+    pub fn serve(&mut self, vectors: &[PhysAddr], bursts_per_vector: u8) -> RunReport {
         let start = self.mem.cycle();
+        let before = self.mem.stats().clone();
         for addr in vectors {
             for b in 0..bursts_per_vector as u64 {
                 self.mem.enqueue_read(addr.offset(b * 64), start);
@@ -65,13 +67,28 @@ impl HostBaseline {
         }
         let done = self.mem.run_until_idle();
         let end = done.iter().map(|c| c.finish_cycle).max().unwrap_or(start);
-        BaselineReport {
+        let bursts = vectors.len() as u64 * bursts_per_vector as u64;
+        RunReport {
             system: "host".into(),
             total_cycles: end - start,
-            vectors: vectors.len() as u64,
-            bursts: vectors.len() as u64 * bursts_per_vector as u64,
-            dram: self.mem.stats().clone(),
+            insts: vectors.len() as u64,
+            dram: dram_delta(self.mem.stats(), &before),
+            dram_bursts: bursts,
+            // The CPU reads every embedding burst over the channel.
+            gathered_bytes: bursts * 64,
+            io_bytes: bursts * 64,
+            ..RunReport::default()
         }
+    }
+}
+
+impl SlsBackend for HostBaseline {
+    fn name(&self) -> &str {
+        "host"
+    }
+
+    fn run(&mut self, trace: &SlsTrace) -> RunReport {
+        self.serve(&trace.flat(), trace.bursts_per_vector())
     }
 }
 
@@ -90,8 +107,8 @@ mod tests {
     #[test]
     fn serves_every_vector() {
         let mut host = HostBaseline::new(1, 2).unwrap();
-        let report = host.run(&random_addrs(100, 1), 1);
-        assert_eq!(report.vectors, 100);
+        let report = host.serve(&random_addrs(100, 1), 1);
+        assert_eq!(report.insts, 100);
         assert_eq!(report.dram.reads, 100);
         assert!(report.total_cycles > 0);
     }
@@ -99,8 +116,8 @@ mod tests {
     #[test]
     fn multi_burst_vectors_read_all_bursts() {
         let mut host = HostBaseline::new(1, 2).unwrap();
-        let report = host.run(&random_addrs(50, 2), 4);
-        assert_eq!(report.bursts, 200);
+        let report = host.serve(&random_addrs(50, 2), 4);
+        assert_eq!(report.dram_bursts, 200);
         assert_eq!(report.dram.reads, 200);
     }
 
@@ -109,19 +126,32 @@ mod tests {
         // Random 64-byte reads cannot beat the 16 B/cycle channel data
         // bus: at least 4 cycles per vector.
         let mut host = HostBaseline::new(1, 2).unwrap();
-        let report = host.run(&random_addrs(500, 3), 1);
-        assert!(report.cycles_per_lookup() >= 4.0, "{}", report.cycles_per_lookup());
+        let report = host.serve(&random_addrs(500, 3), 1);
+        assert!(
+            report.cycles_per_lookup() >= 4.0,
+            "{}",
+            report.cycles_per_lookup()
+        );
         // And random traffic on 2 ranks should stay within ~3x of the
         // streaming bound.
-        assert!(report.cycles_per_lookup() < 12.0, "{}", report.cycles_per_lookup());
+        assert!(
+            report.cycles_per_lookup() < 12.0,
+            "{}",
+            report.cycles_per_lookup()
+        );
     }
 
     #[test]
-    fn sequential_runs_accumulate() {
+    fn sequential_runs_report_deltas() {
+        // Delta semantics: each report covers its own run even though the
+        // controller's internal counters keep accumulating.
         let mut host = HostBaseline::new(1, 2).unwrap();
-        host.run(&random_addrs(10, 4), 1);
-        let r2 = host.run(&random_addrs(10, 5), 1);
-        assert_eq!(r2.dram.reads, 20); // stats accumulate across runs
-        assert_eq!(r2.vectors, 10); // but the report covers one run
+        let r1 = host.serve(&random_addrs(10, 4), 1);
+        let r2 = host.serve(&random_addrs(10, 5), 1);
+        assert_eq!(r1.dram.reads, 10);
+        assert_eq!(r2.dram.reads, 10);
+        assert_eq!(r2.insts, 10);
+        // The lifetime view stays available on the memory system itself.
+        assert_eq!(host.memory().stats().reads, 20);
     }
 }

@@ -1,7 +1,8 @@
 //! Comparator systems for RecNMP (Figure 16).
 //!
 //! Three baselines serve the same SLS lookup traces as
-//! [`recnmp::RecNmpSystem`]:
+//! [`recnmp::RecNmpSystem`], all through the unified
+//! [`SlsBackend`](recnmp_backend::SlsBackend) execution API:
 //!
 //! * [`HostBaseline`] — the conventional path: every embedding burst is
 //!   read over the memory channel by the CPU, which performs the pooling.
@@ -18,13 +19,13 @@
 //!   costs an extra command slot per vector.
 //!
 //! The comparison methodology follows the paper: all systems see the same
-//! physical-address trace; memory-latency speedup is
-//! `cycles_per_lookup(baseline) / cycles_per_lookup(system)`.
+//! physical-address [`SlsTrace`](recnmp_backend::SlsTrace) and return the
+//! same [`RunReport`](recnmp_backend::RunReport) type; memory-latency
+//! speedup is `cycles_per_lookup(baseline) / cycles_per_lookup(system)`.
 
 pub mod dimm_nmp_baseline;
 pub mod host;
-pub mod report;
 
 pub use dimm_nmp_baseline::{Chameleon, DimmLevelNmp, TensorDimm};
 pub use host::HostBaseline;
-pub use report::BaselineReport;
+pub use recnmp_backend::{RunReport, SlsBackend, SlsTrace};

@@ -21,8 +21,7 @@ fn bench(c: &mut Criterion) {
         .collect();
     group.bench_function("kernel", |b| {
         b.iter(|| {
-            let mut cache =
-                SetAssocCache::new(CacheConfig::new(16 << 20, 64, 4)).expect("valid");
+            let mut cache = SetAssocCache::new(CacheConfig::new(16 << 20, 64, 4)).expect("valid");
             criterion::black_box(cache.run_trace(phys.iter().copied()))
         })
     });

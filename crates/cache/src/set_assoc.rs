@@ -175,7 +175,10 @@ impl SetAssocCache {
         if compulsory {
             self.stats.compulsory_misses += 1;
         }
-        AccessOutcome::Miss { evicted, compulsory }
+        AccessOutcome::Miss {
+            evicted,
+            compulsory,
+        }
     }
 
     /// Runs a whole trace of addresses and returns the hit rate.

@@ -1,0 +1,370 @@
+//! Multi-channel RecNMP: N independent channels behind one dispatch API.
+//!
+//! The paper models a single RecNMP-equipped memory channel; production
+//! recommendation servers have many. [`RecNmpCluster`] is the first
+//! scaling axis beyond that single-channel model: it fans a multi-table
+//! SLS workload out across `channels` independent [`RecNmpSystem`]s under
+//! a [`ShardingPolicy`] and merges the per-channel [`RunReport`]s into
+//! one (counters add, wall-clock is the slowest channel).
+//!
+//! The cluster is itself an [`SlsBackend`], so the experiment harness
+//! compares it against the single-channel systems without special cases.
+//!
+//! # Examples
+//!
+//! ```
+//! use recnmp::cluster::{RecNmpCluster, RecNmpClusterConfig};
+//! use recnmp_backend::{ShardingPolicy, SlsBackend, SlsTrace};
+//! use recnmp_trace::{EmbeddingTableSpec, IndexDistribution, TraceGenerator};
+//! use recnmp_types::{PhysAddr, TableId};
+//!
+//! # fn main() -> Result<(), recnmp_types::ConfigError> {
+//! // 4 channels of 4 DIMMs x 2 ranks, tables pinned to channels.
+//! let config = RecNmpClusterConfig::builder()
+//!     .channels(4)
+//!     .dimms(4)
+//!     .ranks_per_dimm(2)
+//!     .sharding(ShardingPolicy::HashByTable)
+//!     .build()?;
+//! let mut cluster = RecNmpCluster::new(config)?;
+//!
+//! let spec = EmbeddingTableSpec::dlrm_default();
+//! let batches: Vec<_> = (0..8u32)
+//!     .map(|t| {
+//!         TraceGenerator::new(TableId::new(t), spec, IndexDistribution::Uniform, 3)
+//!             .batch(4, 20)
+//!     })
+//!     .collect();
+//! let trace = SlsTrace::from_batches(&batches, &mut |t, row| {
+//!     PhysAddr::new(((t as u64) << 30) ^ (row * 128))
+//! });
+//! let report = cluster.run(&trace);
+//! assert_eq!(report.insts, trace.total_lookups());
+//! # Ok(())
+//! # }
+//! ```
+
+use recnmp_backend::{RunReport, ShardingPolicy, SlsBackend, SlsTrace};
+use recnmp_types::ConfigError;
+use serde::{Deserialize, Serialize};
+
+use crate::config::RecNmpConfig;
+use crate::system::RecNmpSystem;
+
+/// Geometry and dispatch policy of a [`RecNmpCluster`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecNmpClusterConfig {
+    /// Independent RecNMP channels.
+    pub channels: usize,
+    /// Configuration every channel shares.
+    pub channel: RecNmpConfig,
+    /// How batches are dispatched to channels.
+    pub sharding: ShardingPolicy,
+}
+
+impl RecNmpClusterConfig {
+    /// A cluster of `channels` copies of `channel`, hash-by-table sharded.
+    pub fn new(channels: usize, channel: RecNmpConfig) -> Self {
+        Self {
+            channels,
+            channel,
+            sharding: ShardingPolicy::HashByTable,
+        }
+    }
+
+    /// Starts a geometry builder with the paper's single-channel defaults
+    /// (1 channel of 4 DIMMs x 2 ranks, RecNMP-base, hash-by-table).
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder::default()
+    }
+
+    /// Total ranks across the cluster.
+    pub fn total_ranks(&self) -> usize {
+        self.channels * self.channel.total_ranks() as usize
+    }
+
+    /// Validates the cluster geometry and the shared channel config.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for a zero channel count or an invalid
+    /// per-channel configuration.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.channels == 0 {
+            return Err(ConfigError::new("channels", "must be positive"));
+        }
+        self.channel.validate()
+    }
+}
+
+/// Fluent builder for [`RecNmpClusterConfig`] geometry.
+#[derive(Debug, Clone)]
+pub struct ClusterConfigBuilder {
+    channels: usize,
+    dimms: u8,
+    ranks_per_dimm: u8,
+    optimized: bool,
+    refresh: bool,
+    poolings_per_packet: Option<usize>,
+    sharding: ShardingPolicy,
+}
+
+impl Default for ClusterConfigBuilder {
+    fn default() -> Self {
+        Self {
+            channels: 1,
+            dimms: 4,
+            ranks_per_dimm: 2,
+            optimized: false,
+            refresh: true,
+            poolings_per_packet: None,
+            sharding: ShardingPolicy::HashByTable,
+        }
+    }
+}
+
+impl ClusterConfigBuilder {
+    /// Number of independent channels.
+    pub fn channels(mut self, channels: usize) -> Self {
+        self.channels = channels;
+        self
+    }
+
+    /// DIMMs per channel.
+    pub fn dimms(mut self, dimms: u8) -> Self {
+        self.dimms = dimms;
+        self
+    }
+
+    /// Ranks per DIMM.
+    pub fn ranks_per_dimm(mut self, ranks: u8) -> Self {
+        self.ranks_per_dimm = ranks;
+        self
+    }
+
+    /// Use the RecNMP-opt channel configuration (RankCache, table-aware
+    /// scheduling, hot-entry profiling) instead of RecNMP-base.
+    pub fn optimized(mut self, optimized: bool) -> Self {
+        self.optimized = optimized;
+        self
+    }
+
+    /// Whether the per-rank DRAM devices simulate refresh.
+    pub fn refresh(mut self, refresh: bool) -> Self {
+        self.refresh = refresh;
+        self
+    }
+
+    /// Poolings packed per NMP packet (1–16).
+    pub fn poolings_per_packet(mut self, ppp: usize) -> Self {
+        self.poolings_per_packet = Some(ppp);
+        self
+    }
+
+    /// Batch dispatch policy.
+    pub fn sharding(mut self, sharding: ShardingPolicy) -> Self {
+        self.sharding = sharding;
+        self
+    }
+
+    /// Finalizes and validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid geometry.
+    pub fn build(self) -> Result<RecNmpClusterConfig, ConfigError> {
+        let mut channel = if self.optimized {
+            RecNmpConfig::optimized(self.dimms, self.ranks_per_dimm)
+        } else {
+            RecNmpConfig::with_ranks(self.dimms, self.ranks_per_dimm)
+        };
+        channel.refresh = self.refresh;
+        if let Some(ppp) = self.poolings_per_packet {
+            channel.poolings_per_packet = ppp;
+        }
+        let config = RecNmpClusterConfig {
+            channels: self.channels,
+            channel,
+            sharding: self.sharding,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+}
+
+/// N independent RecNMP channels behind one [`SlsBackend`] dispatch API.
+#[derive(Debug)]
+pub struct RecNmpCluster {
+    name: String,
+    sharding: ShardingPolicy,
+    channels: Vec<RecNmpSystem>,
+}
+
+impl RecNmpCluster {
+    /// Builds the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid configurations.
+    pub fn new(config: RecNmpClusterConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let channels = (0..config.channels)
+            .map(|_| RecNmpSystem::new(config.channel.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            name: format!("recnmp-cluster[{}]", config.channels),
+            sharding: config.sharding,
+            channels,
+        })
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The dispatch policy.
+    pub fn sharding(&self) -> ShardingPolicy {
+        self.sharding
+    }
+
+    /// Access to one channel (for per-channel inspection in experiments).
+    pub fn channel(&self, i: usize) -> &RecNmpSystem {
+        &self.channels[i]
+    }
+}
+
+impl SlsBackend for RecNmpCluster {
+    /// `"recnmp-cluster[N]"` — always equal to the `system` label of the
+    /// reports this backend returns.
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Shards `trace` across the channels, runs every shard, and merges
+    /// the per-channel reports: counters add, per-unit instruction counts
+    /// concatenate (channel-major), and `total_cycles` is the slowest
+    /// channel — the channels are independent hardware running in
+    /// parallel.
+    fn run(&mut self, trace: &SlsTrace) -> RunReport {
+        let shards = trace.shard(self.channels.len(), self.sharding);
+        let mut merged = RunReport::for_system(self.name.clone());
+        for (channel, shard) in self.channels.iter_mut().zip(shards) {
+            merged.absorb_parallel(channel.run(&shard));
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recnmp_trace::{EmbeddingTableSpec, IndexDistribution, SlsBatch, TraceGenerator};
+    use recnmp_types::{PhysAddr, TableId};
+
+    fn workload(tables: u32, batch: usize) -> SlsTrace {
+        let batches: Vec<SlsBatch> = (0..tables)
+            .map(|t| {
+                TraceGenerator::new(
+                    TableId::new(t),
+                    EmbeddingTableSpec::dlrm_default(),
+                    IndexDistribution::Zipf { s: 0.9 },
+                    91 + t as u64,
+                )
+                .batch(batch, 80)
+            })
+            .collect();
+        SlsTrace::from_batches(&batches, &mut |t, row| {
+            PhysAddr::new(((t as u64) << 31) ^ (row * 131 * 128))
+        })
+    }
+
+    fn cluster(channels: usize) -> RecNmpCluster {
+        let config = RecNmpClusterConfig::builder()
+            .channels(channels)
+            .dimms(1)
+            .ranks_per_dimm(2)
+            .refresh(false)
+            .build()
+            .unwrap();
+        RecNmpCluster::new(config).unwrap()
+    }
+
+    #[test]
+    fn builder_validates_geometry() {
+        assert!(RecNmpClusterConfig::builder().channels(0).build().is_err());
+        assert!(RecNmpClusterConfig::builder()
+            .ranks_per_dimm(0)
+            .build()
+            .is_err());
+        let cfg = RecNmpClusterConfig::builder()
+            .channels(4)
+            .optimized(true)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.total_ranks(), 4 * 8);
+        assert!(cfg.channel.rank_cache.is_some());
+    }
+
+    #[test]
+    fn cluster_conserves_lookups() {
+        let trace = workload(8, 4);
+        let mut c = cluster(4);
+        let report = c.run(&trace);
+        assert_eq!(report.insts, trace.total_lookups());
+        assert_eq!(report.rank_insts.iter().sum::<u64>(), trace.total_lookups());
+        assert_eq!(report.gathered_bytes, trace.total_lookups() * 128);
+        assert_eq!(report.system, "recnmp-cluster[4]");
+    }
+
+    #[test]
+    fn more_channels_cut_wall_clock() {
+        let trace = workload(8, 8);
+        let one = cluster(1).run(&trace).total_cycles;
+        let four = cluster(4).run(&trace).total_cycles;
+        assert!(
+            (four as f64) < (one as f64) / 3.0,
+            "1-channel {one} vs 4-channel {four}"
+        );
+    }
+
+    #[test]
+    fn round_robin_handles_single_table() {
+        // All batches hit one table: hash-by-table would serialize on one
+        // channel; round-robin still spreads the load.
+        let batches: Vec<SlsBatch> = (0..8)
+            .map(|i| {
+                TraceGenerator::new(
+                    TableId::new(0),
+                    EmbeddingTableSpec::dlrm_default(),
+                    IndexDistribution::Uniform,
+                    17 + i,
+                )
+                .batch(4, 40)
+            })
+            .collect();
+        let trace = SlsTrace::from_batches(&batches, &mut |_, row| PhysAddr::new(row * 131 * 128));
+        let config = RecNmpClusterConfig::builder()
+            .channels(4)
+            .dimms(1)
+            .ranks_per_dimm(2)
+            .refresh(false)
+            .sharding(ShardingPolicy::RoundRobin)
+            .build()
+            .unwrap();
+        let mut rr = RecNmpCluster::new(config).unwrap();
+        let report = rr.run(&trace);
+        assert_eq!(report.insts, trace.total_lookups());
+        // Every channel saw work: 8 ranks' worth of per-unit counts.
+        assert_eq!(report.rank_insts.len(), 8);
+        assert!(report.rank_insts.iter().all(|&n| n > 0));
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let mut c = cluster(2);
+        let report = c.run(&SlsTrace::default());
+        assert_eq!(report.total_cycles, 0);
+        assert_eq!(report.insts, 0);
+    }
+}

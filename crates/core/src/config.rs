@@ -16,6 +16,21 @@ pub enum SchedulingPolicy {
     TableAware,
 }
 
+/// How the channel front end issues packets to the ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// Serial per-packet execution: the host waits for each packet's sum
+    /// before streaming the next (the paper's base methodology; each
+    /// packet's latency is set by its slowest rank).
+    #[default]
+    Serial,
+    /// Overlapped execution: instructions stream continuously and every
+    /// rank consumes its share as it arrives — the high
+    /// task-level-parallelism regime the page-colored data layout of
+    /// Figure 14(a) requires.
+    Overlapped,
+}
+
 /// Configuration of one RecNMP-equipped memory channel.
 ///
 /// # Examples
@@ -50,6 +65,8 @@ pub struct RecNmpConfig {
     pub pipeline_depth: u64,
     /// Whether the per-rank DRAM devices simulate refresh.
     pub refresh: bool,
+    /// How packets are issued to the ranks.
+    pub execution: ExecutionMode,
 }
 
 impl RecNmpConfig {
@@ -66,6 +83,7 @@ impl RecNmpConfig {
             insts_per_cycle: 2,
             pipeline_depth: 4,
             refresh: true,
+            execution: ExecutionMode::Serial,
         }
     }
 
@@ -82,6 +100,17 @@ impl RecNmpConfig {
     /// Total ranks on the channel.
     pub fn total_ranks(&self) -> u8 {
         self.dimms * self.ranks_per_dimm
+    }
+
+    /// Channel geometry (the authoritative source for packet building and
+    /// page mapping; `RecNmpSystem::geometry` delegates here).
+    pub fn geometry(&self) -> recnmp_dram::address::Geometry {
+        recnmp_dram::address::Geometry::ddr4_8gb_x8(self.total_ranks())
+    }
+
+    /// The physical-to-DRAM mapping the NMP-extended controller applies.
+    pub fn mapping(&self) -> recnmp_dram::AddressMapping {
+        recnmp_dram::AddressMapping::SkylakeXor
     }
 
     /// The DRAM configuration of one rank's devices.

@@ -59,13 +59,7 @@ pub fn execute_packet(
             let mut next = Vec::with_capacity(level.len().div_ceil(2));
             for pair in level.chunks(2) {
                 if pair.len() == 2 {
-                    next.push(
-                        pair[0]
-                            .iter()
-                            .zip(&pair[1])
-                            .map(|(a, b)| a + b)
-                            .collect(),
-                    );
+                    next.push(pair[0].iter().zip(&pair[1]).map(|(a, b)| a + b).collect());
                 } else {
                     next.push(pair[0].clone());
                 }
@@ -163,10 +157,7 @@ mod tests {
 
     #[test]
     fn weighted_sum_scales() {
-        let p = packet(
-            NmpOpcode::WeightedSum,
-            &[(0, 2, 0, 0.5), (1, 4, 0, 2.0)],
-        );
+        let p = packet(NmpOpcode::WeightedSum, &[(0, 2, 0, 0.5), (1, 4, 0, 2.0)]);
         let out = execute_packet(&p, 2, &mut fetch);
         assert_eq!(out[0], vec![9.0; 16]);
     }

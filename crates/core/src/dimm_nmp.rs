@@ -145,7 +145,8 @@ mod tests {
         let res = d.process(0, &[heavy, vec![(0, inst(1, 2))]]);
         let single = {
             let mut d2 = DimmNmp::new(DimmId::new(0), &config()).unwrap();
-            d2.process(0, &[vec![(0, inst(0, 1))], Vec::new()]).done_cycle
+            d2.process(0, &[vec![(0, inst(0, 1))], Vec::new()])
+                .done_cycle
         };
         assert!(res.done_cycle > single, "{} vs {single}", res.done_cycle);
     }

@@ -9,11 +9,10 @@
 //! compressed instructions in and pooled sums out across the DIMM
 //! interface — the source of the paper's 45.8% memory energy saving.
 
+use recnmp_backend::RunReport;
 use recnmp_cache::rank_cache::RANK_CACHE_ACCESS_PJ;
 use recnmp_dram::{DramEnergy, DramStats, EnergyParams};
 use serde::{Deserialize, Serialize};
-
-use crate::system::NmpRunReport;
 
 /// Datapath energy constants (Table I).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -63,13 +62,13 @@ impl EnergyBreakdown {
 
 /// Energy of a RecNMP run.
 pub fn nmp_energy(
-    report: &NmpRunReport,
+    report: &RunReport,
     dram: &EnergyParams,
     nmp: &NmpEnergyParams,
 ) -> EnergyBreakdown {
     let array_bytes = report.dram_bursts * 64;
     EnergyBreakdown {
-        dram: DramEnergy::from_counts(report.dram_acts, array_bytes, report.io_bytes, dram),
+        dram: DramEnergy::from_counts(report.dram.acts, array_bytes, report.io_bytes, dram),
         cache_nj: (report.cache.lookups() as f64) * nmp.cache_access_pj / 1000.0,
         alu_nj: (report.alu_adds as f64 * nmp.fp32_add_pj
             + report.alu_mults as f64 * nmp.fp32_mult_pj)
@@ -103,10 +102,13 @@ mod tests {
     use super::*;
     use recnmp_cache::CacheStats;
 
-    fn report(bursts: u64, acts: u64, hits: u64, io: u64) -> NmpRunReport {
-        NmpRunReport {
+    fn report(bursts: u64, acts: u64, hits: u64, io: u64) -> RunReport {
+        RunReport {
             dram_bursts: bursts,
-            dram_acts: acts,
+            dram: recnmp_dram::DramStats {
+                acts,
+                ..recnmp_dram::DramStats::new()
+            },
             io_bytes: io,
             insts: bursts + hits,
             gathered_bytes: (bursts + hits) * 64,
@@ -116,7 +118,7 @@ mod tests {
                 misses: bursts,
                 ..CacheStats::default()
             },
-            ..NmpRunReport::default()
+            ..RunReport::default()
         }
     }
 
@@ -128,7 +130,11 @@ mod tests {
         host_stats.reads = 1000;
         host_stats.acts = 900;
         let host = host_energy(&host_stats, &EnergyParams::table1());
-        let nmp = nmp_energy(&nmp_report, &EnergyParams::table1(), &NmpEnergyParams::table1());
+        let nmp = nmp_energy(
+            &nmp_report,
+            &EnergyParams::table1(),
+            &NmpEnergyParams::table1(),
+        );
         let saving = energy_saving(&host, &nmp);
         assert!(saving > 0.3, "saving {saving}");
         assert!(saving < 0.9, "saving {saving}");

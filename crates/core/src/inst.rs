@@ -184,10 +184,7 @@ impl NmpInst {
     }
 
     fn assert_valid(&self) {
-        assert!(
-            (1..=8).contains(&self.vsize),
-            "vsize must be 1..=8 bursts"
-        );
+        assert!((1..=8).contains(&self.vsize), "vsize must be 1..=8 bursts");
         assert!(
             (self.psum_tag as usize) < MAX_POOLINGS_PER_PACKET,
             "psum_tag must fit in 4 bits"
@@ -316,10 +313,7 @@ mod tests {
     #[test]
     fn unpack_rejects_bad_opcode() {
         // Opcode 0xF is undefined.
-        assert_eq!(
-            NmpInst::unpack(0xf),
-            Err(DecodeInstError::BadOpcode(0xf))
-        );
+        assert_eq!(NmpInst::unpack(0xf), Err(DecodeInstError::BadOpcode(0xf)));
     }
 
     #[test]

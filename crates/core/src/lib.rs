@@ -18,7 +18,10 @@
 //!   memory-controller front end that streams two NMP-Insts per DRAM cycle
 //!   (the 8× C/A bandwidth expansion of Figure 9), serial per-packet
 //!   execution where each packet's latency is set by its slowest rank, and
-//!   the run report used by every experiment;
+//!   the [`SlsBackend`] implementation every experiment runs through;
+//! * [`cluster`] — [`RecNmpCluster`]: N independent channels behind one
+//!   dispatch API with hash-by-table or round-robin sharding, the first
+//!   scaling axis beyond the paper's single-channel model;
 //! * [`sched`] / [`optimizer`] — table-aware packet scheduling and
 //!   hot-entry profiling (Section III-D);
 //! * [`datapath`] — the functional datapath equivalence layer: executes a
@@ -31,6 +34,10 @@
 //! [`RankCache`]: recnmp_cache::RankCache
 //!
 //! # Examples
+//!
+//! Offload one SLS batch through the unified [`SlsBackend`] API (the
+//! [`RecNmpSystem::offload`] convenience wires the page mapping
+//! internally):
 //!
 //! ```
 //! use recnmp::{RecNmpConfig, RecNmpSystem};
@@ -48,11 +55,52 @@
 //! let mut sys = RecNmpSystem::new(RecNmpConfig::with_ranks(1, 2))?;
 //! let report = sys.offload(&[batch])?;
 //! assert!(report.total_cycles > 0);
+//! assert_eq!(report.insts, 8 * 80);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Run an explicit shared trace — the form every cross-system comparison
+//! uses — and scale it across a 4-channel cluster:
+//!
+//! ```
+//! use recnmp::cluster::{RecNmpCluster, RecNmpClusterConfig};
+//! use recnmp::{RecNmpConfig, RecNmpSystem};
+//! use recnmp_backend::{SlsBackend, SlsTrace};
+//! use recnmp_trace::{EmbeddingTableSpec, IndexDistribution, TraceGenerator};
+//! use recnmp_types::{PhysAddr, TableId};
+//!
+//! # fn main() -> Result<(), recnmp_types::ConfigError> {
+//! let spec = EmbeddingTableSpec::dlrm_default();
+//! let batches: Vec<_> = (0..4u32)
+//!     .map(|t| {
+//!         TraceGenerator::new(TableId::new(t), spec, IndexDistribution::Uniform, 5)
+//!             .batch(4, 20)
+//!     })
+//!     .collect();
+//! let trace = SlsTrace::from_batches(&batches, &mut |t, row| {
+//!     PhysAddr::new(((t as u64) << 30) ^ (row * 128))
+//! });
+//!
+//! let mut channel = RecNmpSystem::new(RecNmpConfig::with_ranks(1, 2))?;
+//! let single = channel.run(&trace);
+//!
+//! let config = RecNmpClusterConfig::builder()
+//!     .channels(4)
+//!     .dimms(1)
+//!     .ranks_per_dimm(2)
+//!     .build()?;
+//! let mut cluster = RecNmpCluster::new(config)?;
+//! let fanned = cluster.run(&trace);
+//!
+//! assert_eq!(single.insts, fanned.insts);
+//! assert!(fanned.total_cycles < single.total_cycles);
 //! # Ok(())
 //! # }
 //! ```
 
 pub mod ca;
+pub mod cluster;
 pub mod config;
 pub mod datapath;
 pub mod dimm_nmp;
@@ -65,8 +113,11 @@ pub mod rank_nmp;
 pub mod sched;
 pub mod system;
 
-pub use config::{RecNmpConfig, SchedulingPolicy};
+pub use cluster::{ClusterConfigBuilder, RecNmpCluster, RecNmpClusterConfig};
+pub use config::{ExecutionMode, RecNmpConfig, SchedulingPolicy};
 pub use inst::{NmpInst, NmpOpcode};
 pub use optimizer::LocalityAwareOptimizer;
 pub use packet::{NmpPacket, PacketBuilder};
-pub use system::{NmpRunReport, RecNmpSystem};
+// Re-exported so downstream crates name the unified API through `recnmp`.
+pub use recnmp_backend::{RunReport, ShardingPolicy, SlsBackend, SlsTrace, TraceBatch};
+pub use system::{compile_trace, RecNmpSystem, SessionStats};

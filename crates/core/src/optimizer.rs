@@ -27,10 +27,7 @@ impl LocalityAwareOptimizer {
         Self {
             scheduling: config.scheduling,
             profiling: config.hot_entry_profiling && config.rank_cache.is_some(),
-            cache_lines: config
-                .rank_cache
-                .as_ref()
-                .map_or(0, |c| c.num_lines()),
+            cache_lines: config.rank_cache.as_ref().map_or(0, |c| c.num_lines()),
             max_threshold: 4,
         }
     }

@@ -200,7 +200,9 @@ mod tests {
             poolings: (0..poolings)
                 .map(|p| {
                     Pooling::unweighted(
-                        (0..pooling_len).map(|i| ((p * pooling_len + i) % 1000) as u64).collect(),
+                        (0..pooling_len)
+                            .map(|i| ((p * pooling_len + i) % 1000) as u64)
+                            .collect(),
                     )
                 })
                 .collect(),

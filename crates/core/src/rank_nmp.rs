@@ -9,8 +9,8 @@
 //! reads.
 
 use recnmp_cache::{CacheConfig, CacheStats, RankCache, RankCacheOutcome};
-use recnmp_dram::{DramAddr, MemorySystem};
 use recnmp_dram::request::RequestKind;
+use recnmp_dram::{DramAddr, MemorySystem};
 use recnmp_types::{ConfigError, Cycle, RankId, RequestId};
 use serde::{Deserialize, Serialize};
 
@@ -105,7 +105,10 @@ impl RankNmp {
 
     /// RankCache statistics (zeroed when no cache is configured).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.as_ref().map(RankCache::stats).unwrap_or_default()
+        self.cache
+            .as_ref()
+            .map(RankCache::stats)
+            .unwrap_or_default()
     }
 
     /// The cache configuration, if any.

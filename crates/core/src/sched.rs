@@ -99,11 +99,7 @@ mod tests {
 
     #[test]
     fn grouping_preserves_within_group_order() {
-        let q = vec![
-            packet(0, 5, 10),
-            packet(0, 5, 11),
-            packet(0, 5, 12),
-        ];
+        let q = vec![packet(0, 5, 10), packet(0, 5, 11), packet(0, 5, 12)];
         let out = schedule(q.clone(), SchedulingPolicy::TableAware);
         assert_eq!(out, q);
     }

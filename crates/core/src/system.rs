@@ -1,77 +1,61 @@
 //! The full RecNMP-equipped memory channel.
 
+use recnmp_backend::report::{add_cache, add_dram, cache_delta, dram_delta};
+use recnmp_backend::{RunReport, SlsBackend, SlsTrace, TraceBatch};
 use recnmp_cache::CacheStats;
 use recnmp_dram::address::{AddressMapping, Geometry};
+use recnmp_dram::DramStats;
 use recnmp_trace::{PageMapper, SlsBatch};
 use recnmp_types::{ConfigError, Cycle, ModelId};
 use serde::{Deserialize, Serialize};
 
-use crate::config::RecNmpConfig;
+use crate::config::{ExecutionMode, RecNmpConfig};
 use crate::dimm_nmp::DimmNmp;
 use crate::inst::{NmpInst, NmpOpcode};
 use crate::optimizer::LocalityAwareOptimizer;
 use crate::packet::{NmpPacket, PacketBuilder};
 
-/// Aggregate results of running a packet stream on a [`RecNmpSystem`].
+/// Lifetime statistics of one [`RecNmpSystem`] — **cumulative** across
+/// every run the channel has served.
+///
+/// Per-run results come from the [`RunReport`] snapshots that
+/// [`RecNmpSystem::run_packets`] (and the [`SlsBackend`] impl) return;
+/// this struct is the session-scope complement for long-running serving
+/// scenarios (utilization over a whole trace replay, total bytes moved).
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
-pub struct NmpRunReport {
-    /// End-to-end cycles from first delivery to last sum.
-    pub total_cycles: Cycle,
-    /// Packets executed.
+pub struct SessionStats {
+    /// Packets executed since construction.
     pub packets: usize,
-    /// Instructions executed.
+    /// Instructions executed since construction.
     pub insts: u64,
-    /// Per-packet latency (delivery start to DIMM.Sum).
+    /// Per-packet latency, one entry per packet ever run.
     pub packet_latencies: Vec<Cycle>,
-    /// Per-packet fraction of instructions handled by the busiest rank
-    /// (the Figure 14(b) load-imbalance metric; 1/ranks is perfect).
+    /// Per-packet busiest-rank fraction, aligned with `packet_latencies`.
     pub slowest_rank_fraction: Vec<f64>,
-    /// Total instructions per rank.
+    /// Total instructions per rank since construction.
     pub rank_insts: Vec<u64>,
-    /// Aggregated RankCache statistics.
-    pub cache: CacheStats,
-    /// ACT commands issued across all ranks.
-    pub dram_acts: u64,
-    /// 64-byte bursts read from DRAM devices.
-    pub dram_bursts: u64,
-    /// Embedding bytes gathered (before cache filtering).
+    /// Embedding bytes gathered since construction.
     pub gathered_bytes: u64,
-    /// Bytes crossing the channel interface (instructions in, sums out).
+    /// Channel-interface bytes since construction.
     pub io_bytes: u64,
-    /// FP32 additions performed by the datapath.
-    pub alu_adds: u64,
-    /// FP32 multiplications performed by the datapath.
-    pub alu_mults: u64,
 }
 
-impl NmpRunReport {
-    /// Mean packet latency in cycles.
-    pub fn mean_packet_latency(&self) -> f64 {
-        if self.packet_latencies.is_empty() {
-            0.0
-        } else {
-            self.packet_latencies.iter().sum::<Cycle>() as f64 / self.packet_latencies.len() as f64
-        }
-    }
-
-    /// Mean slowest-rank fraction (load imbalance).
-    pub fn mean_imbalance(&self) -> f64 {
-        if self.slowest_rank_fraction.is_empty() {
-            0.0
-        } else {
-            self.slowest_rank_fraction.iter().sum::<f64>() / self.slowest_rank_fraction.len() as f64
-        }
-    }
-
-    /// Cycles per gathered vector — the throughput figure experiments
-    /// normalize against the host baseline.
-    pub fn cycles_per_lookup(&self) -> f64 {
-        if self.insts == 0 {
-            0.0
-        } else {
-            self.total_cycles as f64 / self.insts as f64
-        }
-    }
+/// Snapshot of every cumulative counter at the start of one run, used to
+/// report that run as a delta.
+#[derive(Debug, Clone)]
+struct RunMark {
+    start_cycle: Cycle,
+    packets: usize,
+    insts: u64,
+    latencies_len: usize,
+    rank_insts: Vec<u64>,
+    gathered_bytes: u64,
+    io_bytes: u64,
+    cache: CacheStats,
+    dram: DramStats,
+    dram_bursts: u64,
+    alu_adds: u64,
+    alu_mults: u64,
 }
 
 /// One RecNMP-equipped memory channel: the NMP-extended controller front
@@ -81,13 +65,14 @@ impl NmpRunReport {
 /// host configures the accumulation counter, streams instructions at two
 /// per DRAM cycle, and waits for the sum), each packet's latency set by
 /// its slowest rank; rank state (DRAM rows, RankCache contents) persists
-/// across packets.
+/// across packets — and across runs, while every returned [`RunReport`]
+/// covers exactly one run.
 #[derive(Debug)]
 pub struct RecNmpSystem {
     config: RecNmpConfig,
     dimms: Vec<DimmNmp>,
     now: Cycle,
-    report: NmpRunReport,
+    session: SessionStats,
 }
 
 impl RecNmpSystem {
@@ -106,9 +91,9 @@ impl RecNmpSystem {
             config,
             dimms,
             now: 0,
-            report: NmpRunReport {
+            session: SessionStats {
                 rank_insts: vec![0; ranks],
-                ..NmpRunReport::default()
+                ..SessionStats::default()
             },
         })
     }
@@ -120,12 +105,12 @@ impl RecNmpSystem {
 
     /// Channel geometry (for packet building and page mapping).
     pub fn geometry(&self) -> Geometry {
-        Geometry::ddr4_8gb_x8(self.config.total_ranks())
+        self.config.geometry()
     }
 
     /// The physical-to-DRAM mapping the NMP-extended controller applies.
     pub fn mapping(&self) -> AddressMapping {
-        AddressMapping::SkylakeXor
+        self.config.mapping()
     }
 
     /// Current cycle.
@@ -133,43 +118,81 @@ impl RecNmpSystem {
         self.now
     }
 
-    /// Runs a scheduled packet stream; returns the cumulative report.
-    pub fn run_packets(&mut self, packets: &[NmpPacket]) -> NmpRunReport {
-        let run_start = self.now;
+    /// Cumulative statistics across every run this channel has served.
+    pub fn session(&self) -> &SessionStats {
+        &self.session
+    }
+
+    /// Snapshots every cumulative counter at the start of a run.
+    fn mark(&self) -> RunMark {
+        let agg = self.aggregate();
+        RunMark {
+            start_cycle: self.now,
+            packets: self.session.packets,
+            insts: self.session.insts,
+            latencies_len: self.session.packet_latencies.len(),
+            rank_insts: self.session.rank_insts.clone(),
+            gathered_bytes: self.session.gathered_bytes,
+            io_bytes: self.session.io_bytes,
+            cache: agg.cache,
+            dram: agg.dram,
+            dram_bursts: agg.dram_bursts,
+            alu_adds: agg.alu_adds,
+            alu_mults: agg.alu_mults,
+        }
+    }
+
+    /// The per-run snapshot: everything that changed since `mark`.
+    fn report_since(&self, mark: &RunMark) -> RunReport {
+        let agg = self.aggregate();
+        RunReport {
+            system: "recnmp".into(),
+            total_cycles: self.now - mark.start_cycle,
+            packets: self.session.packets - mark.packets,
+            insts: self.session.insts - mark.insts,
+            packet_latencies: self.session.packet_latencies[mark.latencies_len..].to_vec(),
+            slowest_rank_fraction: self.session.slowest_rank_fraction[mark.latencies_len..]
+                .to_vec(),
+            rank_insts: self
+                .session
+                .rank_insts
+                .iter()
+                .zip(&mark.rank_insts)
+                .map(|(now, then)| now - then)
+                .collect(),
+            cache: cache_delta(&agg.cache, &mark.cache),
+            dram: dram_delta(&agg.dram, &mark.dram),
+            dram_bursts: agg.dram_bursts - mark.dram_bursts,
+            gathered_bytes: self.session.gathered_bytes - mark.gathered_bytes,
+            io_bytes: self.session.io_bytes - mark.io_bytes,
+            alu_adds: agg.alu_adds - mark.alu_adds,
+            alu_mults: agg.alu_mults - mark.alu_mults,
+        }
+    }
+
+    /// Runs a scheduled packet stream; returns the report for **this run
+    /// only** (rank state persists, counters do not leak across runs).
+    pub fn run_packets(&mut self, packets: &[NmpPacket]) -> RunReport {
+        let mark = self.mark();
         for packet in packets {
             self.run_one(packet);
         }
-        self.report.total_cycles = self.now - run_start;
-        self.aggregate();
-        self.report.clone()
+        self.report_since(&mark)
     }
 
-    /// Refreshes the aggregated per-rank statistics in the report.
-    fn aggregate(&mut self) {
-        let mut cache = CacheStats::default();
-        let mut acts = 0;
-        let mut bursts = 0;
-        let mut adds = 0;
-        let mut mults = 0;
+    /// Sums the cumulative per-rank hardware counters.
+    fn aggregate(&self) -> RankAggregates {
+        let mut agg = RankAggregates::default();
         for dimm in &self.dimms {
             for rank in dimm.ranks() {
-                let cs = rank.cache_stats();
-                cache.hits += cs.hits;
-                cache.misses += cs.misses;
-                cache.compulsory_misses += cs.compulsory_misses;
-                cache.evictions += cs.evictions;
-                cache.bypasses += cs.bypasses;
-                acts += rank.dram_stats().acts;
-                bursts += rank.stats().dram_bursts;
-                adds += rank.stats().adds;
-                mults += rank.stats().mults;
+                add_cache(&mut agg.cache, &rank.cache_stats());
+                add_dram(&mut agg.dram, rank.dram_stats());
+                agg.dram_bursts += rank.stats().dram_bursts;
+                agg.alu_adds += rank.stats().adds;
+                agg.alu_mults += rank.stats().mults;
             }
         }
-        self.report.cache = cache;
-        self.report.dram_acts = acts;
-        self.report.dram_bursts = bursts;
-        self.report.alu_adds = adds;
-        self.report.alu_mults = mults;
+        agg
     }
 
     fn run_one(&mut self, packet: &NmpPacket) {
@@ -207,17 +230,17 @@ impl RecNmpSystem {
 
         let total = packet.len() as u64;
         let max_rank = rank_counts.iter().copied().max().unwrap_or(0);
-        self.report
+        self.session
             .slowest_rank_fraction
             .push(max_rank as f64 / total as f64);
-        self.report.packet_latencies.push(packet_done - start);
-        for (acc, c) in self.report.rank_insts.iter_mut().zip(&rank_counts) {
+        self.session.packet_latencies.push(packet_done - start);
+        for (acc, c) in self.session.rank_insts.iter_mut().zip(&rank_counts) {
             *acc += c;
         }
-        self.report.packets += 1;
-        self.report.insts += total;
-        self.report.gathered_bytes += packet.gathered_bytes();
-        self.report.io_bytes += packet.inst_bytes() + packet.output_bytes();
+        self.session.packets += 1;
+        self.session.insts += total;
+        self.session.gathered_bytes += packet.gathered_bytes();
+        self.session.io_bytes += packet.inst_bytes() + packet.output_bytes();
         self.now = packet_done;
     }
 
@@ -230,7 +253,8 @@ impl RecNmpSystem {
     /// packets from different SLS operators are in flight on different
     /// ranks simultaneously. The run is reported as a single latency
     /// entry; per-packet latencies are not meaningful here.
-    pub fn run_packets_overlapped(&mut self, packets: &[NmpPacket]) -> NmpRunReport {
+    pub fn run_packets_overlapped(&mut self, packets: &[NmpPacket]) -> RunReport {
+        let mark = self.mark();
         let start = self.now;
         let ranks_per_dimm = self.config.ranks_per_dimm as usize;
         let total_ranks = self.config.total_ranks() as usize;
@@ -274,66 +298,106 @@ impl RecNmpSystem {
         self.now = done + 1;
         let total = delivered.max(1);
         let max_rank = rank_counts.iter().copied().max().unwrap_or(0);
-        self.report.packets += packets.len();
-        self.report.insts += delivered;
-        self.report
+        self.session.packets += packets.len();
+        self.session.insts += delivered;
+        self.session
             .packet_latencies
             .push(self.now.saturating_sub(start));
-        self.report
+        self.session
             .slowest_rank_fraction
             .push(max_rank as f64 / total as f64);
-        for (acc, c) in self.report.rank_insts.iter_mut().zip(&rank_counts) {
+        for (acc, c) in self.session.rank_insts.iter_mut().zip(&rank_counts) {
             *acc += c;
         }
-        self.report.gathered_bytes += gathered;
-        self.report.io_bytes += io;
-        self.report.total_cycles = self.now - start;
-        self.aggregate();
-        self.report.clone()
+        self.session.gathered_bytes += gathered;
+        self.session.io_bytes += io;
+        self.report_since(&mark)
     }
 
     /// Convenience entry point: compiles, optimizes and runs a set of SLS
     /// batches using an internally managed page mapping (each table gets
     /// contiguous logical space mapped to random physical pages).
     ///
-    /// Experiments that need a *shared* mapping with a host-baseline run
-    /// should use [`PacketBuilder`] plus [`run_packets`] directly.
-    ///
-    /// [`run_packets`]: Self::run_packets
+    /// Experiments that need a *shared* mapping with other backends should
+    /// build an [`SlsTrace`] and use the [`SlsBackend`] entry point.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if a batch's table spec is inconsistent.
-    pub fn offload(&mut self, batches: &[SlsBatch]) -> Result<NmpRunReport, ConfigError> {
+    pub fn offload(&mut self, batches: &[SlsBatch]) -> Result<RunReport, ConfigError> {
         let geo = self.geometry();
-        let mapping = self.mapping();
-        let builder = PacketBuilder::new(
-            NmpOpcode::Sum,
-            self.config.poolings_per_packet,
-            mapping,
-            geo,
-        );
-        let optimizer = LocalityAwareOptimizer::from_config(&self.config);
         let mut mapper = PageMapper::new(geo.capacity_bytes() / 4096, 0x5eed);
-        let mut packets = Vec::new();
+        let mut trace = SlsTrace::default();
         let mut base = 0u64;
         for batch in batches {
             batch.spec.validate()?;
-            let profile = optimizer.profile_batch(batch);
             let table_base = base;
             let vector_bytes = batch.spec.vector_bytes;
-            let mut translate =
-                |row: u64| mapper.translate(table_base + row * vector_bytes);
-            packets.extend(builder.build(
-                ModelId::new(0),
-                batch,
-                &mut translate,
-                profile.as_ref(),
-            ));
+            trace
+                .batches
+                .push(TraceBatch::new(batch.clone(), &mut |row| {
+                    mapper.translate(table_base + row * vector_bytes)
+                }));
             base += batch.spec.bytes();
         }
-        let scheduled = optimizer.schedule(packets);
-        Ok(self.run_packets(&scheduled))
+        Ok(SlsBackend::run(self, &trace))
+    }
+}
+
+/// Aggregated cumulative hardware counters across all ranks.
+#[derive(Debug, Clone, Default)]
+struct RankAggregates {
+    cache: CacheStats,
+    dram: DramStats,
+    dram_bursts: u64,
+    alu_adds: u64,
+    alu_mults: u64,
+}
+
+/// Compiles a shared [`SlsTrace`] into this channel's scheduled packet
+/// stream: one packet-group per batch, interleaved round-robin across
+/// batches (the parallel-SLS-thread arrival order), then ordered by the
+/// configured scheduling policy.
+pub fn compile_trace(
+    config: &RecNmpConfig,
+    geo: Geometry,
+    mapping: AddressMapping,
+    trace: &SlsTrace,
+) -> Vec<NmpPacket> {
+    let builder = PacketBuilder::new(NmpOpcode::Sum, config.poolings_per_packet, mapping, geo);
+    let optimizer = LocalityAwareOptimizer::from_config(config);
+    let mut per_batch: Vec<Vec<NmpPacket>> = Vec::with_capacity(trace.batches.len());
+    for tb in &trace.batches {
+        let profile = optimizer.profile_batch(&tb.batch);
+        // PacketBuilder walks poolings in order, so the trace's flat
+        // address stream lines up one-to-one with its translate calls.
+        let mut addrs = tb.flat_addrs();
+        let mut tr = |_row: u64| addrs.next().expect("one address per lookup");
+        per_batch.push(builder.build(ModelId::new(0), &tb.batch, &mut tr, profile.as_ref()));
+    }
+    let mut interleaved = Vec::new();
+    let max_len = per_batch.iter().map(Vec::len).max().unwrap_or(0);
+    for i in 0..max_len {
+        for packets in &per_batch {
+            if let Some(p) = packets.get(i) {
+                interleaved.push(p.clone());
+            }
+        }
+    }
+    optimizer.schedule(interleaved)
+}
+
+impl SlsBackend for RecNmpSystem {
+    fn name(&self) -> &str {
+        "recnmp"
+    }
+
+    fn run(&mut self, trace: &SlsTrace) -> RunReport {
+        let packets = compile_trace(&self.config, self.geometry(), self.mapping(), trace);
+        match self.config.execution {
+            ExecutionMode::Serial => self.run_packets(&packets),
+            ExecutionMode::Overlapped => self.run_packets_overlapped(&packets),
+        }
     }
 }
 
@@ -397,7 +461,12 @@ mod tests {
         let rb = base.offload(&w).unwrap();
         let rc = cached.offload(&w).unwrap();
         assert_eq!(rb.insts, rc.insts);
-        assert!(rc.dram_bursts < rb.dram_bursts, "{} vs {}", rc.dram_bursts, rb.dram_bursts);
+        assert!(
+            rc.dram_bursts < rb.dram_bursts,
+            "{} vs {}",
+            rc.dram_bursts,
+            rb.dram_bursts
+        );
         assert!(rc.cache.hits > 0);
         assert!(rc.total_cycles <= rb.total_cycles);
     }
@@ -447,5 +516,53 @@ mod tests {
         let report = sys.offload(&[]).unwrap();
         assert_eq!(report.total_cycles, 0);
         assert_eq!(report.packets, 0);
+    }
+
+    #[test]
+    fn reports_are_per_run_snapshots() {
+        // Regression for the seed's mixed semantics: `total_cycles` was
+        // per-run while `packets`/`insts`/`packet_latencies` accumulated
+        // forever. Every field must now cover one run only.
+        let mut sys = RecNmpSystem::new(quiet(RecNmpConfig::with_ranks(1, 2))).unwrap();
+        let w = batches(2, 8);
+        let first = sys.offload(&w).unwrap();
+        let second = sys.offload(&w).unwrap();
+        assert_eq!(first.packets, second.packets);
+        assert_eq!(first.insts, second.insts);
+        assert_eq!(first.packet_latencies.len(), second.packet_latencies.len());
+        assert_eq!(
+            first.rank_insts.iter().sum::<u64>(),
+            second.rank_insts.iter().sum::<u64>()
+        );
+        assert_eq!(first.gathered_bytes, second.gathered_bytes);
+        // DRAM/cache counters are deltas too: the second run cannot carry
+        // the first run's traffic.
+        assert!(second.dram_bursts <= first.dram_bursts);
+        // The session view is the cumulative complement.
+        let s = sys.session();
+        assert_eq!(s.packets, first.packets + second.packets);
+        assert_eq!(s.insts, first.insts + second.insts);
+        assert_eq!(
+            s.packet_latencies.len(),
+            first.packet_latencies.len() + second.packet_latencies.len()
+        );
+    }
+
+    #[test]
+    fn overlapped_report_is_delta_too() {
+        let mut sys = RecNmpSystem::new(quiet(RecNmpConfig::with_ranks(2, 2))).unwrap();
+        let geo = sys.geometry();
+        let mapping = sys.mapping();
+        let cfg = sys.config().clone();
+        let w = batches(4, 8);
+        let trace = SlsTrace::from_batches(&w, &mut |t, row| {
+            recnmp_types::PhysAddr::new(((t as u64) << 28) ^ (row * 128))
+        });
+        let packets = compile_trace(&cfg, geo, mapping, &trace);
+        let first = sys.run_packets_overlapped(&packets);
+        let second = sys.run_packets_overlapped(&packets);
+        assert_eq!(first.insts, second.insts);
+        assert_eq!(second.packet_latencies.len(), 1);
+        assert_eq!(first.packets, second.packets);
     }
 }

@@ -222,7 +222,10 @@ mod tests {
     #[test]
     fn decode_stays_in_bounds() {
         let g = geo();
-        for mapping in [AddressMapping::RowRankBankColumn, AddressMapping::SkylakeXor] {
+        for mapping in [
+            AddressMapping::RowRankBankColumn,
+            AddressMapping::SkylakeXor,
+        ] {
             for i in 0..10_000u64 {
                 let a = mapping.decode(PhysAddr::new(i * 4097), &g);
                 assert!(a.rank < g.ranks);
@@ -254,10 +257,7 @@ mod tests {
                     .bank_group
             })
             .collect();
-        let plain_distinct = plain
-            .iter()
-            .collect::<std::collections::HashSet<_>>()
-            .len();
+        let plain_distinct = plain.iter().collect::<std::collections::HashSet<_>>().len();
         let xor_distinct = xor.iter().collect::<std::collections::HashSet<_>>().len();
         assert!(xor_distinct >= plain_distinct);
     }

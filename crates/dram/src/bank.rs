@@ -74,7 +74,10 @@ impl Bank {
 
     /// Applies a RD issued at `now`.
     pub fn do_rd(&mut self, now: Cycle, t: &DdrTiming) {
-        debug_assert!(matches!(self.state, BankState::Open(_)), "RD to closed bank");
+        debug_assert!(
+            matches!(self.state, BankState::Open(_)),
+            "RD to closed bank"
+        );
         debug_assert!(now >= self.next_rd, "RD violates tRCD/tCCD");
         // Reads delay a following precharge by tRTP.
         self.next_pre = self.next_pre.max(now + t.t_rtp);
@@ -82,7 +85,10 @@ impl Bank {
 
     /// Applies a WR issued at `now`.
     pub fn do_wr(&mut self, now: Cycle, t: &DdrTiming) {
-        debug_assert!(matches!(self.state, BankState::Open(_)), "WR to closed bank");
+        debug_assert!(
+            matches!(self.state, BankState::Open(_)),
+            "WR to closed bank"
+        );
         debug_assert!(now >= self.next_wr, "WR violates tRCD");
         // Writes delay a following precharge until write recovery is done.
         self.next_pre = self.next_pre.max(now + t.t_cwl + t.t_bl + t.t_wr);

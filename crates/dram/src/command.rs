@@ -57,7 +57,11 @@ impl fmt::Display for DdrCommand {
         write!(
             f,
             "{} r{} bg{} b{} row{} col{}",
-            self.kind, self.addr.rank, self.addr.bank_group, self.addr.bank, self.addr.row,
+            self.kind,
+            self.addr.rank,
+            self.addr.bank_group,
+            self.addr.bank,
+            self.addr.row,
             self.addr.column
         )
     }

@@ -34,8 +34,7 @@ impl BandwidthModel {
     /// Raw bandwidth demand of `threads` SLS threads at `batch` size, were
     /// the memory system unlimited.
     pub fn demand_gbs(&self, threads: usize, batch: usize) -> f64 {
-        let per_thread =
-            self.per_thread_max_gbs * batch as f64 / (batch as f64 + self.batch_half);
+        let per_thread = self.per_thread_max_gbs * batch as f64 / (batch as f64 + self.batch_half);
         per_thread * threads as f64
     }
 

@@ -126,7 +126,10 @@ impl ModelConfig {
 
     /// Weight bytes of an MLP (FP32, ignoring biases).
     fn mlp_bytes(widths: &[usize]) -> u64 {
-        widths.windows(2).map(|w| 4 * (w[0] as u64) * (w[1] as u64)).sum()
+        widths
+            .windows(2)
+            .map(|w| 4 * (w[0] as u64) * (w[1] as u64))
+            .sum()
     }
 
     /// FLOPs per sample in the bottom MLP.

@@ -278,8 +278,12 @@ mod tests {
     #[test]
     fn sls_fraction_grows_with_tables() {
         let m = model();
-        let f_rm1 = m.breakdown(&RecModelKind::Rm1Small.config(), 8).sls_fraction();
-        let f_rm2 = m.breakdown(&RecModelKind::Rm2Small.config(), 8).sls_fraction();
+        let f_rm1 = m
+            .breakdown(&RecModelKind::Rm1Small.config(), 8)
+            .sls_fraction();
+        let f_rm2 = m
+            .breakdown(&RecModelKind::Rm2Small.config(), 8)
+            .sls_fraction();
         assert!(f_rm2 > f_rm1, "{f_rm1} vs {f_rm2}");
     }
 

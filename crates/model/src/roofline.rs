@@ -59,7 +59,11 @@ pub struct RooflinePoint {
 
 /// Computes roofline points for a model and its FC / SLS operators across
 /// a batch sweep, using the calibrated CPU model for achieved performance.
-pub fn model_points(config: &ModelConfig, batches: &[usize], perf: &CpuPerfModel) -> Vec<RooflinePoint> {
+pub fn model_points(
+    config: &ModelConfig,
+    batches: &[usize],
+    perf: &CpuPerfModel,
+) -> Vec<RooflinePoint> {
     let mut points = Vec::new();
     for &batch in batches {
         let b = config.kind.name();
@@ -68,7 +72,8 @@ pub fn model_points(config: &ModelConfig, batches: &[usize], perf: &CpuPerfModel
 
         // SLS: one add (and implicitly a load) per gathered element; the
         // paper's key observation is that OI is low and batch-independent.
-        let sls_flops = batch_f * (config.num_tables * config.pooling * config.table_spec.dims()) as f64;
+        let sls_flops =
+            batch_f * (config.num_tables * config.pooling * config.table_spec.dims()) as f64;
         let sls_bytes = batch_f * config.sls_bytes_per_sample() as f64;
         points.push(RooflinePoint {
             name: format!("SLS ({b})"),
@@ -83,8 +88,7 @@ pub fn model_points(config: &ModelConfig, batches: &[usize], perf: &CpuPerfModel
         let fc_weight_bytes = (config.bottom_fc_bytes() + config.top_fc_bytes()) as f64;
         let fc_act_bytes = batch_f
             * 4.0
-            * (config.bottom_fc.iter().sum::<usize>() + config.top_fc.iter().sum::<usize>())
-                as f64;
+            * (config.bottom_fc.iter().sum::<usize>() + config.top_fc.iter().sum::<usize>()) as f64;
         let fc_bytes = fc_weight_bytes + fc_act_bytes;
         points.push(RooflinePoint {
             name: format!("FC ({b})"),
@@ -138,8 +142,7 @@ mod tests {
     fn sls_oi_is_low_and_fixed() {
         let cfg = RecModelKind::Rm1Large.config();
         let pts = model_points(&cfg, &[1, 64, 256], &CpuPerfModel::table1());
-        let sls: Vec<&RooflinePoint> =
-            pts.iter().filter(|p| p.name.starts_with("SLS")).collect();
+        let sls: Vec<&RooflinePoint> = pts.iter().filter(|p| p.name.starts_with("SLS")).collect();
         // OI = dims/vector_bytes = 16/64 = 0.25 FLOP/B, batch-independent.
         for p in &sls {
             assert!((p.oi - 0.25).abs() < 1e-12, "{}", p.oi);

@@ -57,7 +57,12 @@ pub fn fig01_roofline_lift() -> ExperimentResult {
     let lifted = base.lifted(8.0);
     let mut t = TextTable::new(
         "attainable performance (GFLOP/s)",
-        &["operational intensity", "baseline roof", "RecNMP roof (8x)", "lift"],
+        &[
+            "operational intensity",
+            "baseline roof",
+            "RecNMP roof (8x)",
+            "lift",
+        ],
     );
     for oi in [0.0625, 0.25, 1.0, 4.0, 16.0, 64.0] {
         let b = base.attainable_gflops(oi);
@@ -116,7 +121,14 @@ pub fn fig05_roofline() -> ExperimentResult {
     let roof = Roofline::table1();
     let mut t = TextTable::new(
         "roofline points",
-        &["point", "batch", "FLOP/byte", "GFLOP/s", "roof", "% of roof"],
+        &[
+            "point",
+            "batch",
+            "FLOP/byte",
+            "GFLOP/s",
+            "roof",
+            "% of roof",
+        ],
     );
     for kind in [RecModelKind::Rm1Large, RecModelKind::Rm2Large] {
         for p in model_points(&kind.config(), &[1, 16, 64, 256], &perf) {
@@ -149,7 +161,14 @@ pub fn fig06_bw_saturation() -> ExperimentResult {
     let bw = BandwidthModel::table1();
     let mut t = TextTable::new(
         "achieved bandwidth (GB/s)",
-        &["threads", "batch 16", "batch 64", "batch 128", "batch 256", "lat. mult @256"],
+        &[
+            "threads",
+            "batch 16",
+            "batch 64",
+            "batch 128",
+            "batch 256",
+            "lat. mult @256",
+        ],
     );
     for threads in [1usize, 2, 4, 8, 16, 24, 30, 36, 40] {
         t.push_row(vec![
@@ -232,8 +251,8 @@ pub fn fig07_locality(scale: Scale) -> ExperimentResult {
         .map(|l| mapper.translate(l).get())
         .collect();
     for line in [64u64, 128, 256, 512] {
-        let mut sa = SetAssocCache::new(CacheConfig::new(16 * MIB, line, 4))
-            .expect("valid cache geometry");
+        let mut sa =
+            SetAssocCache::new(CacheConfig::new(16 * MIB, line, 4)).expect("valid cache geometry");
         let mut fa = FullyAssocLru::new(16 * MIB, line).expect("valid cache geometry");
         tb.push_row(vec![
             format!("{line} B"),

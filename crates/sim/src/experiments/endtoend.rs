@@ -20,7 +20,13 @@ pub fn fig17_fc_colocation() -> ExperimentResult {
         let cfg = kind.config();
         let mut t = TextTable::new(
             format!("{} TopFC (batch 64)", kind.name()),
-            &["co-located", "pooling", "baseline (us)", "RecNMP (us)", "RecNMP gain"],
+            &[
+                "co-located",
+                "pooling",
+                "baseline (us)",
+                "RecNMP (us)",
+                "RecNMP gain",
+            ],
         );
         for co in [1usize, 2, 4, 8] {
             for pooling in [20usize, 80] {

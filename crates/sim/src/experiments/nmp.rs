@@ -62,7 +62,12 @@ pub fn fig12_hitrate(scale: Scale) -> ExperimentResult {
     // Per-table hit rates, fully optimized vs unoptimized.
     let mut tp = TextTable::new(
         "per-table hit rate (single-table runs)",
-        &["table", "no optimization", "sched + profile", "ideal (compulsory)"],
+        &[
+            "table",
+            "no optimization",
+            "sched + profile",
+            "ideal (compulsory)",
+        ],
     );
     for table in 0..8usize {
         let rounds = scale.scaled(2, 6);
@@ -115,7 +120,14 @@ pub fn fig14_scaling(scale: Scale) -> ExperimentResult {
     let e = engine(scale, 8, 0x14);
     let mut t = TextTable::new(
         "(a) memory-latency speedup over the DRAM baseline",
-        &["config (DIMMxRank)", "ppp=1", "ppp=2", "ppp=4", "ppp=8", "page-colored"],
+        &[
+            "config (DIMMxRank)",
+            "ppp=1",
+            "ppp=2",
+            "ppp=4",
+            "ppp=8",
+            "page-colored",
+        ],
     );
     for (dimms, ranks) in [(1u8, 2u8), (1, 4), (2, 2), (4, 2)] {
         let mut row = vec![format!("{dimms}x{ranks}")];
@@ -179,7 +191,12 @@ pub fn fig15_opt(scale: Scale) -> ExperimentResult {
 
     let mut t = TextTable::new(
         "(a) cumulative optimizations (8 ranks, 8 poolings/packet)",
-        &["configuration", "speedup vs DRAM", "norm. latency", "hit rate"],
+        &[
+            "configuration",
+            "speedup vs DRAM",
+            "norm. latency",
+            "hit rate",
+        ],
     );
     let mut best_speedup = 0.0;
     for (name, cfg) in opt_ladder(4, 2) {

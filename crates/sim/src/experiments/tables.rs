@@ -67,10 +67,7 @@ pub fn tab01_config() -> ExperimentResult {
         "off-chip IO".into(),
         format!("{} pJ/b", e.io_pj_per_bit),
     ]);
-    te.push_row(vec![
-        "RankCache access".into(),
-        "1 cycle, 50 pJ".into(),
-    ]);
+    te.push_row(vec!["RankCache access".into(), "1 cycle, 50 pJ".into()]);
     te.push_row(vec![
         "FP32 add / mult".into(),
         "3 cycles, 7.89 pJ / 4 cycles, 25.2 pJ".into(),
@@ -89,7 +86,13 @@ pub fn tab02_overhead() -> ExperimentResult {
     let opt = PuPhysical::estimate(&RecNmpConfig::optimized(1, 2));
     let mut t = TextTable::new(
         "per-PU overhead",
-        &["design", "area (mm2)", "power (mW)", "vs Chameleon area", "vs Chameleon power"],
+        &[
+            "design",
+            "area (mm2)",
+            "power (mW)",
+            "vs Chameleon area",
+            "vs Chameleon power",
+        ],
     );
     for (name, p) in [("RecNMP-base", base), ("RecNMP-opt", opt)] {
         t.push_row(vec![

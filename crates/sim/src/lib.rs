@@ -5,10 +5,12 @@
 //!
 //! * [`workload`] — shared logical→physical layout so the host baseline,
 //!   the comparator NMP systems and RecNMP serve *identical* address
-//!   traces;
-//! * [`speedup`] — the Figure 14/15/16 engine: run the same SLS workload
-//!   through the DRAM baseline and a RecNMP configuration and report the
-//!   memory-latency speedup;
+//!   traces (one [`SlsTrace`](recnmp_backend::SlsTrace) per comparison);
+//! * [`speedup`] — the Figure 14/15/16 engine: run the same SLS trace
+//!   through any pair of [`SlsBackend`](recnmp_backend::SlsBackend)s and
+//!   report the memory-latency speedup. The engine has no
+//!   backend-specific branches, so new comparators (a cluster, a future
+//!   system) drop in unchanged;
 //! * [`colocation`] — the Figure 17/18 layer: co-located model inference
 //!   latency/throughput built on the calibrated CPU model and the
 //!   cycle-level SLS results;
@@ -19,6 +21,32 @@
 //!   and the docs.
 //!
 //! # Examples
+//!
+//! Compare two backends on one shared trace:
+//!
+//! ```
+//! use recnmp::{RecNmpConfig, RecNmpSystem};
+//! use recnmp_baselines::HostBaseline;
+//! use recnmp_sim::{SpeedupEngine, TraceKind};
+//!
+//! # fn main() -> Result<(), recnmp_types::ConfigError> {
+//! let engine = SpeedupEngine::with_workload(TraceKind::Production, 2, 1, 4, 7);
+//! let mut config = RecNmpConfig::with_ranks(1, 2);
+//! config.refresh = false;
+//! let trace = engine.trace_for(&config);
+//!
+//! // Matched comparison: both systems share the refresh setting.
+//! let mut dram_cfg = recnmp_dram::DramConfig::with_ranks(config.dimms, config.ranks_per_dimm);
+//! dram_cfg.refresh = config.refresh;
+//! let mut host = HostBaseline::with_config(dram_cfg)?;
+//! let mut nmp = RecNmpSystem::new(config)?;
+//! let cmp = engine.compare_backends(&mut host, &mut nmp, &trace);
+//! assert!(cmp.speedup() > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Regenerate a paper artifact:
 //!
 //! ```no_run
 //! // Regenerate the Figure 15 optimization-breakdown experiment.

@@ -1,44 +1,52 @@
 //! The SLS memory-latency comparison engine (Figures 14, 15, 16).
 //!
 //! One [`SpeedupEngine`] owns a workload and serves it, from identical
-//! physical traces, to the DRAM host baseline, RecNMP configurations, and
-//! the DIMM-level NMP comparators, reporting cycles-per-lookup for each.
+//! physical traces, to any [`SlsBackend`] — the DRAM host baseline,
+//! RecNMP configurations, the DIMM-level NMP comparators, multi-channel
+//! clusters, and whatever comes next — reporting the unified
+//! [`RunReport`] for each. The engine has no backend-specific logic:
+//! every run goes through [`SpeedupEngine::run_backend`].
 
-use recnmp::{NmpRunReport, RecNmpConfig, RecNmpSystem};
-use recnmp_baselines::{BaselineReport, Chameleon, HostBaseline, TensorDimm};
+use recnmp::{compile_trace, ExecutionMode, RecNmpConfig, RecNmpSystem};
+use recnmp_backend::{RunReport, SlsBackend, SlsTrace};
+use recnmp_baselines::{Chameleon, HostBaseline, TensorDimm};
 use recnmp_dram::DramConfig;
 use recnmp_types::{ConfigError, PhysAddr};
 use serde::{Deserialize, Serialize};
 
 use crate::workload::{SlsWorkload, TableLayout, TraceKind};
 
-/// Cycles-per-lookup of two systems on the same trace.
+/// Two systems' reports on the same trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SlsComparison {
-    /// Host baseline cycles per lookup.
-    pub baseline_cpl: f64,
-    /// RecNMP cycles per lookup.
-    pub nmp_cpl: f64,
-    /// The RecNMP run report (cache stats, imbalance, energy inputs).
-    pub nmp_report: NmpRunReport,
-    /// The baseline run report.
-    pub baseline_report: recnmp_dram::DramStats,
-    /// Host total cycles.
-    pub baseline_cycles: u64,
+    /// The baseline system's report (conventionally the host).
+    pub baseline: RunReport,
+    /// The accelerated system's report (conventionally RecNMP).
+    pub nmp: RunReport,
 }
 
 impl SlsComparison {
-    /// Memory-latency speedup of RecNMP over the baseline.
+    /// Baseline cycles per lookup.
+    pub fn baseline_cpl(&self) -> f64 {
+        self.baseline.cycles_per_lookup()
+    }
+
+    /// Accelerated-system cycles per lookup.
+    pub fn nmp_cpl(&self) -> f64 {
+        self.nmp.cycles_per_lookup()
+    }
+
+    /// Memory-latency speedup of the accelerated system over the baseline.
     pub fn speedup(&self) -> f64 {
-        if self.nmp_cpl == 0.0 {
+        if self.nmp_cpl() == 0.0 {
             0.0
         } else {
-            self.baseline_cpl / self.nmp_cpl
+            self.baseline_cpl() / self.nmp_cpl()
         }
     }
 }
 
-/// Builds and runs matched SLS comparisons.
+/// Builds matched SLS traces and runs them through [`SlsBackend`]s.
 #[derive(Debug)]
 pub struct SpeedupEngine {
     workload: SlsWorkload,
@@ -71,58 +79,26 @@ impl SpeedupEngine {
         &self.workload
     }
 
-    fn layout_for(&self, config: &RecNmpConfig) -> TableLayout {
-        let capacity = recnmp_dram::address::Geometry::ddr4_8gb_x8(config.total_ranks())
-            .capacity_bytes();
-        TableLayout::random(&self.workload.specs, capacity, self.seed ^ 0xfeed)
+    fn capacity_for(config: &RecNmpConfig) -> u64 {
+        config.geometry().capacity_bytes()
     }
 
-    /// Runs the host baseline on the flat trace, with a channel matching
-    /// `config`'s DIMM/rank counts.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`ConfigError`] for invalid configurations.
-    pub fn run_host(&self, config: &RecNmpConfig) -> Result<BaselineReport, ConfigError> {
-        let mut layout = self.layout_for(config);
-        let trace = self
-            .workload
-            .flat_trace(&mut |t, r| layout.translate(t, r));
-        let mut dram_cfg = DramConfig::with_ranks(config.dimms, config.ranks_per_dimm);
-        dram_cfg.refresh = config.refresh;
-        let mut host = HostBaseline::with_config(dram_cfg)?;
-        Ok(host.run(&trace, self.workload.specs[0].bursts_per_vector() as u8))
-    }
-
-    /// Runs a RecNMP configuration on the same workload.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`ConfigError`] for invalid configurations.
-    pub fn run_nmp(&self, config: &RecNmpConfig) -> Result<NmpRunReport, ConfigError> {
-        let mut layout = self.layout_for(config);
-        let mut sys = RecNmpSystem::new(config.clone())?;
-        let packets = self.workload.packets(
-            config,
-            sys.geometry(),
-            sys.mapping(),
-            &mut |t, r| layout.translate(t, r),
+    /// The shared physical trace for a comparison at `config`'s geometry:
+    /// tables laid out contiguously in logical space, pages mapped
+    /// randomly. Every backend in one comparison serves this same trace.
+    pub fn trace_for(&self, config: &RecNmpConfig) -> SlsTrace {
+        let mut layout = TableLayout::random(
+            &self.workload.specs,
+            Self::capacity_for(config),
+            self.seed ^ 0xfeed,
         );
-        Ok(sys.run_packets(&packets))
+        self.workload.trace(&mut |t, r| layout.translate(t, r))
     }
 
-    /// Runs RecNMP with page-colored table placement (Figure 14(a)).
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`ConfigError`] for invalid configurations.
-    pub fn run_nmp_colored(&self, config: &RecNmpConfig) -> Result<NmpRunReport, ConfigError> {
+    /// The page-colored variant of the shared trace (Figure 14(a)): each
+    /// table's pages are pinned to the rank matching its color.
+    pub fn colored_trace_for(&self, config: &RecNmpConfig) -> SlsTrace {
         let ranks = config.total_ranks() as u32;
-        let capacity = recnmp_dram::address::Geometry::ddr4_8gb_x8(config.total_ranks())
-            .capacity_bytes();
-        let mut sys = RecNmpSystem::new(config.clone())?;
-        let geo = sys.geometry();
-        let mapping = sys.mapping();
         // Color = the rank a page's bursts decode to (a 4 KiB page spans
         // 64 columns of one row, hence a single rank even under the XOR
         // mapping). Page-colored OS allocation needs a capture-free
@@ -144,79 +120,130 @@ impl SpeedupEngine {
         };
         let mut layout = crate::workload::TableLayout::colored(
             &self.workload.specs,
-            capacity,
+            Self::capacity_for(config),
             self.seed ^ 0xc01c,
             color_of,
             ranks,
         );
-        let packets = self.workload.packets(
-            config,
-            geo,
-            mapping,
-            &mut |t, r| layout.translate(t, r),
-        );
-        // Page coloring pays off only with task-level parallelism: packets
-        // from different tables run on different ranks simultaneously
-        // (paper, Section V-A), hence the overlapped execution mode.
-        Ok(sys.run_packets_overlapped(&packets))
+        self.workload.trace(&mut |t, r| layout.translate(t, r))
     }
 
-    /// Runs TensorDIMM on the flat trace.
+    /// The flat physical lookup trace (for external consumers like energy
+    /// accounting and locality analysis).
+    pub fn flat_trace_for(&self, config: &RecNmpConfig) -> Vec<PhysAddr> {
+        self.trace_for(config).flat()
+    }
+
+    /// Runs any backend on a trace. This is the single execution path of
+    /// the engine — no backend-specific branches exist downstream of it.
+    pub fn run_backend(&self, backend: &mut dyn SlsBackend, trace: &SlsTrace) -> RunReport {
+        backend.run(trace)
+    }
+
+    /// Runs two backends on the same trace and pairs their reports.
+    pub fn compare_backends(
+        &self,
+        baseline: &mut dyn SlsBackend,
+        accelerated: &mut dyn SlsBackend,
+        trace: &SlsTrace,
+    ) -> SlsComparison {
+        SlsComparison {
+            baseline: self.run_backend(baseline, trace),
+            nmp: self.run_backend(accelerated, trace),
+        }
+    }
+
+    /// Runs the host baseline on the shared trace, with a channel matching
+    /// `config`'s DIMM/rank counts.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] for invalid configurations.
-    pub fn run_tensordimm(&self, config: &RecNmpConfig) -> Result<BaselineReport, ConfigError> {
-        let mut layout = self.layout_for(config);
-        let trace = self
-            .workload
-            .flat_trace(&mut |t, r| layout.translate(t, r));
-        let mut td = TensorDimm::new(config.dimms, config.ranks_per_dimm)?;
-        Ok(td.run(&trace, self.workload.specs[0].bursts_per_vector() as u8))
+    pub fn run_host(&self, config: &RecNmpConfig) -> Result<RunReport, ConfigError> {
+        let mut dram_cfg = DramConfig::with_ranks(config.dimms, config.ranks_per_dimm);
+        dram_cfg.refresh = config.refresh;
+        let mut host = HostBaseline::with_config(dram_cfg)?;
+        Ok(self.run_backend(&mut host, &self.trace_for(config)))
     }
 
-    /// Runs Chameleon on the flat trace.
+    /// Runs a RecNMP configuration on the shared trace.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] for invalid configurations.
-    pub fn run_chameleon(&self, config: &RecNmpConfig) -> Result<BaselineReport, ConfigError> {
-        let mut layout = self.layout_for(config);
-        let trace = self
-            .workload
-            .flat_trace(&mut |t, r| layout.translate(t, r));
-        let mut ch = Chameleon::new(config.dimms, config.ranks_per_dimm)?;
-        Ok(ch.run(&trace, self.workload.specs[0].bursts_per_vector() as u8))
+    pub fn run_nmp(&self, config: &RecNmpConfig) -> Result<RunReport, ConfigError> {
+        let mut sys = RecNmpSystem::new(config.clone())?;
+        Ok(self.run_backend(&mut sys, &self.trace_for(config)))
     }
 
-    /// Full host-vs-RecNMP comparison.
+    /// Runs RecNMP with page-colored table placement (Figure 14(a)).
+    ///
+    /// Page coloring pays off only with task-level parallelism: packets
+    /// from different tables run on different ranks simultaneously
+    /// (paper, Section V-A), hence the overlapped execution mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid configurations.
+    pub fn run_nmp_colored(&self, config: &RecNmpConfig) -> Result<RunReport, ConfigError> {
+        let mut overlapped = config.clone();
+        overlapped.execution = ExecutionMode::Overlapped;
+        let mut sys = RecNmpSystem::new(overlapped)?;
+        Ok(self.run_backend(&mut sys, &self.colored_trace_for(config)))
+    }
+
+    /// Runs TensorDIMM on the shared trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid configurations.
+    pub fn run_tensordimm(&self, config: &RecNmpConfig) -> Result<RunReport, ConfigError> {
+        let mut td = TensorDimm::with_refresh(config.dimms, config.ranks_per_dimm, config.refresh)?;
+        Ok(self.run_backend(&mut td, &self.trace_for(config)))
+    }
+
+    /// Runs Chameleon on the shared trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid configurations.
+    pub fn run_chameleon(&self, config: &RecNmpConfig) -> Result<RunReport, ConfigError> {
+        let mut ch = Chameleon::with_refresh(config.dimms, config.ranks_per_dimm, config.refresh)?;
+        Ok(self.run_backend(&mut ch, &self.trace_for(config)))
+    }
+
+    /// Full host-vs-RecNMP comparison: one shared trace, built once,
+    /// served to both backends.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] for invalid configurations.
     pub fn compare(&self, config: &RecNmpConfig) -> Result<SlsComparison, ConfigError> {
-        let host = self.run_host(config)?;
-        let nmp = self.run_nmp(config)?;
-        Ok(SlsComparison {
-            baseline_cpl: host.cycles_per_lookup(),
-            nmp_cpl: nmp.cycles_per_lookup(),
-            nmp_report: nmp,
-            baseline_report: host.dram,
-            baseline_cycles: host.total_cycles,
-        })
+        let trace = self.trace_for(config);
+        let mut dram_cfg = DramConfig::with_ranks(config.dimms, config.ranks_per_dimm);
+        dram_cfg.refresh = config.refresh;
+        let mut host = HostBaseline::with_config(dram_cfg)?;
+        let mut sys = RecNmpSystem::new(config.clone())?;
+        Ok(self.compare_backends(&mut host, &mut sys, &trace))
     }
 
-    /// The lookup trace (for external consumers like energy accounting).
-    pub fn trace_for(&self, config: &RecNmpConfig) -> Vec<PhysAddr> {
-        let mut layout = self.layout_for(config);
-        self.workload
-            .flat_trace(&mut |t, r| layout.translate(t, r))
+    /// Compiles the shared trace into `config`'s scheduled packet stream
+    /// (exposed for packet-level experiments). Uses the same geometry and
+    /// mapping the `SlsBackend` execution path derives from `config`.
+    pub fn packets_for(&self, config: &RecNmpConfig) -> Vec<recnmp::NmpPacket> {
+        compile_trace(
+            config,
+            config.geometry(),
+            config.mapping(),
+            &self.trace_for(config),
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use recnmp::cluster::{RecNmpCluster, RecNmpClusterConfig};
 
     fn quiet(mut cfg: RecNmpConfig) -> RecNmpConfig {
         cfg.refresh = false;
@@ -278,5 +305,37 @@ mod tests {
             random.total_cycles,
             colored.total_cycles
         );
+    }
+
+    #[test]
+    fn generic_backend_path_matches_named_helpers() {
+        // run_host/run_nmp are thin wrappers over run_backend: driving the
+        // backends directly through the trait gives identical reports.
+        let e = engine();
+        let cfg = quiet(RecNmpConfig::with_ranks(2, 2));
+        let trace = e.trace_for(&cfg);
+
+        let mut dram_cfg = DramConfig::with_ranks(cfg.dimms, cfg.ranks_per_dimm);
+        dram_cfg.refresh = cfg.refresh;
+        let mut host = HostBaseline::with_config(dram_cfg).unwrap();
+        let mut sys = RecNmpSystem::new(cfg.clone()).unwrap();
+        let cmp = e.compare_backends(&mut host, &mut sys, &trace);
+
+        assert_eq!(cmp.baseline, e.run_host(&cfg).unwrap());
+        assert_eq!(cmp.nmp, e.run_nmp(&cfg).unwrap());
+    }
+
+    #[test]
+    fn cluster_drops_into_the_engine() {
+        // A backend the engine has no named helper for runs through the
+        // same generic path — the point of the SlsBackend redesign.
+        let e = SpeedupEngine::with_workload(TraceKind::Production, 8, 1, 8, 29);
+        let cfg = quiet(RecNmpConfig::with_ranks(1, 2));
+        let trace = e.trace_for(&cfg);
+        let mut cluster = RecNmpCluster::new(RecNmpClusterConfig::new(2, cfg.clone())).unwrap();
+        let report = e.run_backend(&mut cluster, &trace);
+        assert_eq!(report.insts, trace.total_lookups());
+        let single = e.run_nmp(&cfg).unwrap();
+        assert!(report.total_cycles < single.total_cycles);
     }
 }

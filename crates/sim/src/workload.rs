@@ -7,11 +7,12 @@
 //! the flat vector trace (host baseline, TensorDIMM, Chameleon) and the
 //! NMP packet stream (RecNMP).
 
-use recnmp::packet::{NmpPacket, PacketBuilder};
-use recnmp::{LocalityAwareOptimizer, NmpOpcode, RecNmpConfig};
+use recnmp::packet::NmpPacket;
+use recnmp::RecNmpConfig;
+use recnmp_backend::SlsTrace;
 use recnmp_dram::address::{AddressMapping, Geometry};
 use recnmp_trace::{EmbeddingTableSpec, IndexDistribution, PageMapper, SlsBatch, TraceGenerator};
-use recnmp_types::{ModelId, PhysAddr, TableId};
+use recnmp_types::{PhysAddr, TableId};
 
 /// Which index streams the workload draws.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,19 +166,16 @@ impl SlsWorkload {
         self.batches.iter().map(SlsBatch::total_lookups).sum()
     }
 
+    /// The shared [`SlsTrace`] under `translate` — the single input every
+    /// [`SlsBackend`](recnmp_backend::SlsBackend) serves.
+    pub fn trace(&self, translate: &mut dyn FnMut(usize, u64) -> PhysAddr) -> SlsTrace {
+        SlsTrace::from_batches(&self.batches, translate)
+    }
+
     /// The flat physical vector trace, in arrival order (what the host
     /// baseline and DIMM-level NMP systems serve).
     pub fn flat_trace(&self, translate: &mut dyn FnMut(usize, u64) -> PhysAddr) -> Vec<PhysAddr> {
-        let mut out = Vec::with_capacity(self.total_lookups());
-        for batch in &self.batches {
-            let t = batch.table.index();
-            for pooling in &batch.poolings {
-                for &row in &pooling.indices {
-                    out.push(translate(t, row));
-                }
-            }
-        }
-        out
+        self.trace(translate).flat()
     }
 
     /// Compiles the workload into scheduled NMP packets for `config`,
@@ -189,32 +187,7 @@ impl SlsWorkload {
         mapping: AddressMapping,
         translate: &mut dyn FnMut(usize, u64) -> PhysAddr,
     ) -> Vec<NmpPacket> {
-        let builder = PacketBuilder::new(
-            NmpOpcode::Sum,
-            config.poolings_per_packet,
-            mapping,
-            geo,
-        );
-        let optimizer = LocalityAwareOptimizer::from_config(config);
-        // Interleave packets across batches the way parallel SLS threads
-        // hit the MC: one packet per table in turn.
-        let mut per_batch: Vec<Vec<NmpPacket>> = Vec::with_capacity(self.batches.len());
-        for batch in &self.batches {
-            let t = batch.table.index();
-            let profile = optimizer.profile_batch(batch);
-            let mut tr = |row: u64| translate(t, row);
-            per_batch.push(builder.build(ModelId::new(0), batch, &mut tr, profile.as_ref()));
-        }
-        let mut interleaved = Vec::new();
-        let max_len = per_batch.iter().map(Vec::len).max().unwrap_or(0);
-        for i in 0..max_len {
-            for packets in &per_batch {
-                if let Some(p) = packets.get(i) {
-                    interleaved.push(p.clone());
-                }
-            }
-        }
-        optimizer.schedule(interleaved)
+        recnmp::compile_trace(config, geo, mapping, &self.trace(translate))
     }
 }
 
@@ -232,8 +205,7 @@ mod tests {
     #[test]
     fn flat_trace_matches_lookup_count() {
         let w = SlsWorkload::build(TraceKind::Production, 2, 1, 4, 10, 2);
-        let mut layout =
-            TableLayout::random(&w.specs, 16 << 30, 3);
+        let mut layout = TableLayout::random(&w.specs, 16 << 30, 3);
         let trace = w.flat_trace(&mut |t, r| layout.translate(t, r));
         assert_eq!(trace.len(), w.total_lookups());
     }
@@ -256,12 +228,9 @@ mod tests {
         let cfg = RecNmpConfig::with_ranks(1, 2);
         let mut layout = TableLayout::random(&w.specs, 16 << 30, 5);
         let geo = Geometry::ddr4_8gb_x8(2);
-        let packets = w.packets(
-            &cfg,
-            geo,
-            AddressMapping::SkylakeXor,
-            &mut |t, r| layout.translate(t, r),
-        );
+        let packets = w.packets(&cfg, geo, AddressMapping::SkylakeXor, &mut |t, r| {
+            layout.translate(t, r)
+        });
         let insts: usize = packets.iter().map(NmpPacket::len).sum();
         assert_eq!(insts, w.total_lookups());
     }

@@ -87,7 +87,10 @@ impl TraceGenerator {
     ///
     /// Panics if `p` is outside `[0, 1)`.
     pub fn with_burst_reuse(mut self, p: f64, window: usize) -> Self {
-        assert!((0.0..1.0).contains(&p), "reuse probability must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "reuse probability must be in [0,1)"
+        );
         self.reuse_p = p;
         self.history_cap = window;
         self
@@ -148,7 +151,9 @@ impl TraceGenerator {
         SlsBatch {
             table: self.table,
             spec: self.spec,
-            poolings: (0..batch_size).map(|_| self.pooling(pooling_factor)).collect(),
+            poolings: (0..batch_size)
+                .map(|_| self.pooling(pooling_factor))
+                .collect(),
         }
     }
 
@@ -169,8 +174,18 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let mut a = TraceGenerator::new(TableId::new(1), spec(), IndexDistribution::Zipf { s: 0.9 }, 7);
-        let mut b = TraceGenerator::new(TableId::new(1), spec(), IndexDistribution::Zipf { s: 0.9 }, 7);
+        let mut a = TraceGenerator::new(
+            TableId::new(1),
+            spec(),
+            IndexDistribution::Zipf { s: 0.9 },
+            7,
+        );
+        let mut b = TraceGenerator::new(
+            TableId::new(1),
+            spec(),
+            IndexDistribution::Zipf { s: 0.9 },
+            7,
+        );
         assert_eq!(a.flat(100), b.flat(100));
     }
 
@@ -183,7 +198,12 @@ mod tests {
 
     #[test]
     fn indices_stay_in_range() {
-        let mut g = TraceGenerator::new(TableId::new(0), spec(), IndexDistribution::Zipf { s: 1.2 }, 3);
+        let mut g = TraceGenerator::new(
+            TableId::new(0),
+            spec(),
+            IndexDistribution::Zipf { s: 1.2 },
+            3,
+        );
         for i in g.flat(10_000) {
             assert!(i < spec().rows);
         }

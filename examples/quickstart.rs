@@ -1,11 +1,14 @@
-//! Quickstart: offload one SLS batch to RecNMP and compare against the
-//! host DRAM baseline.
+//! Quickstart: run one SLS workload through the unified `SlsBackend` API —
+//! host DRAM baseline, RecNMP-opt, and a 4-channel RecNMP cluster — and
+//! compare cycles per lookup, energy, and cluster scaling.
 //!
 //! ```text
-//! cargo run --release -p recnmp-sim --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
-use recnmp::RecNmpConfig;
+use recnmp::cluster::{RecNmpCluster, RecNmpClusterConfig};
+use recnmp::{RecNmpConfig, RecNmpSystem, SlsBackend};
+use recnmp_baselines::HostBaseline;
 use recnmp_sim::speedup::SpeedupEngine;
 use recnmp_sim::workload::TraceKind;
 
@@ -20,16 +23,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The paper's largest channel: 4 DIMMs x 2 ranks, fully optimized
     // (128 KiB RankCache, table-aware scheduling, hot-entry profiling).
+    // Every system serves the *same* physical trace through the one
+    // `SlsBackend` entry point.
     let config = RecNmpConfig::optimized(4, 2);
-    let comparison = engine.compare(&config)?;
+    let trace = engine.trace_for(&config);
+
+    let mut host = HostBaseline::new(config.dimms, config.ranks_per_dimm)?;
+    let mut nmp = RecNmpSystem::new(config.clone())?;
+    let comparison = engine.compare_backends(&mut host, &mut nmp, &trace);
 
     println!(
         "host DRAM baseline : {:.2} cycles/lookup",
-        comparison.baseline_cpl
+        comparison.baseline_cpl()
     );
     println!(
         "RecNMP-opt (8-rank): {:.2} cycles/lookup",
-        comparison.nmp_cpl
+        comparison.nmp_cpl()
     );
     println!(
         "memory latency speedup: {:.2}x (paper: up to 9.8x)",
@@ -37,20 +46,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "RankCache hit rate: {:.1}%",
-        100.0 * comparison.nmp_report.cache.effective_hit_rate()
+        100.0 * comparison.nmp.cache.effective_hit_rate()
     );
 
     // Energy: the host ships every embedding byte across the DIMM pins;
     // RecNMP returns only pooled sums.
     let dram_params = recnmp_dram::EnergyParams::table1();
     let nmp_params = recnmp::energy::NmpEnergyParams::table1();
-    let host_e = recnmp::energy::host_energy(&comparison.baseline_report, &dram_params);
-    let nmp_e = recnmp::energy::nmp_energy(&comparison.nmp_report, &dram_params, &nmp_params);
+    let host_e = recnmp::energy::host_energy(&comparison.baseline.dram, &dram_params);
+    let nmp_e = recnmp::energy::nmp_energy(&comparison.nmp, &dram_params, &nmp_params);
     println!(
         "memory energy: host {:.1} uJ vs RecNMP {:.1} uJ ({:.1}% saving; paper: 45.8%)",
         host_e.total_nj() / 1000.0,
         nmp_e.total_nj() / 1000.0,
         100.0 * recnmp::energy::energy_saving(&host_e, &nmp_e)
+    );
+
+    // Beyond the paper: fan the same workload across a 4-channel RecNMP
+    // cluster (hash-by-table sharding) and watch wall-clock drop.
+    let cluster_config = RecNmpClusterConfig::builder()
+        .channels(4)
+        .dimms(4)
+        .ranks_per_dimm(2)
+        .optimized(true)
+        .build()?;
+    let mut cluster = RecNmpCluster::new(cluster_config)?;
+    let fanned = cluster.run(&trace);
+    let single = comparison.nmp.total_cycles;
+    println!(
+        "cluster scaling: 1 channel {} cycles -> 4 channels {} cycles ({:.2}x)",
+        single,
+        fanned.total_cycles,
+        single as f64 / fanned.total_cycles as f64
     );
     Ok(())
 }

@@ -1,0 +1,15 @@
+//! Workspace umbrella for the RecNMP reproduction.
+//!
+//! This crate exists to host the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`; it re-exports the
+//! member crates so the examples can be read top-down.
+
+pub use recnmp;
+pub use recnmp_backend;
+pub use recnmp_baselines;
+pub use recnmp_cache;
+pub use recnmp_dram;
+pub use recnmp_model;
+pub use recnmp_sim;
+pub use recnmp_trace;
+pub use recnmp_types;

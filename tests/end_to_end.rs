@@ -21,7 +21,7 @@ fn full_pipeline_conservation() {
     let cfg = quiet(RecNmpConfig::optimized(2, 2));
 
     let host = engine.run_host(&cfg).expect("host run");
-    assert_eq!(host.vectors, lookups);
+    assert_eq!(host.insts, lookups);
 
     let nmp = engine.run_nmp(&cfg).expect("nmp run");
     assert_eq!(nmp.insts, lookups);
@@ -34,9 +34,9 @@ fn full_pipeline_conservation() {
     assert_eq!(nmp.cache.lookups() + nmp.cache.bypasses, lookups * vsize);
 
     let td = engine.run_tensordimm(&cfg).expect("tensordimm run");
-    assert_eq!(td.vectors, lookups);
+    assert_eq!(td.insts, lookups);
     let ch = engine.run_chameleon(&cfg).expect("chameleon run");
-    assert_eq!(ch.vectors, lookups);
+    assert_eq!(ch.insts, lookups);
 }
 
 #[test]

@@ -68,8 +68,8 @@ fn claim_memory_energy_saving() {
         .expect("opt run");
     let dram = EnergyParams::table1();
     let nmp = NmpEnergyParams::table1();
-    let host_e = host_energy(&cmp.baseline_report, &dram);
-    let nmp_e = nmp_energy(&cmp.nmp_report, &dram, &nmp);
+    let host_e = host_energy(&cmp.baseline.dram, &dram);
+    let nmp_e = nmp_energy(&cmp.nmp, &dram, &nmp);
     let saving = energy_saving(&host_e, &nmp_e);
     assert!(
         (0.30..0.70).contains(&saving),
@@ -86,7 +86,11 @@ fn claim_fc_colocation_relief() {
     let base = perf.breakdown_colocated(&cfg, 64, 8, false).top_fc_us;
     let relieved = perf.breakdown_colocated(&cfg, 64, 8, true).top_fc_us;
     let relief = 1.0 - relieved / base;
-    assert!((0.10..0.35).contains(&relief), "relief {:.1}%", 100.0 * relief);
+    assert!(
+        (0.10..0.35).contains(&relief),
+        "relief {:.1}%",
+        100.0 * relief
+    );
     // Small (L2-resident) FCs see only ~4%.
     let small_cfg = RecModelKind::Rm1Small.config();
     let b = perf.breakdown_colocated(&small_cfg, 64, 8, false).top_fc_us;

@@ -1,0 +1,169 @@
+//! Offline minimal stand-in for the `criterion` crate.
+//!
+//! The workspace builds hermetically (no crates.io). The bench targets use
+//! a small slice of criterion — `Criterion::benchmark_group`, group tuning
+//! knobs, `bench_function`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — which this crate provides
+//! with a simple wall-clock measurement loop instead of criterion's
+//! statistical machinery. Each benchmark runs a short warm-up, then times
+//! `sample_size` batches and prints the mean per-iteration time, so
+//! `cargo bench` produces comparable (if less rigorous) numbers offline.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the time budget for the measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+            warm_up: self.warm_up_time,
+            budget: self.measurement_time,
+            samples: self.sample_size,
+        };
+        f(&mut b);
+        let mean_ns = if b.iterations == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iterations as f64
+        };
+        println!(
+            "{}/{}: {} iterations, mean {:.1} us/iter",
+            self.name,
+            id,
+            b.iterations,
+            mean_ns / 1000.0
+        );
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark; nothing left to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Times a closure over repeated iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+    warm_up: Duration,
+    budget: Duration,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly: first until the warm-up budget elapses, then
+    /// timed until either the measurement budget or the sample count is
+    /// exhausted, whichever comes first.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+            self.iterations += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declares a benchmark group: a runner that calls each registered
+/// function with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        group.warm_up_time(Duration::ZERO);
+        group.measurement_time(Duration::from_secs(1));
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        assert!(runs >= 3);
+    }
+}

@@ -1,0 +1,159 @@
+//! Offline minimal stand-in for the `rand` crate.
+//!
+//! The workspace builds hermetically (no crates.io). Every stochastic
+//! component draws randomness through `recnmp_types::rng::DetRng`, which
+//! implements [`RngCore`]; the only `rand` surface the workspace uses is
+//! `RngCore` (implemented by `DetRng`) and `Rng::gen_range` over float
+//! and integer ranges. This crate provides exactly that surface with the
+//! same semantics as upstream `rand` for those calls.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Error type for fallible RNG operations (never produced here).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core RNG interface, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`fill_bytes`](Self::fill_bytes).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Ranges that can produce one uniformly distributed sample.
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + unit_f64(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (unit_f64(rng) as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                // Unbiased via Lemire's multiply-shift rejection.
+                let bound = span as u128;
+                loop {
+                    let x = rng.next_u64();
+                    let m = (x as u128).wrapping_mul(bound);
+                    let low = m as u64;
+                    if low >= span || low >= (u64::MAX - span + 1) % span {
+                        return self.start + ((m >> 64) as u64) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+int_range!(u64, u32, usize);
+
+/// Convenience methods atop [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Returns a uniformly distributed value from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SplitMix(u64);
+
+    impl RngCore for SplitMix {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn float_range_stays_in_bounds() {
+        let mut rng = SplitMix(1);
+        for _ in 0..10_000 {
+            let x: f32 = rng.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_range_stays_in_bounds_and_covers() {
+        let mut rng = SplitMix(2);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let x: u64 = rng.gen_range(3u64..10);
+            assert!((3..10).contains(&x));
+            seen[(x - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline minimal stand-in for the `rand_distr` crate.
+//!
+//! Provides the [`Distribution`] trait and an exact [`Zipf`] sampler —
+//! the only `rand_distr` surface the workspace uses. The sampler is the
+//! rejection-inversion method of Hörmann & Derflinger ("Rejection-
+//! inversion to generate variates from monotone discrete distributions",
+//! 1996), the same algorithm upstream `rand_distr` uses, so samples are
+//! drawn from the exact Zipf distribution (not an approximation) in O(1)
+//! expected time per sample.
+
+use rand::RngCore;
+
+/// Types that can sample values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`Zipf`] distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfError {
+    /// The number of elements must be at least 1.
+    NTooSmall,
+    /// The exponent must be positive and finite.
+    STooSmall,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipfError::NTooSmall => f.write_str("Zipf requires n >= 1"),
+            ZipfError::STooSmall => f.write_str("Zipf requires s > 0"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// The Zipf (zeta-truncated) distribution over `{1, ..., n}` with
+/// exponent `s`: `P(k) ∝ k^-s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+    /// `H(1.5) - 1`, the lower bound of the inversion domain.
+    h_x1: f64,
+    /// `H(n + 0.5)`, the upper bound of the inversion domain.
+    h_n: f64,
+    /// Acceptance shortcut constant.
+    shortcut: f64,
+}
+
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    if (1.0 - s).abs() < 1e-12 {
+        log_x
+    } else {
+        (((1.0 - s) * log_x).exp() - 1.0) / (1.0 - s)
+    }
+}
+
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+fn h_integral_inverse(x: f64, s: f64) -> f64 {
+    if (1.0 - s).abs() < 1e-12 {
+        x.exp()
+    } else {
+        // Guard against tiny negative arguments from rounding.
+        let t = (x * (1.0 - s) + 1.0).max(0.0);
+        (t.ln() / (1.0 - s)).exp()
+    }
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `{1, ..., n}` with exponent `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ZipfError`] when `n` is zero or `s` is not a positive
+    /// finite number.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n < 1 {
+            return Err(ZipfError::NTooSmall);
+        }
+        if s <= 0.0 || s.is_nan() || !s.is_finite() {
+            return Err(ZipfError::STooSmall);
+        }
+        let nf = n as f64;
+        Ok(Self {
+            n: nf,
+            s,
+            h_x1: h_integral(1.5, s) - 1.0,
+            h_n: h_integral(nf + 0.5, s),
+            shortcut: 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s),
+        })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            // u is uniform in (h_x1, h_n].
+            let u = self.h_n + unit * (self.h_x1 - self.h_n);
+            let x = h_integral_inverse(u, self.s);
+            let k = x.clamp(1.0, self.n).round();
+            if k - x <= self.shortcut || u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SplitMix(u64);
+
+    impl RngCore for SplitMix {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(1000, 0.9).unwrap();
+        let mut rng = SplitMix(3);
+        for _ in 0..50_000 {
+            let x = z.sample(&mut rng);
+            assert!((1.0..=1000.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn rank_one_frequency_matches_theory() {
+        // For Zipf(n=1000, s=1), P(1) = 1/H_1000 ≈ 0.1336.
+        let z = Zipf::new(1000, 1.0).unwrap();
+        let mut rng = SplitMix(4);
+        let n = 100_000;
+        let ones = (0..n).filter(|_| z.sample(&mut rng) == 1.0).count();
+        let p = ones as f64 / n as f64;
+        assert!((p - 0.1336).abs() < 0.01, "P(1) = {p}");
+    }
+
+    #[test]
+    fn skew_orders_rank_frequencies() {
+        let z = Zipf::new(100, 1.2).unwrap();
+        let mut rng = SplitMix(5);
+        let mut counts = [0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize - 1] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[4] > counts[40]);
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds hermetically (no crates.io); the simulator never
+//! serializes anything at runtime, so this crate only has to make
+//! `use serde::{Deserialize, Serialize};` plus the derive attributes
+//! compile. The traits are empty markers and the derives are no-ops.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

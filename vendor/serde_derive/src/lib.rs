@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in a hermetic environment with no crates.io
+//! access. Nothing in the workspace actually serializes data — the
+//! `#[derive(Serialize, Deserialize)]` attributes only document intent —
+//! so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -15,7 +15,8 @@
 //!   calling [`SlsBackend::run`] twice yields two independent reports,
 //!   never a cumulative blend;
 //! * [`SlsBackend`] — the execution trait:
-//!   `fn run(&mut self, trace: &SlsTrace) -> RunReport`.
+//!   `fn try_run(&mut self, trace: &SlsTrace) -> Result<RunReport, SimError>`,
+//!   with an infallible `run` wrapper for harness code.
 //!
 //! Sharding ([`ShardingPolicy`], [`SlsTrace::shard`]) splits a multi-table
 //! trace across independent channels — the building block of the
@@ -51,6 +52,8 @@ pub mod trace;
 pub use report::RunReport;
 pub use trace::{ShardingPolicy, SlsTrace, TraceBatch};
 
+use recnmp_types::SimError;
+
 /// An SLS execution system: anything that can serve a physical SLS trace
 /// and report what that cost.
 ///
@@ -73,5 +76,26 @@ pub trait SlsBackend {
     fn name(&self) -> &str;
 
     /// Serves `trace` and reports the cost of this run.
-    fn run(&mut self, trace: &SlsTrace) -> RunReport;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] when the backend's memory engine
+    /// stops making forward progress (a scheduling livelock), instead of
+    /// aborting the process. After an error the backend's hardware state
+    /// is unspecified — a stalled channel keeps its stuck requests — so
+    /// discard the backend rather than running it again.
+    fn try_run(&mut self, trace: &SlsTrace) -> Result<RunReport, SimError>;
+
+    /// Infallible convenience wrapper around [`try_run`](Self::try_run)
+    /// for harness code that treats a stalled simulation as a fatal bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run returns an error.
+    fn run(&mut self, trace: &SlsTrace) -> RunReport {
+        match self.try_run(trace) {
+            Ok(report) => report,
+            Err(e) => panic!("{} backend failed: {e}", self.name()),
+        }
+    }
 }

@@ -17,8 +17,8 @@
 
 use recnmp_backend::report::{add_dram, dram_delta};
 use recnmp_backend::{RunReport, SlsBackend, SlsTrace};
-use recnmp_dram::{DramConfig, DramStats, MemorySystem};
-use recnmp_types::{ConfigError, PhysAddr};
+use recnmp_dram::{DramConfig, DramStats, MemorySystem, SimEngine};
+use recnmp_types::{ConfigError, PhysAddr, SimError};
 
 /// Shared engine for DIMM-level NMP systems: per-DIMM memory controllers
 /// fed by a rate-limited shared command stream.
@@ -82,11 +82,27 @@ impl DimmLevelNmp {
         self.dimms.len()
     }
 
+    /// Switches the main-loop strategy of every per-DIMM memory controller
+    /// (used by the engine-equivalence suite).
+    pub fn set_engine(&mut self, engine: SimEngine) {
+        for dimm in &mut self.dimms {
+            dimm.set_engine(engine);
+        }
+    }
+
     /// Serves a lookup trace. Vectors are assigned to DIMMs by address
     /// interleave: a 64-byte vector lands in one DIMM; larger vectors
     /// spread consecutive bursts across DIMMs (the TensorDIMM layout).
     /// The report covers this call only.
-    pub fn serve(&mut self, vectors: &[PhysAddr], bursts_per_vector: u8) -> RunReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] if any per-DIMM channel livelocks.
+    pub fn serve(
+        &mut self,
+        vectors: &[PhysAddr],
+        bursts_per_vector: u8,
+    ) -> Result<RunReport, SimError> {
         let n = self.dimms.len() as u64;
         let start = self.dimms.iter().map(|d| d.cycle()).max().unwrap_or(0);
         let before: Vec<DramStats> = self.dimms.iter().map(|d| d.stats().clone()).collect();
@@ -106,13 +122,24 @@ impl DimmLevelNmp {
         let mut end = start;
         let mut bursts = 0;
         let mut dram = DramStats::new();
+        // Run every DIMM even after one stalls: a mid-loop early return
+        // would leave this call's requests queued in the sibling DIMMs,
+        // silently corrupting the next serve's delta report.
+        let mut first_err = None;
         for (d, then) in self.dimms.iter_mut().zip(&before) {
-            let done = d.run_until_idle();
-            end = end.max(done.iter().map(|c| c.finish_cycle).max().unwrap_or(start));
-            bursts += done.len() as u64;
-            add_dram(&mut dram, &dram_delta(d.stats(), then));
+            match d.run_until_idle() {
+                Ok(done) => {
+                    end = end.max(done.iter().map(|c| c.finish_cycle).max().unwrap_or(start));
+                    bursts += done.len() as u64;
+                    add_dram(&mut dram, &dram_delta(d.stats(), then));
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
         }
-        RunReport {
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(RunReport {
             system: self.name.into(),
             total_cycles: end - start,
             insts: vectors.len() as u64,
@@ -124,7 +151,7 @@ impl DimmLevelNmp {
             // modeled here, so byte accounting keeps the gathered view.
             io_bytes: bursts * 64,
             ..RunReport::default()
-        }
+        })
     }
 }
 
@@ -133,7 +160,7 @@ impl SlsBackend for DimmLevelNmp {
         self.name
     }
 
-    fn run(&mut self, trace: &SlsTrace) -> RunReport {
+    fn try_run(&mut self, trace: &SlsTrace) -> Result<RunReport, SimError> {
         self.serve(&trace.flat(), trace.bursts_per_vector())
     }
 }
@@ -168,8 +195,21 @@ impl TensorDimm {
         )?))
     }
 
+    /// Switches the main-loop strategy of every per-DIMM controller.
+    pub fn set_engine(&mut self, engine: SimEngine) {
+        self.0.set_engine(engine);
+    }
+
     /// Serves a lookup trace.
-    pub fn serve(&mut self, vectors: &[PhysAddr], bursts_per_vector: u8) -> RunReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] if any per-DIMM channel livelocks.
+    pub fn serve(
+        &mut self,
+        vectors: &[PhysAddr],
+        bursts_per_vector: u8,
+    ) -> Result<RunReport, SimError> {
         self.0.serve(vectors, bursts_per_vector)
     }
 }
@@ -179,8 +219,8 @@ impl SlsBackend for TensorDimm {
         "tensordimm"
     }
 
-    fn run(&mut self, trace: &SlsTrace) -> RunReport {
-        self.0.run(trace)
+    fn try_run(&mut self, trace: &SlsTrace) -> Result<RunReport, SimError> {
+        self.0.try_run(trace)
     }
 }
 
@@ -214,8 +254,21 @@ impl Chameleon {
         )?))
     }
 
+    /// Switches the main-loop strategy of every per-DIMM controller.
+    pub fn set_engine(&mut self, engine: SimEngine) {
+        self.0.set_engine(engine);
+    }
+
     /// Serves a lookup trace.
-    pub fn serve(&mut self, vectors: &[PhysAddr], bursts_per_vector: u8) -> RunReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] if any per-DIMM channel livelocks.
+    pub fn serve(
+        &mut self,
+        vectors: &[PhysAddr],
+        bursts_per_vector: u8,
+    ) -> Result<RunReport, SimError> {
         self.0.serve(vectors, bursts_per_vector)
     }
 }
@@ -225,8 +278,8 @@ impl SlsBackend for Chameleon {
         "chameleon"
     }
 
-    fn run(&mut self, trace: &SlsTrace) -> RunReport {
-        self.0.run(trace)
+    fn try_run(&mut self, trace: &SlsTrace) -> Result<RunReport, SimError> {
+        self.0.try_run(trace)
     }
 }
 
@@ -245,7 +298,7 @@ mod tests {
     #[test]
     fn all_vectors_complete() {
         let mut td = TensorDimm::new(4, 1).unwrap();
-        let report = td.serve(&random_addrs(200, 1), 1);
+        let report = td.serve(&random_addrs(200, 1), 1).unwrap();
         assert_eq!(report.insts, 200);
         assert_eq!(report.dram_bursts, 200);
     }
@@ -255,7 +308,7 @@ mod tests {
         // 64-byte vectors: TensorDIMM is C/A-delivery-bound at ~3
         // cycles/vector no matter how many DIMMs.
         let mut td = TensorDimm::new(4, 2).unwrap();
-        let report = td.serve(&random_addrs(400, 2), 1);
+        let report = td.serve(&random_addrs(400, 2), 1).unwrap();
         assert!(
             report.cycles_per_lookup() >= 3.0,
             "{}",
@@ -273,8 +326,8 @@ mod tests {
         let addrs = random_addrs(400, 3);
         let mut td = TensorDimm::new(4, 2).unwrap();
         let mut ch = Chameleon::new(4, 2).unwrap();
-        let t = td.serve(&addrs, 1).total_cycles;
-        let c = ch.serve(&addrs, 1).total_cycles;
+        let t = td.serve(&addrs, 1).unwrap().total_cycles;
+        let c = ch.serve(&addrs, 1).unwrap().total_cycles;
         assert!(c > t, "chameleon {c} vs tensordimm {t}");
     }
 
@@ -284,7 +337,7 @@ mod tests {
         // point. Throughput per vector should beat 4 sequential bursts on
         // one DIMM.
         let mut td = TensorDimm::new(4, 1).unwrap();
-        let report = td.serve(&random_addrs(100, 4), 4);
+        let report = td.serve(&random_addrs(100, 4), 4).unwrap();
         assert_eq!(report.dram_bursts, 400);
         // Delivery is 3 cycles/vector; data 4x4=16 cycles/vector spread
         // over 4 DIMMs = 4 cycles/vector effective.
@@ -303,16 +356,16 @@ mod tests {
         let repeated: Vec<PhysAddr> = addrs.iter().chain(addrs.iter()).copied().collect();
         let mut td1 = TensorDimm::new(2, 2).unwrap();
         let mut td2 = TensorDimm::new(2, 2).unwrap();
-        let once = td1.serve(&addrs, 1).cycles_per_lookup();
-        let twice = td2.serve(&repeated, 1).cycles_per_lookup();
+        let once = td1.serve(&addrs, 1).unwrap().cycles_per_lookup();
+        let twice = td2.serve(&repeated, 1).unwrap().cycles_per_lookup();
         assert!((twice - once).abs() < 0.5 * once, "{once} vs {twice}");
     }
 
     #[test]
     fn back_to_back_runs_report_deltas() {
         let mut td = TensorDimm::new(2, 2).unwrap();
-        let r1 = td.serve(&random_addrs(50, 6), 1);
-        let r2 = td.serve(&random_addrs(50, 7), 1);
+        let r1 = td.serve(&random_addrs(50, 6), 1).unwrap();
+        let r2 = td.serve(&random_addrs(50, 7), 1).unwrap();
         assert_eq!(r1.dram.reads, 50);
         assert_eq!(r2.dram.reads, 50);
         assert_eq!(r2.dram_bursts, 50);

@@ -3,7 +3,7 @@
 use recnmp_backend::report::dram_delta;
 use recnmp_backend::{RunReport, SlsBackend, SlsTrace};
 use recnmp_dram::{DramConfig, MemorySystem};
-use recnmp_types::{ConfigError, PhysAddr};
+use recnmp_types::{ConfigError, PhysAddr, SimError};
 
 /// The host baseline: SLS lookups served as ordinary cacheline reads over
 /// one memory channel, pooled on the CPU.
@@ -14,10 +14,10 @@ use recnmp_types::{ConfigError, PhysAddr};
 /// use recnmp_baselines::HostBaseline;
 /// use recnmp_types::PhysAddr;
 ///
-/// # fn main() -> Result<(), recnmp_types::ConfigError> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut host = HostBaseline::new(1, 2)?;
 /// let addrs: Vec<PhysAddr> = (0..64u64).map(|i| PhysAddr::new(i * 4096)).collect();
-/// let report = host.serve(&addrs, 1);
+/// let report = host.serve(&addrs, 1)?;
 /// assert_eq!(report.insts, 64);
 /// # Ok(())
 /// # }
@@ -57,7 +57,15 @@ impl HostBaseline {
     /// Serves one lookup trace: each vector of `bursts_per_vector`
     /// 64-byte bursts is read in full over the channel. The report covers
     /// this call only (row-buffer state persists across calls).
-    pub fn serve(&mut self, vectors: &[PhysAddr], bursts_per_vector: u8) -> RunReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] if the channel livelocks.
+    pub fn serve(
+        &mut self,
+        vectors: &[PhysAddr],
+        bursts_per_vector: u8,
+    ) -> Result<RunReport, SimError> {
         let start = self.mem.cycle();
         let before = self.mem.stats().clone();
         for addr in vectors {
@@ -65,10 +73,10 @@ impl HostBaseline {
                 self.mem.enqueue_read(addr.offset(b * 64), start);
             }
         }
-        let done = self.mem.run_until_idle();
+        let done = self.mem.run_until_idle()?;
         let end = done.iter().map(|c| c.finish_cycle).max().unwrap_or(start);
         let bursts = vectors.len() as u64 * bursts_per_vector as u64;
-        RunReport {
+        Ok(RunReport {
             system: "host".into(),
             total_cycles: end - start,
             insts: vectors.len() as u64,
@@ -78,7 +86,7 @@ impl HostBaseline {
             gathered_bytes: bursts * 64,
             io_bytes: bursts * 64,
             ..RunReport::default()
-        }
+        })
     }
 }
 
@@ -87,7 +95,7 @@ impl SlsBackend for HostBaseline {
         "host"
     }
 
-    fn run(&mut self, trace: &SlsTrace) -> RunReport {
+    fn try_run(&mut self, trace: &SlsTrace) -> Result<RunReport, SimError> {
         self.serve(&trace.flat(), trace.bursts_per_vector())
     }
 }
@@ -107,7 +115,7 @@ mod tests {
     #[test]
     fn serves_every_vector() {
         let mut host = HostBaseline::new(1, 2).unwrap();
-        let report = host.serve(&random_addrs(100, 1), 1);
+        let report = host.serve(&random_addrs(100, 1), 1).unwrap();
         assert_eq!(report.insts, 100);
         assert_eq!(report.dram.reads, 100);
         assert!(report.total_cycles > 0);
@@ -116,7 +124,7 @@ mod tests {
     #[test]
     fn multi_burst_vectors_read_all_bursts() {
         let mut host = HostBaseline::new(1, 2).unwrap();
-        let report = host.serve(&random_addrs(50, 2), 4);
+        let report = host.serve(&random_addrs(50, 2), 4).unwrap();
         assert_eq!(report.dram_bursts, 200);
         assert_eq!(report.dram.reads, 200);
     }
@@ -126,7 +134,7 @@ mod tests {
         // Random 64-byte reads cannot beat the 16 B/cycle channel data
         // bus: at least 4 cycles per vector.
         let mut host = HostBaseline::new(1, 2).unwrap();
-        let report = host.serve(&random_addrs(500, 3), 1);
+        let report = host.serve(&random_addrs(500, 3), 1).unwrap();
         assert!(
             report.cycles_per_lookup() >= 4.0,
             "{}",
@@ -146,8 +154,8 @@ mod tests {
         // Delta semantics: each report covers its own run even though the
         // controller's internal counters keep accumulating.
         let mut host = HostBaseline::new(1, 2).unwrap();
-        let r1 = host.serve(&random_addrs(10, 4), 1);
-        let r2 = host.serve(&random_addrs(10, 5), 1);
+        let r1 = host.serve(&random_addrs(10, 4), 1).unwrap();
+        let r2 = host.serve(&random_addrs(10, 5), 1).unwrap();
         assert_eq!(r1.dram.reads, 10);
         assert_eq!(r2.dram.reads, 10);
         assert_eq!(r2.insts, 10);

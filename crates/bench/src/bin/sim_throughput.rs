@@ -1,0 +1,191 @@
+//! Simulator-throughput benchmark: simulated lookups per wall-clock
+//! second for every execution backend, plus the threaded-cluster scaling
+//! ratio. Emits `BENCH_throughput.json` so successive PRs have a
+//! performance trajectory to defend.
+//!
+//! ```text
+//! cargo run -p recnmp-bench --release --bin sim_throughput -- [--smoke] [--out PATH]
+//! ```
+//!
+//! * `--smoke` shrinks the workload for CI (seconds instead of minutes).
+//! * `--out`   output path (default `BENCH_throughput.json`).
+//!
+//! Measured systems: the host DRAM baseline, TensorDIMM, single-channel
+//! RecNMP, and a 4-channel `RecNmpCluster` (one simulation thread per
+//! channel). The cluster is compared against a 1-channel cluster serving
+//! the same *per-channel* workload, so the reported speedup isolates the
+//! threading win; on a single-core machine it degrades to ~1x, which the
+//! JSON records alongside `threads_available`.
+
+use std::time::Instant;
+
+use recnmp::{RecNmpCluster, RecNmpClusterConfig, RecNmpConfig, RecNmpSystem};
+use recnmp_backend::{ShardingPolicy, SlsBackend, SlsTrace};
+use recnmp_baselines::{HostBaseline, TensorDimm};
+use recnmp_trace::{EmbeddingTableSpec, IndexDistribution, SlsBatch, TraceGenerator};
+use recnmp_types::{PhysAddr, TableId};
+
+struct Measurement {
+    name: String,
+    lookups: u64,
+    sim_cycles: u64,
+    wall_seconds: f64,
+}
+
+impl Measurement {
+    fn lookups_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.lookups as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\": \"{}\", \"lookups\": {}, \"sim_cycles\": {}, \
+             \"wall_seconds\": {:.6}, \"lookups_per_second\": {:.1}}}",
+            self.name,
+            self.lookups,
+            self.sim_cycles,
+            self.wall_seconds,
+            self.lookups_per_second()
+        )
+    }
+}
+
+/// A multi-table SLS workload with hashed physical placement (the shared
+/// conformance-test address pattern).
+fn workload(tables: u32, batch: usize, pooling: usize, seed: u64) -> SlsTrace {
+    let batches: Vec<SlsBatch> = (0..tables)
+        .map(|t| {
+            TraceGenerator::new(
+                TableId::new(t),
+                EmbeddingTableSpec::dlrm_default(),
+                IndexDistribution::Zipf { s: 0.9 },
+                seed + t as u64,
+            )
+            .batch(batch, pooling)
+        })
+        .collect();
+    SlsTrace::from_batches(&batches, &mut |t, row| {
+        PhysAddr::new(((t as u64) << 31) ^ (row * 131 * 128))
+    })
+}
+
+fn measure(name: &str, backend: &mut dyn SlsBackend, trace: &SlsTrace) -> Measurement {
+    let start = Instant::now();
+    let report = backend
+        .try_run(trace)
+        .unwrap_or_else(|e| panic!("{name} stalled: {e}"));
+    let wall_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(report.insts, trace.total_lookups(), "{name} lost lookups");
+    Measurement {
+        name: name.to_string(),
+        lookups: report.insts,
+        sim_cycles: report.total_cycles,
+        wall_seconds,
+    }
+}
+
+fn cluster(channels: usize) -> RecNmpCluster {
+    let config = RecNmpClusterConfig::builder()
+        .channels(channels)
+        .dimms(4)
+        .ranks_per_dimm(2)
+        .sharding(ShardingPolicy::RoundRobin)
+        .build()
+        .expect("valid cluster config");
+    RecNmpCluster::new(config).expect("valid cluster")
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_throughput.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: sim_throughput [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (tables, batch, pooling) = if smoke { (4, 4, 32) } else { (16, 16, 80) };
+    let trace = workload(tables, batch, pooling, 7);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!(
+        "sim_throughput ({}): {} tables x batch {} x pooling {} = {} lookups, {} thread(s)",
+        if smoke { "smoke" } else { "full" },
+        tables,
+        batch,
+        pooling,
+        trace.total_lookups(),
+        threads
+    );
+
+    let mut results = Vec::new();
+    let mut host = HostBaseline::new(4, 2).expect("host config");
+    results.push(measure("host", &mut host, &trace));
+    let mut td = TensorDimm::new(4, 2).expect("tensordimm config");
+    results.push(measure("tensordimm", &mut td, &trace));
+    let mut nmp = RecNmpSystem::new(RecNmpConfig::with_ranks(4, 2)).expect("recnmp config");
+    results.push(measure("recnmp", &mut nmp, &trace));
+
+    // Cluster scaling: equal work *per channel*, so wall-clock ratio
+    // isolates the threading win (1x on one core, up to 4x on >=4 cores).
+    let quad_trace = workload(4 * tables, batch, pooling, 7);
+    let single = measure("recnmp-cluster[1]", &mut cluster(1), &trace);
+    let quad = measure("recnmp-cluster[4]", &mut cluster(4), &quad_trace);
+    let speedup = if single.wall_seconds > 0.0 {
+        quad.lookups_per_second() / single.lookups_per_second()
+    } else {
+        0.0
+    };
+
+    for m in results.iter().chain([&single, &quad]) {
+        println!(
+            "  {:<20} {:>8} lookups  {:>12} sim cycles  {:>9.3} s  {:>12.0} lookups/s",
+            m.name,
+            m.lookups,
+            m.sim_cycles,
+            m.wall_seconds,
+            m.lookups_per_second()
+        );
+    }
+    println!("  cluster[4] vs cluster[1] sim-throughput: {speedup:.2}x (threads: {threads})");
+    if threads >= 4 && !smoke && speedup < 2.0 {
+        eprintln!(
+            "WARNING: expected >=2x cluster speedup with {threads} threads, got {speedup:.2}x"
+        );
+    }
+
+    let backend_json: Vec<String> = results
+        .iter()
+        .chain([&single, &quad])
+        .map(Measurement::to_json)
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"recnmp-sim-throughput/1\",\n  \"mode\": \"{}\",\n  \
+         \"engine\": \"event-driven\",\n  \"threads_available\": {},\n  \
+         \"workload\": {{\"tables\": {}, \"batch\": {}, \"pooling\": {}, \"lookups\": {}}},\n  \
+         \"backends\": [\n    {}\n  ],\n  \
+         \"cluster_scaling\": {{\"channels\": 4, \"per_channel_lookups\": {}, \
+         \"throughput_speedup_vs_single\": {:.3}}}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        threads,
+        tables,
+        batch,
+        pooling,
+        trace.total_lookups(),
+        backend_json.join(",\n    "),
+        trace.total_lookups(),
+        speedup
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+}

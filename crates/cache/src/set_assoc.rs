@@ -58,7 +58,12 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines in one flat allocation, indexed `set * ways + way` — one
+    /// contiguous block instead of a `Vec<Vec<Line>>` of per-set heap
+    /// islands, so the rank-cache hot path walks a set without chasing an
+    /// outer pointer.
+    lines: Vec<Line>,
+    num_sets: usize,
     clock: u64,
     seen: HashSet<u64>,
     stats: CacheStats,
@@ -73,20 +78,19 @@ impl SetAssocCache {
     /// (see [`CacheConfig::validate`]).
     pub fn new(config: CacheConfig) -> Result<Self, ConfigError> {
         config.validate()?;
-        let sets = vec![
-            vec![
-                Line {
-                    tag: 0,
-                    stamp: 0,
-                    valid: false
-                };
-                config.ways
-            ];
-            config.num_sets()
+        let num_sets = config.num_sets();
+        let lines = vec![
+            Line {
+                tag: 0,
+                stamp: 0,
+                valid: false
+            };
+            num_sets * config.ways
         ];
         Ok(Self {
             config,
-            sets,
+            lines,
+            num_sets,
             clock: 0,
             seen: HashSet::new(),
             stats: CacheStats::new(),
@@ -105,10 +109,8 @@ impl SetAssocCache {
 
     /// Resets contents and statistics, keeping the configuration.
     pub fn reset(&mut self) {
-        for set in &mut self.sets {
-            for line in set {
-                line.valid = false;
-            }
+        for line in &mut self.lines {
+            line.valid = false;
         }
         self.clock = 0;
         self.seen.clear();
@@ -120,13 +122,19 @@ impl SetAssocCache {
     }
 
     fn set_index(&self, line_id: u64) -> usize {
-        (line_id % self.sets.len() as u64) as usize
+        (line_id % self.num_sets as u64) as usize
+    }
+
+    /// The ways of one set: `ways` consecutive lines starting at
+    /// `set * ways`.
+    fn set_lines(&self, idx: usize) -> &[Line] {
+        &self.lines[idx * self.config.ways..][..self.config.ways]
     }
 
     /// Checks residency without updating replacement state or statistics.
     pub fn contains(&self, addr: u64) -> bool {
         let id = self.line_id(addr);
-        let set = &self.sets[self.set_index(id)];
+        let set = self.set_lines(self.set_index(id));
         set.iter().any(|l| l.valid && l.tag == id)
     }
 
@@ -136,7 +144,8 @@ impl SetAssocCache {
         let id = self.line_id(addr);
         let idx = self.set_index(id);
         let policy = self.config.policy;
-        let set = &mut self.sets[idx];
+        let ways = self.config.ways;
+        let set = &mut self.lines[idx * ways..][..ways];
 
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == id) {
             if policy == ReplacementPolicy::Lru {
@@ -191,10 +200,7 @@ impl SetAssocCache {
 
     /// Number of currently valid lines.
     pub fn occupancy(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|l| l.valid).count())
-            .sum()
+        self.lines.iter().filter(|l| l.valid).count()
     }
 }
 

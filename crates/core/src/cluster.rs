@@ -7,6 +7,11 @@
 //! a [`ShardingPolicy`] and merges the per-channel [`RunReport`]s into
 //! one (counters add, wall-clock is the slowest channel).
 //!
+//! Because the channels share no state, the cluster simulates them on one
+//! OS thread each (`std::thread::scope`): simulator wall-clock scales with
+//! available cores while reports stay deterministic — shards are merged in
+//! channel order, never completion order.
+//!
 //! The cluster is itself an [`SlsBackend`], so the experiment harness
 //! compares it against the single-channel systems without special cases.
 //!
@@ -45,7 +50,7 @@
 //! ```
 
 use recnmp_backend::{RunReport, ShardingPolicy, SlsBackend, SlsTrace};
-use recnmp_types::ConfigError;
+use recnmp_types::{ConfigError, SimError};
 use serde::{Deserialize, Serialize};
 
 use crate::config::RecNmpConfig;
@@ -241,18 +246,34 @@ impl SlsBackend for RecNmpCluster {
         &self.name
     }
 
-    /// Shards `trace` across the channels, runs every shard, and merges
-    /// the per-channel reports: counters add, per-unit instruction counts
-    /// concatenate (channel-major), and `total_cycles` is the slowest
-    /// channel — the channels are independent hardware running in
-    /// parallel.
-    fn run(&mut self, trace: &SlsTrace) -> RunReport {
+    /// Shards `trace` across the channels, runs every shard — **one OS
+    /// thread per channel**, since the channels are independent hardware
+    /// running in parallel — and merges the per-channel reports: counters
+    /// add, per-unit instruction counts concatenate (channel-major), and
+    /// `total_cycles` is the slowest channel.
+    ///
+    /// The merge order is the fixed channel order regardless of thread
+    /// completion order, so reports are deterministic and identical to a
+    /// serial channel-by-channel run.
+    fn try_run(&mut self, trace: &SlsTrace) -> Result<RunReport, SimError> {
         let shards = trace.shard(self.channels.len(), self.sharding);
+        let results: Vec<Result<RunReport, SimError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .channels
+                .iter_mut()
+                .zip(shards)
+                .map(|(channel, shard)| scope.spawn(move || channel.try_run(&shard)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("channel simulation thread panicked"))
+                .collect()
+        });
         let mut merged = RunReport::for_system(self.name.clone());
-        for (channel, shard) in self.channels.iter_mut().zip(shards) {
-            merged.absorb_parallel(channel.run(&shard));
+        for report in results {
+            merged.absorb_parallel(report?);
         }
-        merged
+        Ok(merged)
     }
 }
 

@@ -1,7 +1,7 @@
 //! RecNMP system configuration.
 
 use recnmp_cache::CacheConfig;
-use recnmp_dram::DramConfig;
+use recnmp_dram::{DramConfig, SimEngine};
 use recnmp_types::ConfigError;
 use serde::{Deserialize, Serialize};
 
@@ -67,6 +67,9 @@ pub struct RecNmpConfig {
     pub refresh: bool,
     /// How packets are issued to the ranks.
     pub execution: ExecutionMode,
+    /// Main-loop strategy of the per-rank DRAM engines (event-driven
+    /// skip-ahead by default; per-cycle is the validation reference).
+    pub engine: SimEngine,
 }
 
 impl RecNmpConfig {
@@ -84,6 +87,7 @@ impl RecNmpConfig {
             pipeline_depth: 4,
             refresh: true,
             execution: ExecutionMode::Serial,
+            engine: SimEngine::EventDriven,
         }
     }
 
@@ -117,6 +121,7 @@ impl RecNmpConfig {
     pub fn rank_dram_config(&self) -> DramConfig {
         let mut cfg = DramConfig::single_rank();
         cfg.refresh = self.refresh;
+        cfg.engine = self.engine;
         cfg
     }
 

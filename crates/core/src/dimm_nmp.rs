@@ -5,7 +5,7 @@
 //! them through an element-wise adder tree before returning the final
 //! `DIMM.Sum` to the host.
 
-use recnmp_types::{ConfigError, Cycle, DimmId, RankId};
+use recnmp_types::{ConfigError, Cycle, DimmId, RankId, SimError};
 
 use crate::config::RecNmpConfig;
 use crate::inst::NmpInst;
@@ -61,11 +61,15 @@ impl DimmNmp {
     /// `per_rank[r]` holds the delivery-stamped instructions for local
     /// rank `r`. The DIMM finishes when its slowest rank finishes plus the
     /// adder-tree and sum-buffer latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] if any rank's DRAM devices livelock.
     pub fn process(
         &mut self,
         start: Cycle,
         per_rank: &[Vec<(Cycle, NmpInst)>],
-    ) -> DimmPacketResult {
+    ) -> Result<DimmPacketResult, SimError> {
         assert_eq!(
             per_rank.len(),
             self.ranks.len(),
@@ -74,7 +78,7 @@ impl DimmNmp {
         let mut done = start;
         let mut rank_insts = Vec::with_capacity(self.ranks.len());
         for (rank, slice) in self.ranks.iter_mut().zip(per_rank) {
-            let res = rank.process(start, slice);
+            let res = rank.process(start, slice)?;
             done = done.max(res.done_cycle);
             rank_insts.push(res.insts);
         }
@@ -85,10 +89,10 @@ impl DimmNmp {
             // Adder tree + one cycle into the DIMM.Sum buffer.
             done + self.adder_tree_latency() + 1
         };
-        DimmPacketResult {
+        Ok(DimmPacketResult {
             done_cycle,
             rank_insts,
-        }
+        })
     }
 }
 
@@ -131,7 +135,9 @@ mod tests {
     fn ranks_process_in_parallel() {
         let mut d = DimmNmp::new(DimmId::new(0), &config()).unwrap();
         // Two instructions, one per rank, both arriving at cycle 0.
-        let res = d.process(0, &[vec![(0, inst(0, 1))], vec![(0, inst(1, 2))]]);
+        let res = d
+            .process(0, &[vec![(0, inst(0, 1))], vec![(0, inst(1, 2))]])
+            .unwrap();
         // Parallel ranks: latency close to a single read, not double.
         assert!(res.done_cycle < 2 * 40, "{}", res.done_cycle);
         assert_eq!(res.rank_insts, vec![1, 1]);
@@ -142,10 +148,11 @@ mod tests {
         let mut d = DimmNmp::new(DimmId::new(0), &config()).unwrap();
         // Rank 0 gets 8 conflicting reads, rank 1 gets one.
         let heavy: Vec<(Cycle, NmpInst)> = (0..8).map(|i| (0, inst(0, i * 7 + 1))).collect();
-        let res = d.process(0, &[heavy, vec![(0, inst(1, 2))]]);
+        let res = d.process(0, &[heavy, vec![(0, inst(1, 2))]]).unwrap();
         let single = {
             let mut d2 = DimmNmp::new(DimmId::new(0), &config()).unwrap();
             d2.process(0, &[vec![(0, inst(0, 1))], Vec::new()])
+                .unwrap()
                 .done_cycle
         };
         assert!(res.done_cycle > single, "{} vs {single}", res.done_cycle);
@@ -154,7 +161,7 @@ mod tests {
     #[test]
     fn empty_packet_is_free() {
         let mut d = DimmNmp::new(DimmId::new(0), &config()).unwrap();
-        let res = d.process(55, &[Vec::new(), Vec::new()]);
+        let res = d.process(55, &[Vec::new(), Vec::new()]).unwrap();
         assert_eq!(res.done_cycle, 55);
     }
 

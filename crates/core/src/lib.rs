@@ -44,7 +44,7 @@
 //! use recnmp_trace::{EmbeddingTableSpec, IndexDistribution, TraceGenerator};
 //! use recnmp_types::TableId;
 //!
-//! # fn main() -> Result<(), recnmp_types::ConfigError> {
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // An SLS batch against one table, offloaded to a 2-rank RecNMP channel.
 //! let spec = EmbeddingTableSpec::dlrm_default();
 //! let mut gen = TraceGenerator::new(

@@ -11,7 +11,7 @@
 use recnmp_cache::{CacheConfig, CacheStats, RankCache, RankCacheOutcome};
 use recnmp_dram::request::RequestKind;
 use recnmp_dram::{DramAddr, MemorySystem};
-use recnmp_types::{ConfigError, Cycle, RankId, RequestId};
+use recnmp_types::{ConfigError, Cycle, RankId, RequestId, SimError};
 use serde::{Deserialize, Serialize};
 
 use crate::config::RecNmpConfig;
@@ -126,12 +126,20 @@ impl RankNmp {
     /// `arrivals` pairs each instruction with the cycle the MC delivered
     /// it. Returns when the rank finished its last accumulate. A rank with
     /// no instructions finishes at `start`.
-    pub fn process(&mut self, start: Cycle, arrivals: &[(Cycle, NmpInst)]) -> RankPacketResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] if this rank's DRAM devices livelock.
+    pub fn process(
+        &mut self,
+        start: Cycle,
+        arrivals: &[(Cycle, NmpInst)],
+    ) -> Result<RankPacketResult, SimError> {
         if arrivals.is_empty() {
-            return RankPacketResult {
+            return Ok(RankPacketResult {
                 done_cycle: start,
                 insts: 0,
-            };
+            });
         }
         let mut last_hit_ready = start;
         let mut enqueued = 0u64;
@@ -181,7 +189,7 @@ impl RankNmp {
             }
         }
         let dram_done = if enqueued > 0 {
-            let completed = self.dram.run_until_idle();
+            let completed = self.dram.run_until_idle()?;
             completed
                 .iter()
                 .map(|c| c.finish_cycle)
@@ -192,10 +200,10 @@ impl RankNmp {
         };
         let done = dram_done.max(last_hit_ready) + self.pipeline_depth;
         self.stats.busy_cycles += done.saturating_sub(start);
-        RankPacketResult {
+        Ok(RankPacketResult {
             done_cycle: done,
             insts: arrivals.len() as u64,
-        }
+        })
     }
 
     fn count_datapath_ops(&mut self, inst: &NmpInst) {
@@ -265,7 +273,7 @@ mod tests {
     #[test]
     fn empty_slice_finishes_immediately() {
         let mut r = RankNmp::new(RankId::new(0), &config(false)).unwrap();
-        let res = r.process(100, &[]);
+        let res = r.process(100, &[]).unwrap();
         assert_eq!(res.done_cycle, 100);
         assert_eq!(res.insts, 0);
     }
@@ -273,7 +281,7 @@ mod tests {
     #[test]
     fn single_read_latency_includes_pipeline() {
         let mut r = RankNmp::new(RankId::new(0), &config(false)).unwrap();
-        let res = r.process(0, &[(0, inst(1, 0, 0))]);
+        let res = r.process(0, &[(0, inst(1, 0, 0))]).unwrap();
         // ACT + RD + data + pipeline drain.
         assert!(res.done_cycle >= 16 + 16 + 4 + 4);
         assert_eq!(r.stats().dram_bursts, 1);
@@ -284,9 +292,9 @@ mod tests {
     fn cache_hit_skips_dram() {
         let mut r = RankNmp::new(RankId::new(0), &config(true)).unwrap();
         let i = inst(1, 0, 0);
-        r.process(0, &[(0, i)]);
+        r.process(0, &[(0, i)]).unwrap();
         let bursts_before = r.stats().dram_bursts;
-        let res = r.process(1000, &[(1000, i)]);
+        let res = r.process(1000, &[(1000, i)]).unwrap();
         assert_eq!(r.stats().dram_bursts, bursts_before, "hit went to DRAM");
         // Cache hit: 1 cycle + pipeline.
         assert_eq!(res.done_cycle, 1000 + 1 + 4);
@@ -298,8 +306,8 @@ mod tests {
         let mut r = RankNmp::new(RankId::new(0), &config(true)).unwrap();
         let mut i = inst(1, 0, 0);
         i.locality = false;
-        r.process(0, &[(0, i)]);
-        r.process(1000, &[(1000, i)]);
+        r.process(0, &[(0, i)]).unwrap();
+        r.process(1000, &[(1000, i)]).unwrap();
         assert_eq!(r.stats().dram_bursts, 2);
         assert_eq!(r.cache_stats().bypasses, 2);
     }
@@ -309,7 +317,7 @@ mod tests {
         let mut r = RankNmp::new(RankId::new(0), &config(false)).unwrap();
         let mut i = inst(2, 4, 0);
         i.vsize = 4; // 256-byte vector
-        let res = r.process(0, &[(0, i)]);
+        let res = r.process(0, &[(0, i)]).unwrap();
         assert_eq!(r.stats().dram_bursts, 4);
         // Row hit streaming: 4 bursts at tCCD_L spacing after the ACT.
         assert!(res.done_cycle < 70, "{}", res.done_cycle);
@@ -320,11 +328,11 @@ mod tests {
         let mut r = RankNmp::new(RankId::new(0), &config(false)).unwrap();
         let mut i = inst(1, 0, 0);
         i.opcode = NmpOpcode::WeightedSum;
-        r.process(0, &[(0, i)]);
+        r.process(0, &[(0, i)]).unwrap();
         assert_eq!(r.stats().mults, 16);
         let mut q = inst(1, 1, 0);
         q.opcode = NmpOpcode::WeightedSum8;
-        r.process(500, &[(500, q)]);
+        r.process(500, &[(500, q)]).unwrap();
         assert_eq!(r.stats().mults, 16 + 32);
     }
 
@@ -350,7 +358,7 @@ mod tests {
                 )
             })
             .collect();
-        let res = r.process(0, &insts);
+        let res = r.process(0, &insts).unwrap();
         // Serial row misses would cost 16 * ~36 cycles; bank-level
         // parallelism must land far below that.
         assert!(res.done_cycle < 16 * 36, "{}", res.done_cycle);

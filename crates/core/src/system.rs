@@ -6,7 +6,7 @@ use recnmp_cache::CacheStats;
 use recnmp_dram::address::{AddressMapping, Geometry};
 use recnmp_dram::DramStats;
 use recnmp_trace::{PageMapper, SlsBatch};
-use recnmp_types::{ConfigError, Cycle, ModelId};
+use recnmp_types::{ConfigError, Cycle, ModelId, SimError};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{ExecutionMode, RecNmpConfig};
@@ -172,12 +172,16 @@ impl RecNmpSystem {
 
     /// Runs a scheduled packet stream; returns the report for **this run
     /// only** (rank state persists, counters do not leak across runs).
-    pub fn run_packets(&mut self, packets: &[NmpPacket]) -> RunReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] if a rank's DRAM devices livelock.
+    pub fn run_packets(&mut self, packets: &[NmpPacket]) -> Result<RunReport, SimError> {
         let mark = self.mark();
         for packet in packets {
-            self.run_one(packet);
+            self.run_one(packet)?;
         }
-        self.report_since(&mark)
+        Ok(self.report_since(&mark))
     }
 
     /// Sums the cumulative per-rank hardware counters.
@@ -195,9 +199,9 @@ impl RecNmpSystem {
         agg
     }
 
-    fn run_one(&mut self, packet: &NmpPacket) {
+    fn run_one(&mut self, packet: &NmpPacket) -> Result<(), SimError> {
         if packet.is_empty() {
-            return;
+            return Ok(());
         }
         let start = self.now;
         let ranks_per_dimm = self.config.ranks_per_dimm as usize;
@@ -219,7 +223,7 @@ impl RecNmpSystem {
 
         let mut done = start;
         for (dimm, slices) in self.dimms.iter_mut().zip(&per_dimm) {
-            let res = dimm.process(start, slices);
+            let res = dimm.process(start, slices)?;
             done = done.max(res.done_cycle);
         }
         // Return the pooled sums to the host: one burst (4 cycles) per
@@ -242,6 +246,7 @@ impl RecNmpSystem {
         self.session.gathered_bytes += packet.gathered_bytes();
         self.session.io_bytes += packet.inst_bytes() + packet.output_bytes();
         self.now = packet_done;
+        Ok(())
     }
 
     /// Runs a packet stream with *overlapped* execution: instructions
@@ -253,7 +258,11 @@ impl RecNmpSystem {
     /// packets from different SLS operators are in flight on different
     /// ranks simultaneously. The run is reported as a single latency
     /// entry; per-packet latencies are not meaningful here.
-    pub fn run_packets_overlapped(&mut self, packets: &[NmpPacket]) -> RunReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] if a rank's DRAM devices livelock.
+    pub fn run_packets_overlapped(&mut self, packets: &[NmpPacket]) -> Result<RunReport, SimError> {
         let mark = self.mark();
         let start = self.now;
         let ranks_per_dimm = self.config.ranks_per_dimm as usize;
@@ -290,7 +299,7 @@ impl RecNmpSystem {
         }
         let mut done = start;
         for (dimm, slices) in self.dimms.iter_mut().zip(&per_dimm) {
-            let res = dimm.process(start, slices);
+            let res = dimm.process(start, slices)?;
             done = done.max(res.done_cycle);
         }
         // Pooled outputs stream back overlapped with execution; only the
@@ -311,7 +320,7 @@ impl RecNmpSystem {
         }
         self.session.gathered_bytes += gathered;
         self.session.io_bytes += io;
-        self.report_since(&mark)
+        Ok(self.report_since(&mark))
     }
 
     /// Convenience entry point: compiles, optimizes and runs a set of SLS
@@ -323,8 +332,9 @@ impl RecNmpSystem {
     ///
     /// # Errors
     ///
-    /// Returns a [`ConfigError`] if a batch's table spec is inconsistent.
-    pub fn offload(&mut self, batches: &[SlsBatch]) -> Result<RunReport, ConfigError> {
+    /// Returns [`SimError::Config`] if a batch's table spec is
+    /// inconsistent, or [`SimError::Stalled`] if the channel livelocks.
+    pub fn offload(&mut self, batches: &[SlsBatch]) -> Result<RunReport, SimError> {
         let geo = self.geometry();
         let mut mapper = PageMapper::new(geo.capacity_bytes() / 4096, 0x5eed);
         let mut trace = SlsTrace::default();
@@ -340,7 +350,7 @@ impl RecNmpSystem {
                 }));
             base += batch.spec.bytes();
         }
-        Ok(SlsBackend::run(self, &trace))
+        SlsBackend::try_run(self, &trace)
     }
 }
 
@@ -392,7 +402,7 @@ impl SlsBackend for RecNmpSystem {
         "recnmp"
     }
 
-    fn run(&mut self, trace: &SlsTrace) -> RunReport {
+    fn try_run(&mut self, trace: &SlsTrace) -> Result<RunReport, SimError> {
         let packets = compile_trace(&self.config, self.geometry(), self.mapping(), trace);
         match self.config.execution {
             ExecutionMode::Serial => self.run_packets(&packets),
@@ -559,8 +569,8 @@ mod tests {
             recnmp_types::PhysAddr::new(((t as u64) << 28) ^ (row * 128))
         });
         let packets = compile_trace(&cfg, geo, mapping, &trace);
-        let first = sys.run_packets_overlapped(&packets);
-        let second = sys.run_packets_overlapped(&packets);
+        let first = sys.run_packets_overlapped(&packets).unwrap();
+        let second = sys.run_packets_overlapped(&packets).unwrap();
         assert_eq!(first.insts, second.insts);
         assert_eq!(second.packet_latencies.len(), 1);
         assert_eq!(first.packets, second.packets);

@@ -56,6 +56,17 @@ impl Bank {
         self.next_pre
     }
 
+    /// Earliest cycle the column command of the given direction may be
+    /// issued (assuming the row is open) — the bank-level "earliest ready"
+    /// query the event-driven engine skips ahead to.
+    pub fn col_ready(&self, is_read: bool) -> Cycle {
+        if is_read {
+            self.next_rd
+        } else {
+            self.next_wr
+        }
+    }
+
     /// Applies an ACT issued at `now` for `row`.
     ///
     /// # Panics
@@ -174,6 +185,17 @@ impl RankTimer {
         self.next_wr_any
             .max(self.next_rd_same_bg[bank_group as usize])
             .max(self.busy_until)
+    }
+
+    /// Earliest cycle the column command of the given direction satisfies
+    /// the rank-level constraints — the rank-side counterpart of
+    /// [`Bank::col_ready`] used by the event-driven engine.
+    pub fn col_ready(&self, is_read: bool, bank_group: u8) -> Cycle {
+        if is_read {
+            self.rd_ready(bank_group)
+        } else {
+            self.wr_ready(bank_group)
+        }
     }
 
     /// Records an ACT issued at `now` to `bank_group`.

@@ -6,6 +6,24 @@ use serde::{Deserialize, Serialize};
 use crate::address::{AddressMapping, Geometry};
 use crate::timing::DdrTiming;
 
+/// Main-loop strategy of the cycle-level engine.
+///
+/// Both engines are *cycle-accurate* and produce identical statistics and
+/// completion times; they differ only in how many loop iterations it takes
+/// to get there (see the `event_equivalence` test suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SimEngine {
+    /// Skip ahead: when no command can issue this cycle, jump the clock to
+    /// the next cycle at which anything could change (a staged arrival, a
+    /// refresh deadline, a bank/rank timing expiry, or the data bus coming
+    /// free). Does O(commands) work instead of O(cycles).
+    #[default]
+    EventDriven,
+    /// Advance one DRAM clock per loop iteration. The reference engine the
+    /// event-driven path is validated against.
+    PerCycle,
+}
+
 /// Configuration of one memory channel and its controller.
 ///
 /// Use [`DramConfig::table1_baseline`] for the paper's per-channel baseline
@@ -41,6 +59,12 @@ pub struct DramConfig {
     /// Age (cycles) after which the oldest request preempts row-hit
     /// prioritization, bounding FR-FCFS starvation.
     pub starvation_cycles: u64,
+    /// Main-loop strategy (event-driven skip-ahead by default).
+    pub engine: SimEngine,
+    /// Loop iterations without any request progress after which
+    /// `run_until_idle` reports [`recnmp_types::SimError::Stalled`]
+    /// instead of spinning forever.
+    pub stall_iterations: u64,
 }
 
 impl DramConfig {
@@ -62,6 +86,8 @@ impl DramConfig {
             write_queue: 32,
             refresh: true,
             starvation_cycles: 2048,
+            engine: SimEngine::EventDriven,
+            stall_iterations: 1_000_000,
         }
     }
 
@@ -102,6 +128,14 @@ impl DramConfig {
         }
         if self.write_queue == 0 {
             return Err(ConfigError::new("write_queue", "must be positive"));
+        }
+        if self.stall_iterations <= self.timing.t_rfc + self.timing.t_refi {
+            // A per-cycle engine legitimately idles for a whole refresh
+            // epoch; a smaller bound would misreport it as a livelock.
+            return Err(ConfigError::new(
+                "stall_iterations",
+                "must exceed tRFC + tREFI",
+            ));
         }
         self.timing.validate()?;
         self.geometry().validate()
@@ -146,6 +180,18 @@ mod tests {
         let mut cfg = DramConfig::table1_baseline();
         cfg.read_queue = 0;
         assert_eq!(cfg.validate().unwrap_err().field(), "read_queue");
+    }
+
+    #[test]
+    fn validate_rejects_tiny_stall_bound() {
+        let mut cfg = DramConfig::table1_baseline();
+        cfg.stall_iterations = cfg.timing.t_refi;
+        assert_eq!(cfg.validate().unwrap_err().field(), "stall_iterations");
+    }
+
+    #[test]
+    fn default_engine_is_event_driven() {
+        assert_eq!(DramConfig::table1_baseline().engine, SimEngine::EventDriven);
     }
 
     #[test]

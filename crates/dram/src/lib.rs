@@ -27,16 +27,28 @@
 //! the host baseline uses one multi-rank instance so rank/bank interleaving
 //! and command-bus contention are emergent rather than assumed.
 //!
+//! # Simulator performance
+//!
+//! `run_until_idle` is **event-driven** by default ([`SimEngine`]): when no
+//! command can issue, the clock jumps straight to the next cycle at which
+//! anything could change (staged arrival, refresh deadline, bank/rank
+//! timing expiry, data-bus release) instead of ticking through idle
+//! cycles. The result is cycle-identical to the per-cycle reference engine
+//! — same completions, same statistics, same final cycle — while doing
+//! O(commands) instead of O(cycles) work; the `event_equivalence` test
+//! suite enforces this, and [`MemorySystem::loop_iterations`] exposes the
+//! work saved.
+//!
 //! # Examples
 //!
 //! ```
 //! use recnmp_dram::{DramConfig, MemorySystem, Request};
 //! use recnmp_types::PhysAddr;
 //!
-//! # fn main() -> Result<(), recnmp_types::ConfigError> {
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut mem = MemorySystem::new(DramConfig::table1_baseline())?;
 //! mem.enqueue_read(PhysAddr::new(0x40), 0);
-//! let done = mem.run_until_idle();
+//! let done = mem.run_until_idle()?;
 //! assert_eq!(done.len(), 1);
 //! // A cold read costs at least tRCD + tCL + tBL cycles.
 //! assert!(done[0].finish_cycle >= 36);
@@ -57,7 +69,7 @@ pub mod timing;
 
 pub use address::{AddressMapping, DramAddr};
 pub use command::{DdrCommand, DdrCommandKind};
-pub use controller::DramConfig;
+pub use controller::{DramConfig, SimEngine};
 pub use energy::{DramEnergy, EnergyParams};
 pub use request::{CompletedRequest, Request, RequestKind};
 pub use stats::DramStats;

@@ -4,12 +4,42 @@
 //! verifies every command the controller issues against the timing rules.
 //! It is deliberately a *separate implementation* from the scheduler's
 //! ready-time bookkeeping, so the test suite can cross-check the two.
+//!
+//! The monitor reasons only about absolute issue cycles, never about how
+//! the clock advanced between commands — so it validates the event-driven
+//! engine's skip-ahead jumps exactly as it validates per-cycle stepping,
+//! and the equivalence suite runs it under both engines.
+//!
+//! `observe` is on the per-command hot path, so it allocates nothing
+//! unless a violation actually fires: broken-rule names are collected in a
+//! fixed stack buffer and only formatted into `String`s when present.
 
 use recnmp_types::Cycle;
 
 use crate::address::Geometry;
 use crate::command::{DdrCommand, DdrCommandKind};
 use crate::timing::DdrTiming;
+
+/// Allocation-free accumulator for the rules one command breaks.
+#[derive(Debug, Default)]
+struct RuleBuf {
+    rules: [&'static str; 8],
+    len: usize,
+}
+
+impl RuleBuf {
+    fn push(&mut self, rule: &'static str) {
+        debug_assert!(self.len < self.rules.len(), "rule buffer overflow");
+        if self.len < self.rules.len() {
+            self.rules[self.len] = rule;
+            self.len += 1;
+        }
+    }
+
+    fn as_slice(&self) -> &[&'static str] {
+        &self.rules[..self.len]
+    }
+}
 
 #[derive(Debug, Clone, Copy, Default)]
 struct ShadowBank {
@@ -89,8 +119,10 @@ impl ProtocolMonitor {
         let flat = cmd.addr.flat_bank(self.geo.banks_per_group);
         let t = self.t;
 
-        // Collect violations first to appease the borrow checker.
-        let mut broken: Vec<&'static str> = Vec::new();
+        // Collect violations first to appease the borrow checker. A fixed
+        // stack buffer: no command can break more rules than this, and the
+        // hot no-violation path must not allocate.
+        let mut broken = RuleBuf::default();
         {
             let rank = &self.ranks[r];
             let bank = &self.banks[r][flat];
@@ -203,7 +235,7 @@ impl ProtocolMonitor {
             }
             self.data_busy_until = self.data_busy_until.max(start + t.t_bl);
         }
-        for rule in broken {
+        for rule in broken.as_slice() {
             self.flag(now, cmd, rule);
         }
 

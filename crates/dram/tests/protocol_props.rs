@@ -39,7 +39,7 @@ proptest! {
         for (i, a) in addrs.iter().enumerate() {
             mem.enqueue_read(PhysAddr::new(a & !63), i as u64 * gap);
         }
-        let done = mem.run_until_idle();
+        let done = mem.run_until_idle().expect("drain");
         // Every request completes exactly once.
         prop_assert_eq!(done.len(), addrs.len());
         // The independent protocol monitor saw no timing violations.
@@ -62,7 +62,7 @@ proptest! {
         let mut mem = MemorySystem::new(DramConfig::single_rank()).unwrap();
         mem.enqueue_read(PhysAddr::new(addr & !63), 0);
         mem.enqueue_read(PhysAddr::new(addr & !63), 0);
-        let done = mem.run_until_idle();
+        let done = mem.run_until_idle().expect("drain");
         prop_assert_eq!(done.len(), 2);
         // Second access is a row hit.
         prop_assert_eq!(done[1].outcome, recnmp_dram::request::RowOutcome::Hit);
@@ -78,7 +78,7 @@ proptest! {
         for a in &addrs {
             mem.enqueue_read(PhysAddr::new(a & !63), 0);
         }
-        let done = mem.run_until_idle();
+        let done = mem.run_until_idle().expect("drain");
         let s = mem.stats();
         prop_assert_eq!(s.reads, done.len() as u64);
         prop_assert_eq!(s.row_hits + s.row_misses + s.row_conflicts, s.reads);
@@ -97,7 +97,7 @@ proptest! {
         for a in &addrs {
             mem.enqueue_read(PhysAddr::new(a & !63), 0);
         }
-        let done = mem.run_until_idle();
+        let done = mem.run_until_idle().expect("drain");
         // Data bursts on one channel cannot overlap: finish cycles must be
         // pairwise distinct and separated by at least tBL.
         let mut finishes: Vec<u64> = done.iter().map(|c| c.finish_cycle).collect();

@@ -47,6 +47,62 @@ impl fmt::Display for ConfigError {
 
 impl Error for ConfigError {}
 
+/// Error returned when a simulation cannot make forward progress.
+///
+/// The cycle-level engines return this instead of aborting the process so
+/// a scheduling livelock in one channel surfaces as a reportable result
+/// (and, in a multi-channel run, does not take the whole fleet down).
+///
+/// # Examples
+///
+/// ```
+/// use recnmp_types::SimError;
+///
+/// let err = SimError::Stalled { cycle: 120, pending: 3 };
+/// assert!(err.to_string().contains("3 request(s) pending"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The memory engine stopped making forward progress: requests are
+    /// pending but no future cycle exists at which any command could
+    /// legally issue (or the configured no-progress bound was exceeded).
+    Stalled {
+        /// Cycle at which the stall was detected.
+        cycle: u64,
+        /// Requests still known to the controller.
+        pending: usize,
+    },
+    /// An invalid configuration surfaced while preparing a run.
+    Config(ConfigError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Stalled { cycle, pending } => write!(
+                f,
+                "simulation stalled at cycle {cycle} with {pending} request(s) pending"
+            ),
+            Self::Config(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Stalled { .. } => None,
+            Self::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,5 +118,13 @@ mod tests {
     fn implements_std_error() {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<ConfigError>();
+        assert_err::<SimError>();
+    }
+
+    #[test]
+    fn sim_error_wraps_config_error() {
+        let e: SimError = ConfigError::new("ranks", "must be positive").into();
+        assert!(e.to_string().contains("ranks"));
+        assert!(Error::source(&e).is_some());
     }
 }

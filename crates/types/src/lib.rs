@@ -28,7 +28,7 @@ pub mod rng;
 pub mod units;
 
 pub use addr::PhysAddr;
-pub use error::ConfigError;
+pub use error::{ConfigError, SimError};
 pub use ids::{DimmId, ModelId, RankId, RequestId, TableId};
 
 /// A simulator clock cycle count.

@@ -15,7 +15,7 @@ fn run(label: &str, addrs: &[PhysAddr]) -> Result<(), Box<dyn std::error::Error>
     for a in addrs {
         mem.enqueue_read(*a, 0);
     }
-    let done = mem.run_until_idle();
+    let done = mem.run_until_idle()?;
     let end = done.iter().map(|c| c.finish_cycle).max().unwrap_or(0);
     let stats = mem.stats();
     println!(

@@ -98,4 +98,36 @@ pub trait SlsBackend {
             Err(e) => panic!("{} backend failed: {e}", self.name()),
         }
     }
+
+    /// Independent servers a query scheduler can dispatch to.
+    ///
+    /// Single-channel systems are one server; a multi-channel cluster
+    /// overrides this with its channel count so a serving layer can place
+    /// individual queries on individual channels instead of sharding each
+    /// query across all of them.
+    fn server_count(&self) -> usize {
+        1
+    }
+
+    /// Serves `trace` entirely on server `server` — the dispatch hook a
+    /// query scheduler uses to target one channel of a multi-server
+    /// system. The default forwards to [`try_run`](Self::try_run) for
+    /// single-server backends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] under the same conditions as
+    /// [`try_run`](Self::try_run).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `server >= self.server_count()`.
+    fn try_run_on(&mut self, server: usize, trace: &SlsTrace) -> Result<RunReport, SimError> {
+        assert!(
+            server < self.server_count(),
+            "server {server} out of range for {} server(s)",
+            self.server_count()
+        );
+        self.try_run(trace)
+    }
 }

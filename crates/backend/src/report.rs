@@ -55,6 +55,10 @@ pub struct RunReport {
     pub alu_adds: u64,
     /// FP32 multiplications performed near memory.
     pub alu_mults: u64,
+    /// Absolute simulated completion timestamp of each query, in arrival
+    /// order, when this report aggregates a query-serving run. Empty for
+    /// plain trace replays, which have no notion of per-query arrivals.
+    pub query_completions: Vec<Cycle>,
 }
 
 impl RunReport {
@@ -118,6 +122,7 @@ impl RunReport {
         self.io_bytes += other.io_bytes;
         self.alu_adds += other.alu_adds;
         self.alu_mults += other.alu_mults;
+        self.query_completions.extend(other.query_completions);
     }
 }
 
@@ -233,6 +238,7 @@ mod tests {
             packets: 2,
             dram_bursts: 60,
             rank_insts: vec![15, 15],
+            query_completions: vec![90, 250],
             ..RunReport::default()
         };
         a.absorb_parallel(b);
@@ -241,6 +247,7 @@ mod tests {
         assert_eq!(a.packets, 3);
         assert_eq!(a.dram_bursts, 80);
         assert_eq!(a.rank_insts, vec![10, 15, 15]);
+        assert_eq!(a.query_completions, vec![90, 250]);
     }
 
     #[test]

@@ -1,0 +1,30 @@
+//! Criterion benchmark for the `fig18_tail_latency` experiment (serving
+//! tail latency).
+//!
+//! The full experiment sweeps backends x policies x load points; this
+//! benchmark times one representative open-loop serving run on the host
+//! baseline so `cargo bench` stays fast. Use
+//! `repro fig18_tail_latency --full` to regenerate the complete figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recnmp_baselines::HostBaseline;
+use recnmp_sim::serving::{serve, QueryShape, ServingConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_tail_latency");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let cfg = ServingConfig::poisson(1_000_000.0, 24, QueryShape::new(2, 2, 8), 7);
+    group.bench_function("kernel", |b| {
+        b.iter(|| {
+            let mut host = HostBaseline::new(1, 2).expect("host config");
+            let report = serve(&mut host, &cfg).expect("serving run");
+            criterion::black_box(report)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Query-serving benchmark: throughput–latency curves for every backend
+//! and dispatch policy under open-loop Poisson load. Emits
+//! `BENCH_serving.json` so tail-latency behaviour has a trajectory across
+//! PRs, next to `BENCH_throughput.json`'s simulator-speed trajectory.
+//!
+//! ```text
+//! cargo run -p recnmp-bench --release --bin serve_sweep -- [--smoke] [--out PATH]
+//! ```
+//!
+//! * `--smoke` shrinks queries/points for CI (seconds instead of minutes).
+//! * `--out`   output path (default `BENCH_serving.json`).
+//!
+//! Measured systems: the host DRAM baseline, TensorDIMM, and a 4-channel
+//! `RecNmpCluster`, each under FIFO single-queue, round-robin, and
+//! least-outstanding dispatch. Offered loads are fractions of each
+//! system's probed saturation rate, so every curve samples its own knee.
+
+use recnmp::{RecNmpCluster, RecNmpClusterConfig};
+use recnmp_baselines::{HostBaseline, TensorDimm};
+use recnmp_model::RecModelKind;
+use recnmp_sim::serving::{qps_sweep, ArrivalProcess, DispatchPolicy, QueryShape, SweepCurve};
+
+const SEED: u64 = 0x5e12_2026;
+
+/// Labeled backend factories the sweep iterates over.
+type NamedFactories<'a> = Vec<(&'a str, Box<recnmp_sim::serving::BackendFactory<'a>>)>;
+
+fn curve_json(curve: &SweepCurve) -> String {
+    let points: Vec<String> = curve
+        .points
+        .iter()
+        .map(|p| {
+            let (p50, p95, p99) = p.summary.percentiles_us();
+            format!(
+                "{{\"offered_qps\": {:.1}, \"utilization\": {:.2}, \"achieved_qps\": {:.1}, \
+                 \"p50_us\": {:.3}, \"p95_us\": {:.3}, \"p99_us\": {:.3}, \
+                 \"mean_us\": {:.3}, \"max_us\": {:.3}, \"sustained\": {}}}",
+                p.offered_qps,
+                p.utilization,
+                p.achieved_qps,
+                p50,
+                p95,
+                p99,
+                p.summary.mean * recnmp_types::units::DDR4_2400_CYCLE_SECS * 1e6,
+                recnmp_types::units::cycles_to_us(p.summary.max),
+                p.sustained()
+            )
+        })
+        .collect();
+    let knee = match curve.knee() {
+        Some(p) => format!("{:.1}", p.offered_qps),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"system\": \"{}\", \"policy\": \"{}\", \"saturation_qps\": {:.1}, \
+         \"knee_qps\": {},\n      \"points\": [\n        {}\n      ]}}",
+        curve.system,
+        curve.policy.name(),
+        curve.saturation_qps,
+        knee,
+        points.join(",\n        ")
+    )
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_serving.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: serve_sweep [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let shape = if smoke {
+        QueryShape::new(2, 2, 8)
+    } else {
+        QueryShape::for_model(RecModelKind::Rm1Small, 4)
+    };
+    let (queries, probe) = if smoke { (24, 8) } else { (48, 12) };
+    let utilizations: &[f64] = if smoke {
+        &[0.3, 0.6, 0.9, 1.2]
+    } else {
+        &[0.2, 0.4, 0.6, 0.8, 1.0, 1.2]
+    };
+
+    println!(
+        "serve_sweep ({}): {} tables x batch {} x pooling {} = {} lookups/query, \
+         {} queries/point, {} load points",
+        if smoke { "smoke" } else { "full" },
+        shape.tables,
+        shape.batch,
+        shape.pooling,
+        shape.lookups_per_query(),
+        queries,
+        utilizations.len()
+    );
+
+    let mut backends: NamedFactories<'_> = vec![
+        (
+            "host",
+            Box::new(|| Box::new(HostBaseline::new(4, 2).expect("host config"))),
+        ),
+        (
+            "tensordimm",
+            Box::new(|| Box::new(TensorDimm::new(4, 2).expect("tensordimm config"))),
+        ),
+        (
+            "recnmp-cluster[4]",
+            Box::new(|| {
+                let config = RecNmpClusterConfig::builder()
+                    .channels(4)
+                    .dimms(1)
+                    .ranks_per_dimm(2)
+                    .build()
+                    .expect("cluster config");
+                Box::new(RecNmpCluster::new(config).expect("valid cluster"))
+            }),
+        ),
+    ];
+
+    let mut curves = Vec::new();
+    for (label, factory) in backends.iter_mut() {
+        for policy in DispatchPolicy::ALL {
+            let curve = qps_sweep(
+                factory.as_mut(),
+                policy,
+                ArrivalProcess::Poisson,
+                shape,
+                utilizations,
+                queries,
+                probe,
+                SEED,
+            )
+            .unwrap_or_else(|e| panic!("{label}/{} sweep stalled: {e}", policy.name()));
+            let knee = curve
+                .knee()
+                .map_or("none".to_string(), |p| format!("{:.0} qps", p.offered_qps));
+            println!(
+                "  {:<18} {:<18} saturation {:>12.0} qps  knee {}",
+                label,
+                policy.name(),
+                curve.saturation_qps,
+                knee
+            );
+            curves.push(curve);
+        }
+    }
+
+    let curve_json: Vec<String> = curves.iter().map(curve_json).collect();
+    let json = format!(
+        "{{\n  \"schema\": \"recnmp-serving/1\",\n  \"mode\": \"{}\",\n  \
+         \"arrival_process\": \"{}\",\n  \"seed\": {},\n  \
+         \"shape\": {{\"tables\": {}, \"batch\": {}, \"pooling\": {}, \"lookups_per_query\": {}}},\n  \
+         \"queries_per_point\": {},\n  \"curves\": [\n    {}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        ArrivalProcess::Poisson.name(),
+        SEED,
+        shape.tables,
+        shape.batch,
+        shape.pooling,
+        shape.lookups_per_query(),
+        queries,
+        curve_json.join(",\n    ")
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+}

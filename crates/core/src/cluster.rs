@@ -275,6 +275,28 @@ impl SlsBackend for RecNmpCluster {
         }
         Ok(merged)
     }
+
+    /// One dispatchable server per channel.
+    fn server_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Serves `trace` entirely on channel `server` — the query-scheduler
+    /// dispatch hook. Unlike [`try_run`](SlsBackend::try_run), the trace
+    /// is **not** sharded: the whole query lands on one channel, so a
+    /// serving layer controls placement (and therefore queueing) itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `server >= self.channels()`.
+    fn try_run_on(&mut self, server: usize, trace: &SlsTrace) -> Result<RunReport, SimError> {
+        assert!(
+            server < self.channels.len(),
+            "server {server} out of range for {} channel(s)",
+            self.channels.len()
+        );
+        self.channels[server].try_run(trace)
+    }
 }
 
 #[cfg(test)]
@@ -387,5 +409,27 @@ mod tests {
         let report = c.run(&SlsTrace::default());
         assert_eq!(report.total_cycles, 0);
         assert_eq!(report.insts, 0);
+    }
+
+    #[test]
+    fn try_run_on_targets_a_single_channel() {
+        let trace = workload(4, 2);
+        let mut c = cluster(4);
+        assert_eq!(c.server_count(), 4);
+        let report = c.try_run_on(2, &trace).unwrap();
+        // The whole query is served, unsharded, by one 2-rank channel.
+        assert_eq!(report.insts, trace.total_lookups());
+        assert_eq!(report.rank_insts.len(), 2);
+        // Only channel 2 advanced; the others are untouched and a later
+        // dispatch to them starts from a cold channel clock.
+        let other = c.try_run_on(0, &trace).unwrap();
+        assert_eq!(other.insts, trace.total_lookups());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn try_run_on_rejects_bad_server() {
+        let trace = workload(2, 1);
+        let _ = cluster(2).try_run_on(5, &trace);
     }
 }

@@ -167,6 +167,7 @@ impl RecNmpSystem {
             io_bytes: self.session.io_bytes - mark.io_bytes,
             alu_adds: agg.alu_adds - mark.alu_adds,
             alu_mults: agg.alu_mults - mark.alu_mults,
+            query_completions: Vec::new(),
         }
     }
 

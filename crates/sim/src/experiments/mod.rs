@@ -7,6 +7,7 @@
 mod characterization;
 mod endtoend;
 mod nmp;
+mod serving;
 mod tables;
 
 use std::fmt;
@@ -75,7 +76,7 @@ impl fmt::Display for ExperimentResult {
 }
 
 /// All experiment ids, in paper order.
-pub const IDS: [&str; 14] = [
+pub const IDS: [&str; 15] = [
     "fig01_footprint",
     "fig01_roofline_lift",
     "fig04_breakdown",
@@ -88,6 +89,7 @@ pub const IDS: [&str; 14] = [
     "fig16_comparison",
     "fig17_fc_colocation",
     "fig18_end2end",
+    "fig18_tail_latency",
     "tab01_config",
     "tab02_overhead",
 ];
@@ -107,6 +109,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentResult> {
         "fig16_comparison" => nmp::fig16_comparison(scale),
         "fig17_fc_colocation" => endtoend::fig17_fc_colocation(),
         "fig18_end2end" => endtoend::fig18_end2end(scale),
+        "fig18_tail_latency" => serving::fig18_tail_latency(scale),
         "tab01_config" => tables::tab01_config(),
         "tab02_overhead" => tables::tab02_overhead(),
         _ => return None,

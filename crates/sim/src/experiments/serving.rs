@@ -1,0 +1,149 @@
+//! Serving experiments: tail latency under open-loop load (the Figure 18
+//! latency claim recast as throughput–latency curves).
+
+use recnmp::RecNmpClusterConfig;
+use recnmp_baselines::HostBaseline;
+use recnmp_model::RecModelKind;
+
+use super::{ExperimentResult, Scale};
+use crate::render::{f2, TextTable};
+use crate::serving::{qps_sweep, ArrivalProcess, DispatchPolicy, QueryShape, SweepCurve};
+
+const SEED: u64 = 0x5e12;
+
+/// Labeled backend factories the sweep iterates over.
+type NamedFactories<'a> = Vec<(&'a str, Box<crate::serving::BackendFactory<'a>>)>;
+
+/// Figure-18-style tail latency: p50/p95/p99 vs offered QPS for the host
+/// baseline and a 4-channel RecNMP cluster under each dispatch policy,
+/// with the saturation knee identified per curve.
+pub fn fig18_tail_latency(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "fig18_tail_latency",
+        "Figure 18 (serving): tail latency vs offered load over the cluster",
+    );
+    let shape = match scale {
+        Scale::Quick => QueryShape::new(2, 2, 8),
+        Scale::Full => QueryShape::for_model(RecModelKind::Rm1Small, 4),
+    };
+    let queries = scale.scaled(32, 48);
+    let probe = scale.scaled(8, 12);
+    let utilizations = [0.3, 0.6, 0.9, 1.2];
+
+    let mut backends: NamedFactories<'_> = vec![
+        (
+            "host",
+            Box::new(|| Box::new(HostBaseline::new(4, 2).expect("host config"))),
+        ),
+        (
+            "recnmp-cluster[4]",
+            Box::new(|| {
+                let config = RecNmpClusterConfig::builder()
+                    .channels(4)
+                    .dimms(1)
+                    .ranks_per_dimm(2)
+                    .build()
+                    .expect("cluster config");
+                Box::new(recnmp::RecNmpCluster::new(config).expect("cluster"))
+            }),
+        ),
+    ];
+
+    let mut knees = Vec::new();
+    for (label, factory) in backends.iter_mut() {
+        let mut table = TextTable::new(
+            format!("{label}: Poisson open-loop, {} queries/point", queries),
+            &[
+                "policy",
+                "util",
+                "offered qps",
+                "achieved qps",
+                "p50 (us)",
+                "p95 (us)",
+                "p99 (us)",
+                "sustained",
+            ],
+        );
+        for policy in DispatchPolicy::ALL {
+            let curve = qps_sweep(
+                factory.as_mut(),
+                policy,
+                ArrivalProcess::Poisson,
+                shape,
+                &utilizations,
+                queries,
+                probe,
+                SEED,
+            )
+            .expect("serving sweep");
+            for p in &curve.points {
+                let (p50, p95, p99) = p.summary.percentiles_us();
+                table.push_row(vec![
+                    policy.name().to_string(),
+                    f2(p.utilization),
+                    format!("{:.0}", p.offered_qps),
+                    format!("{:.0}", p.achieved_qps),
+                    f2(p50),
+                    f2(p95),
+                    f2(p99),
+                    if p.sustained() { "yes" } else { "no" }.to_string(),
+                ]);
+            }
+            knees.push(knee_note(label, &curve));
+        }
+        result.tables.push(table);
+    }
+    result.notes.append(&mut knees);
+    result.notes.push(
+        "Open-loop Poisson arrivals; latency is enqueue-to-completion in simulated time. \
+         The knee is the highest offered load whose completion throughput stays within \
+         90% of arrivals; beyond it the p99 tail grows without bound."
+            .into(),
+    );
+    result
+}
+
+fn knee_note(label: &str, curve: &SweepCurve) -> String {
+    match curve.knee() {
+        Some(p) => format!(
+            "{label}/{}: saturation {:.0} qps, knee at {:.0} qps (util {:.1})",
+            curve.policy.name(),
+            curve.saturation_qps,
+            p.offered_qps,
+            p.utilization
+        ),
+        None => format!(
+            "{label}/{}: saturation {:.0} qps, no sustained point in sweep",
+            curve.policy.name(),
+            curve.saturation_qps
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_latency_tables_cover_backends_and_policies() {
+        let r = fig18_tail_latency(Scale::Quick);
+        assert_eq!(r.tables.len(), 2);
+        for t in &r.tables {
+            // 3 policies x 4 utilization points.
+            assert_eq!(t.rows.len(), 12);
+            // The lightest load is sustained on every policy.
+            for policy_rows in t.rows.chunks(4) {
+                assert_eq!(policy_rows[0][7], "yes");
+            }
+        }
+        // One knee note per backend x policy, plus the methodology note.
+        assert_eq!(r.notes.len(), 2 * 3 + 1);
+    }
+
+    #[test]
+    fn tail_latency_is_deterministic() {
+        let a = fig18_tail_latency(Scale::Quick);
+        let b = fig18_tail_latency(Scale::Quick);
+        assert_eq!(a, b);
+    }
+}

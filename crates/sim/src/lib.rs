@@ -14,6 +14,11 @@
 //! * [`colocation`] — the Figure 17/18 layer: co-located model inference
 //!   latency/throughput built on the calibrated CPU model and the
 //!   cycle-level SLS results;
+//! * [`serving`] — the query-serving subsystem: open-loop Poisson/uniform
+//!   load generation, dispatch policies (FIFO / round-robin /
+//!   least-outstanding, optional batch coalescing) over any backend's
+//!   servers, per-query p50/p95/p99 latency, and throughput–latency
+//!   sweeps with saturation-knee detection;
 //! * [`experiments`] — one entry point per table/figure
 //!   (`fig01_footprint` … `tab02_overhead`), each returning renderable
 //!   tables recorded in `EXPERIMENTS.md`;
@@ -58,10 +63,12 @@
 pub mod colocation;
 pub mod experiments;
 pub mod render;
+pub mod serving;
 pub mod speedup;
 pub mod workload;
 
 pub use experiments::{ExperimentResult, Scale};
 pub use render::TextTable;
+pub use serving::{DispatchPolicy, LatencySummary, ServingConfig, ServingReport};
 pub use speedup::{SlsComparison, SpeedupEngine};
 pub use workload::{SlsWorkload, TableLayout, TraceKind};

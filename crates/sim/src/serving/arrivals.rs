@@ -1,0 +1,207 @@
+//! Open-loop load generation: deterministic arrival processes and the
+//! per-query SLS trace stream.
+//!
+//! An open-loop generator emits queries on a schedule that does **not**
+//! react to the system under test — the defining property of tail-latency
+//! methodology (a closed loop self-throttles and hides queueing delay).
+//! Both processes here are driven by [`DetRng`], so a (seed, QPS, count)
+//! triple always yields the same arrival schedule.
+
+use recnmp_backend::SlsTrace;
+use recnmp_model::{ModelConfig, RecModelKind};
+use recnmp_trace::{EmbeddingTableSpec, IndexDistribution, SlsBatch, TraceGenerator};
+use recnmp_types::rng::DetRng;
+use recnmp_types::units::qps_to_interarrival_cycles;
+use recnmp_types::{Cycle, PhysAddr, TableId};
+use serde::{Deserialize, Serialize};
+
+/// The inter-arrival distribution of the open-loop generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Exponential inter-arrival gaps (memoryless bursty traffic — the
+    /// standard model of independent user queries).
+    Poisson,
+    /// A fixed gap between consecutive queries (perfectly paced traffic;
+    /// isolates service-time variance from arrival burstiness).
+    Uniform,
+}
+
+impl ArrivalProcess {
+    /// Short stable label for reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson => "poisson",
+            ArrivalProcess::Uniform => "uniform",
+        }
+    }
+
+    /// The arrival cycle of each of `queries` queries at offered rate
+    /// `qps`, in non-decreasing order starting after cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `qps` is not positive and finite.
+    pub fn arrival_times(self, qps: f64, queries: usize, rng: &mut DetRng) -> Vec<Cycle> {
+        let mean = qps_to_interarrival_cycles(qps);
+        let mut t = 0.0f64;
+        (0..queries)
+            .map(|_| {
+                let gap = match self {
+                    // Inverse-CDF exponential draw; `1 - u` is in (0, 1]
+                    // so the log is finite.
+                    ArrivalProcess::Poisson => -mean * (1.0 - rng.unit_f64()).ln(),
+                    ArrivalProcess::Uniform => mean,
+                };
+                t += gap;
+                t as Cycle
+            })
+            .collect()
+    }
+}
+
+/// The shape of one query: how much SLS work a single inference request
+/// carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryShape {
+    /// Embedding tables touched per query.
+    pub tables: usize,
+    /// Samples per query batch (poolings per table).
+    pub batch: usize,
+    /// Lookups reduced per pooling.
+    pub pooling: usize,
+}
+
+impl QueryShape {
+    /// A custom shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any dimension is zero.
+    pub fn new(tables: usize, batch: usize, pooling: usize) -> Self {
+        assert!(
+            tables > 0 && batch > 0 && pooling > 0,
+            "query shape dimensions must be positive"
+        );
+        Self {
+            tables,
+            batch,
+            pooling,
+        }
+    }
+
+    /// The embedding-side shape of one paper model (`num_tables` tables,
+    /// pooling 80) at `batch` samples per query.
+    pub fn for_model(kind: RecModelKind, batch: usize) -> Self {
+        let cfg = ModelConfig::new(kind);
+        Self::new(cfg.num_tables, batch, cfg.pooling)
+    }
+
+    /// Embedding lookups one query performs.
+    pub fn lookups_per_query(&self) -> u64 {
+        (self.tables * self.batch * self.pooling) as u64
+    }
+}
+
+/// A deterministic stream of per-query [`SlsTrace`]s.
+///
+/// One persistent generator per table keeps the index stream warm across
+/// queries (successive queries of one user population share hot entries),
+/// and one shared hash translation places every table in a distinct
+/// physical region — the same placement idiom the conformance tests use.
+#[derive(Debug)]
+pub struct QueryStream {
+    shape: QueryShape,
+    gens: Vec<TraceGenerator>,
+}
+
+impl QueryStream {
+    /// A stream of `shape`-sized queries over production-like skewed
+    /// (Zipf 0.9) index streams.
+    pub fn new(shape: QueryShape, seed: u64) -> Self {
+        let spec = EmbeddingTableSpec::dlrm_default();
+        let gens = (0..shape.tables)
+            .map(|t| {
+                TraceGenerator::new(
+                    TableId::new(t as u32),
+                    spec,
+                    IndexDistribution::Zipf { s: 0.9 },
+                    seed.wrapping_add(131 * t as u64),
+                )
+            })
+            .collect();
+        Self { shape, gens }
+    }
+
+    /// The shape every query of this stream has.
+    pub fn shape(&self) -> QueryShape {
+        self.shape
+    }
+
+    /// Generates the next query: one batch per table, translated with the
+    /// shared deterministic placement.
+    pub fn next_query(&mut self) -> SlsTrace {
+        let batches: Vec<SlsBatch> = self
+            .gens
+            .iter_mut()
+            .map(|g| g.batch(self.shape.batch, self.shape.pooling))
+            .collect();
+        SlsTrace::from_batches(&batches, &mut |t, row| {
+            PhysAddr::new(((t as u64) << 31) ^ (row * 131 * 128))
+        })
+    }
+
+    /// Generates the next `n` queries.
+    pub fn take_queries(&mut self, n: usize) -> Vec<SlsTrace> {
+        (0..n).map(|_| self.next_query()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_arrivals_are_deterministic_and_sorted() {
+        let a = ArrivalProcess::Poisson.arrival_times(1e6, 200, &mut DetRng::seed(9));
+        let b = ArrivalProcess::Poisson.arrival_times(1e6, 200, &mut DetRng::seed(9));
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_offered_rate() {
+        // 1e6 QPS at 1.2 GHz: mean gap 1200 cycles; the 4000-sample mean
+        // should land within a few percent.
+        let a = ArrivalProcess::Poisson.arrival_times(1e6, 4000, &mut DetRng::seed(3));
+        let mean = *a.last().unwrap() as f64 / a.len() as f64;
+        assert!((mean - 1200.0).abs() < 120.0, "mean gap {mean}");
+    }
+
+    #[test]
+    fn uniform_arrivals_are_evenly_paced() {
+        let a = ArrivalProcess::Uniform.arrival_times(1e6, 5, &mut DetRng::seed(1));
+        assert_eq!(a, vec![1200, 2400, 3600, 4800, 6000]);
+    }
+
+    #[test]
+    fn model_shapes_follow_table1() {
+        let s = QueryShape::for_model(RecModelKind::Rm1Small, 4);
+        assert_eq!((s.tables, s.batch, s.pooling), (8, 4, 80));
+        assert_eq!(s.lookups_per_query(), 8 * 4 * 80);
+    }
+
+    #[test]
+    fn query_stream_is_deterministic() {
+        let shape = QueryShape::new(2, 3, 5);
+        let mut s1 = QueryStream::new(shape, 7);
+        let mut s2 = QueryStream::new(shape, 7);
+        let (q1, q2) = (s1.take_queries(4), s2.take_queries(4));
+        assert_eq!(q1, q2);
+        for q in &q1 {
+            assert_eq!(q.total_lookups(), shape.lookups_per_query());
+        }
+        // Successive queries differ (the index stream advances).
+        assert_ne!(q1[0], q1[1]);
+    }
+}

@@ -1,0 +1,56 @@
+//! The query-serving subsystem: open-loop load generation, batch
+//! scheduling policies, and tail-latency accounting over any
+//! [`SlsBackend`](recnmp_backend::SlsBackend).
+//!
+//! RecNMP's end-to-end claim is about query latency under production
+//! load, yet trace replay only yields aggregate cycles. This module turns
+//! the cycle-level simulators into a queueing system:
+//!
+//! * [`arrivals`] — deterministic open-loop generators
+//!   ([`ArrivalProcess::Poisson`]/[`ArrivalProcess::Uniform`]) driven by
+//!   `recnmp_types::rng`, and the per-query trace stream ([`QueryStream`])
+//!   parameterized by offered QPS, batch size, and model kind
+//!   ([`QueryShape::for_model`]);
+//! * [`policy`] — dispatch policies ([`DispatchPolicy`]: FIFO single
+//!   queue, round-robin per channel, least-outstanding-work) plus
+//!   optional batch [`Coalescing`] with a max-wait deadline;
+//! * [`scheduler`] — [`serve`]: dispatches queries onto the backend's
+//!   servers (cluster channels via `SlsBackend::try_run_on`) and tracks
+//!   per-query enqueue→completion latency in simulated cycles
+//!   ([`ServingReport`], [`LatencySummary`] with p50/p95/p99/mean/max);
+//! * [`sweep`] — throughput–latency curves over a QPS sweep
+//!   ([`qps_sweep`]), anchored at a probed saturation rate
+//!   ([`saturation_qps`]) with the knee identified
+//!   ([`SweepCurve::knee`]).
+//!
+//! The model: each dispatched job occupies one server for exactly the
+//! cycles its cycle-level run reports; jobs queue when their server is
+//! busy. Hardware state persists across jobs per server (sustained
+//! traffic keeps row buffers and caches warm); idle gaps are not
+//! separately simulated. Everything downstream of a seed is
+//! deterministic — same seed and config give byte-identical latency
+//! vectors.
+//!
+//! # Examples
+//!
+//! ```
+//! use recnmp_baselines::HostBaseline;
+//! use recnmp_sim::serving::{serve, DispatchPolicy, QueryShape, ServingConfig};
+//!
+//! let mut host = HostBaseline::new(1, 2).unwrap();
+//! let cfg = ServingConfig::poisson(10_000.0, 16, QueryShape::new(2, 2, 8), 42);
+//! let report = serve(&mut host, &cfg).unwrap();
+//! assert_eq!(report.latencies.len(), 16);
+//! let s = report.summary();
+//! assert!(s.p50 <= s.p99);
+//! ```
+
+pub mod arrivals;
+pub mod policy;
+pub mod scheduler;
+pub mod sweep;
+
+pub use arrivals::{ArrivalProcess, QueryShape, QueryStream};
+pub use policy::{Coalescing, DispatchPolicy};
+pub use scheduler::{serve, LatencySummary, ServingConfig, ServingReport};
+pub use sweep::{qps_sweep, saturation_qps, BackendFactory, SweepCurve, SweepPoint};

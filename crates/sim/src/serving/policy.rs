@@ -1,0 +1,92 @@
+//! Dispatch policies and batch coalescing for the query scheduler.
+
+use recnmp_types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// How the scheduler places dispatched jobs onto the backend's servers
+/// (channels of a cluster; the single pipeline of a one-channel system).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// One global FIFO queue: each job goes to whichever server frees
+    /// first (central-queue M/G/k — the work-conserving reference).
+    FifoSingleQueue,
+    /// Jobs rotate across servers in dispatch order regardless of load —
+    /// cheap, stateless, but blind to service-time variance.
+    RoundRobin,
+    /// Join-least-work: each job goes to the server with the fewest
+    /// outstanding *lookups* at dispatch time, a size-aware variant of
+    /// join-shortest-queue.
+    LeastOutstanding,
+}
+
+impl DispatchPolicy {
+    /// Every policy, in report order.
+    pub const ALL: [DispatchPolicy; 3] = [
+        DispatchPolicy::FifoSingleQueue,
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::LeastOutstanding,
+    ];
+
+    /// Short stable label for reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchPolicy::FifoSingleQueue => "fifo",
+            DispatchPolicy::RoundRobin => "round-robin",
+            DispatchPolicy::LeastOutstanding => "least-outstanding",
+        }
+    }
+}
+
+impl std::fmt::Display for DispatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Batch coalescing: merge queries that arrive close together into one
+/// backend run, trading per-query latency (waiting for the group to
+/// close) for service efficiency (bigger traces amortize row activations
+/// and packet headers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coalescing {
+    /// A group dispatches as soon as it holds this many queries.
+    pub max_queries: usize,
+    /// ... or when its oldest member has waited this long, whichever
+    /// comes first.
+    pub max_wait: Cycle,
+}
+
+impl Coalescing {
+    /// A coalescer closing groups at `max_queries` queries or `max_wait`
+    /// cycles of oldest-member wait.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_queries` is zero.
+    pub fn new(max_queries: usize, max_wait: Cycle) -> Self {
+        assert!(max_queries > 0, "coalescing groups need at least 1 query");
+        Self {
+            max_queries,
+            max_wait,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_names_are_distinct() {
+        let names: std::collections::HashSet<&str> =
+            DispatchPolicy::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), DispatchPolicy::ALL.len());
+        assert_eq!(DispatchPolicy::FifoSingleQueue.to_string(), "fifo");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 query")]
+    fn zero_group_size_is_rejected() {
+        Coalescing::new(0, 100);
+    }
+}

@@ -1,0 +1,393 @@
+//! The query scheduler: turns a backend into an open-loop queueing system
+//! and accounts per-query enqueue→completion latency in simulated time.
+
+use recnmp_backend::{RunReport, SlsBackend, SlsTrace};
+use recnmp_types::units::{completions_to_qps, cycles_to_us};
+use recnmp_types::{Cycle, SimError};
+use serde::{Deserialize, Serialize};
+
+use super::arrivals::{ArrivalProcess, QueryShape, QueryStream};
+use super::policy::{Coalescing, DispatchPolicy};
+
+/// One serving run: an offered load, a query shape, and a scheduling
+/// discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingConfig {
+    /// Arrival process of the open-loop generator.
+    pub process: ArrivalProcess,
+    /// Offered query rate (queries per second of simulated time).
+    pub qps: f64,
+    /// Queries to offer.
+    pub queries: usize,
+    /// SLS work per query.
+    pub shape: QueryShape,
+    /// How jobs are placed onto servers.
+    pub policy: DispatchPolicy,
+    /// Optional batch coalescing ahead of dispatch.
+    pub coalescing: Option<Coalescing>,
+    /// Seed for both the arrival schedule and the query index streams.
+    pub seed: u64,
+}
+
+impl ServingConfig {
+    /// A Poisson FIFO configuration with no coalescing — the baseline
+    /// serving discipline.
+    pub fn poisson(qps: f64, queries: usize, shape: QueryShape, seed: u64) -> Self {
+        Self {
+            process: ArrivalProcess::Poisson,
+            qps,
+            queries,
+            shape,
+            policy: DispatchPolicy::FifoSingleQueue,
+            coalescing: None,
+            seed,
+        }
+    }
+}
+
+/// Latency distribution of one serving run, in simulator cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Median latency.
+    pub p50: Cycle,
+    /// 95th-percentile latency.
+    pub p95: Cycle,
+    /// 99th-percentile latency.
+    pub p99: Cycle,
+    /// Mean latency.
+    pub mean: f64,
+    /// Worst-case latency.
+    pub max: Cycle,
+}
+
+impl LatencySummary {
+    /// Summarizes `latencies` (need not be sorted). Zeroed for an empty
+    /// slice.
+    pub fn from_latencies(latencies: &[Cycle]) -> Self {
+        if latencies.is_empty() {
+            return Self {
+                p50: 0,
+                p95: 0,
+                p99: 0,
+                mean: 0.0,
+                max: 0,
+            };
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        Self {
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            p99: percentile(&sorted, 0.99),
+            mean: sorted.iter().sum::<Cycle>() as f64 / sorted.len() as f64,
+            max: *sorted.last().unwrap(),
+        }
+    }
+
+    /// The (p50, p95, p99) triple in microseconds.
+    pub fn percentiles_us(&self) -> (f64, f64, f64) {
+        (
+            cycles_to_us(self.p50),
+            cycles_to_us(self.p95),
+            cycles_to_us(self.p99),
+        )
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted non-empty slice.
+fn percentile(sorted: &[Cycle], q: f64) -> Cycle {
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// The outcome of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Backend label the run was served by.
+    pub system: String,
+    /// Dispatch policy used.
+    pub policy: DispatchPolicy,
+    /// Offered query rate.
+    pub offered_qps: f64,
+    /// Arrival cycle of each query, in arrival order.
+    pub arrivals: Vec<Cycle>,
+    /// Completion cycle of each query, in arrival order.
+    pub completions: Vec<Cycle>,
+    /// Enqueue→completion latency of each query, in arrival order.
+    pub latencies: Vec<Cycle>,
+    /// Backend runs dispatched (equals query count without coalescing).
+    pub jobs: usize,
+    /// Counters merged over every dispatched job, with
+    /// `query_completions` carrying the per-query timestamps and
+    /// `total_cycles` the makespan.
+    pub report: RunReport,
+}
+
+impl ServingReport {
+    /// Cycle at which the last query completed.
+    pub fn makespan(&self) -> Cycle {
+        self.completions.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Completion throughput (queries per simulated second), measured
+    /// over the completion window (first to last completion) so the
+    /// initial ramp and final drain don't bias short runs. Falls back to
+    /// the full makespan when the window is degenerate (fewer than two
+    /// distinct completion times).
+    pub fn achieved_qps(&self) -> f64 {
+        let n = self.completions.len() as u64;
+        let first = self.completions.iter().copied().min().unwrap_or(0);
+        let last = self.makespan();
+        if n >= 2 && last > first {
+            completions_to_qps(n - 1, last - first)
+        } else {
+            completions_to_qps(n, last)
+        }
+    }
+
+    /// The latency distribution.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary::from_latencies(&self.latencies)
+    }
+}
+
+/// Serves `cfg.queries` open-loop queries on `backend` and accounts
+/// per-query latency in simulated time.
+///
+/// The queueing model: the backend exposes
+/// [`server_count`](SlsBackend::server_count) independent servers
+/// (cluster channels); each dispatched job occupies one server for the
+/// `total_cycles` its cycle-level run reports, and a job placed on a busy
+/// server waits for it to free. Hardware state (row buffers, caches)
+/// persists across jobs on each server, as it would under sustained
+/// traffic; idle gaps between jobs are not separately simulated.
+///
+/// # Errors
+///
+/// Returns [`SimError::Stalled`] if any job's cycle-level run stalls.
+pub fn serve(backend: &mut dyn SlsBackend, cfg: &ServingConfig) -> Result<ServingReport, SimError> {
+    let mut arrival_rng = recnmp_types::rng::DetRng::seed(cfg.seed ^ 0xa5a5_5a5a_0f0f_f0f0);
+    let arrivals = cfg
+        .process
+        .arrival_times(cfg.qps, cfg.queries, &mut arrival_rng);
+    let queries = QueryStream::new(cfg.shape, cfg.seed).take_queries(cfg.queries);
+    serve_arrivals(backend, cfg, &arrivals, &queries)
+}
+
+/// One dispatched unit of work: the queries it carries and the cycle the
+/// scheduler released it.
+struct Job {
+    dispatch: Cycle,
+    members: Vec<usize>,
+}
+
+/// The scheduler core, shared by [`serve`] and the saturation probe:
+/// coalesces `queries` (arrival `arrivals[i]` each) into jobs, places
+/// them under `cfg.policy`, and accounts completion times.
+pub(super) fn serve_arrivals(
+    backend: &mut dyn SlsBackend,
+    cfg: &ServingConfig,
+    arrivals: &[Cycle],
+    queries: &[SlsTrace],
+) -> Result<ServingReport, SimError> {
+    assert_eq!(arrivals.len(), queries.len(), "one arrival per query");
+    let servers = backend.server_count();
+    assert!(servers > 0, "backend exposes no servers");
+
+    let jobs = coalesce(arrivals, cfg.coalescing);
+
+    // Earliest cycle each server is free, and (for LeastOutstanding) the
+    // completion/lookup pairs of work still in flight per server.
+    let mut free_at = vec![0 as Cycle; servers];
+    let mut in_flight: Vec<Vec<(Cycle, u64)>> = vec![Vec::new(); servers];
+    let mut completions = vec![0 as Cycle; queries.len()];
+    let mut merged = RunReport::for_system(backend.name().to_string());
+
+    for (job_idx, job) in jobs.iter().enumerate() {
+        let server = match cfg.policy {
+            DispatchPolicy::FifoSingleQueue => {
+                // Central queue: the job runs on whichever server frees
+                // first (ties to the lowest index).
+                (0..servers).min_by_key(|&s| (free_at[s], s)).unwrap()
+            }
+            DispatchPolicy::RoundRobin => job_idx % servers,
+            DispatchPolicy::LeastOutstanding => {
+                // Size-aware join-shortest-queue: least outstanding
+                // lookups at dispatch time. Dispatch times are
+                // non-decreasing, so work completed by now can never
+                // count again and is dropped before the scan.
+                (0..servers)
+                    .min_by_key(|&s| {
+                        in_flight[s].retain(|(done, _)| *done > job.dispatch);
+                        let backlog: u64 = in_flight[s].iter().map(|(_, lookups)| lookups).sum();
+                        (backlog, s)
+                    })
+                    .unwrap()
+            }
+        };
+
+        let trace = merge_queries(queries, &job.members);
+        let report = backend.try_run_on(server, &trace)?;
+        let start = job.dispatch.max(free_at[server]);
+        let complete = start + report.total_cycles;
+        free_at[server] = complete;
+        if cfg.policy == DispatchPolicy::LeastOutstanding {
+            in_flight[server].push((complete, trace.total_lookups()));
+        }
+        for &q in &job.members {
+            completions[q] = complete;
+        }
+        merged.absorb_parallel(report);
+    }
+
+    let latencies: Vec<Cycle> = completions
+        .iter()
+        .zip(arrivals)
+        .map(|(&done, &arr)| done - arr)
+        .collect();
+    // The merged counters cover serial jobs, so wall-clock is the
+    // makespan, not the per-job max `absorb_parallel` keeps.
+    merged.total_cycles = completions.iter().copied().max().unwrap_or(0);
+    merged.query_completions = completions.clone();
+
+    Ok(ServingReport {
+        system: backend.name().to_string(),
+        policy: cfg.policy,
+        offered_qps: cfg.qps,
+        arrivals: arrivals.to_vec(),
+        completions,
+        latencies,
+        jobs: jobs.len(),
+        report: merged,
+    })
+}
+
+/// Groups queries into dispatch jobs. Without coalescing every query is
+/// its own job released at its arrival; with coalescing a group closes
+/// when full or when its oldest member has waited `max_wait` cycles.
+fn coalesce(arrivals: &[Cycle], coalescing: Option<Coalescing>) -> Vec<Job> {
+    let Some(c) = coalescing else {
+        return arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Job {
+                dispatch: t,
+                members: vec![i],
+            })
+            .collect();
+    };
+    let mut jobs = Vec::new();
+    let mut i = 0;
+    while i < arrivals.len() {
+        let deadline = arrivals[i] + c.max_wait;
+        let mut members = vec![i];
+        i += 1;
+        while i < arrivals.len() && members.len() < c.max_queries && arrivals[i] <= deadline {
+            members.push(i);
+            i += 1;
+        }
+        // A full group releases with its filling query; a deadline group
+        // waits out the window (the coalescer cannot know no further
+        // query will arrive).
+        let dispatch = if members.len() == c.max_queries {
+            arrivals[*members.last().unwrap()]
+        } else {
+            deadline
+        };
+        jobs.push(Job { dispatch, members });
+    }
+    jobs
+}
+
+/// Concatenates the member queries of one job into a single trace.
+fn merge_queries(queries: &[SlsTrace], members: &[usize]) -> SlsTrace {
+    if members.len() == 1 {
+        return queries[members[0]].clone();
+    }
+    let mut merged = SlsTrace::default();
+    for &q in members {
+        merged.batches.extend(queries[q].batches.iter().cloned());
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recnmp_baselines::HostBaseline;
+
+    fn quick_cfg(qps: f64, queries: usize, policy: DispatchPolicy) -> ServingConfig {
+        ServingConfig {
+            process: ArrivalProcess::Poisson,
+            qps,
+            queries,
+            shape: QueryShape::new(2, 2, 8),
+            policy,
+            coalescing: None,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn summary_percentiles_are_nearest_rank() {
+        let lat: Vec<Cycle> = (1..=100).collect();
+        let s = LatencySummary::from_latencies(&lat);
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (50, 95, 99, 100));
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        let zero = LatencySummary::from_latencies(&[]);
+        assert_eq!(zero.max, 0);
+    }
+
+    #[test]
+    fn coalescing_honors_size_and_deadline() {
+        let arrivals = vec![0, 10, 20, 500, 520, 2000];
+        let jobs = coalesce(&arrivals, Some(Coalescing::new(3, 100)));
+        let groups: Vec<Vec<usize>> = jobs.iter().map(|j| j.members.clone()).collect();
+        assert_eq!(groups, vec![vec![0, 1, 2], vec![3, 4], vec![5]]);
+        // Full group releases at its filling arrival; deadline groups at
+        // first-arrival + max_wait.
+        assert_eq!(jobs[0].dispatch, 20);
+        assert_eq!(jobs[1].dispatch, 600);
+        assert_eq!(jobs[2].dispatch, 2100);
+    }
+
+    #[test]
+    fn serving_accounts_queue_wait() {
+        // Low offered load: latency ≈ service. Extreme offered load: the
+        // tail must include queueing delay on the single host pipeline.
+        let mut relaxed = HostBaseline::new(1, 2).unwrap();
+        let low = serve(
+            &mut relaxed,
+            &quick_cfg(1_000.0, 12, DispatchPolicy::FifoSingleQueue),
+        )
+        .unwrap();
+        let mut slammed = HostBaseline::new(1, 2).unwrap();
+        let hot = serve(
+            &mut slammed,
+            &quick_cfg(50_000_000.0, 12, DispatchPolicy::FifoSingleQueue),
+        )
+        .unwrap();
+        assert!(hot.summary().p99 > low.summary().p99);
+        assert_eq!(low.latencies.len(), 12);
+        assert_eq!(
+            low.report.insts,
+            12 * quick_cfg(1.0, 1, DispatchPolicy::RoundRobin)
+                .shape
+                .lookups_per_query()
+        );
+        assert_eq!(low.report.query_completions, low.completions);
+    }
+
+    #[test]
+    fn policies_coincide_on_a_single_server() {
+        let reports: Vec<ServingReport> = DispatchPolicy::ALL
+            .iter()
+            .map(|&p| {
+                let mut host = HostBaseline::new(1, 2).unwrap();
+                serve(&mut host, &quick_cfg(100_000.0, 8, p)).unwrap()
+            })
+            .collect();
+        assert_eq!(reports[0].latencies, reports[1].latencies);
+        assert_eq!(reports[1].latencies, reports[2].latencies);
+    }
+}

@@ -1,0 +1,182 @@
+//! Throughput–latency curves: sweep offered QPS against a backend and
+//! locate the saturation knee.
+
+use recnmp_backend::SlsBackend;
+use recnmp_types::SimError;
+
+use super::arrivals::{ArrivalProcess, QueryShape, QueryStream};
+use super::policy::DispatchPolicy;
+use super::scheduler::{serve, serve_arrivals, LatencySummary, ServingConfig};
+
+/// A factory producing fresh (cold) backends, so every sweep point starts
+/// from identical hardware state.
+pub type BackendFactory<'a> = dyn FnMut() -> Box<dyn SlsBackend> + 'a;
+
+/// One measured point of a throughput–latency curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Offered load (queries per simulated second).
+    pub offered_qps: f64,
+    /// Offered load as a fraction of the probed saturation rate.
+    pub utilization: f64,
+    /// Completion throughput actually achieved.
+    pub achieved_qps: f64,
+    /// Latency distribution at this load.
+    pub summary: LatencySummary,
+}
+
+impl SweepPoint {
+    /// Whether this load was sustained: completion throughput kept up
+    /// with at least 90% of the arrival rate (the slack absorbs arrival
+    /// jitter over a finite run).
+    pub fn sustained(&self) -> bool {
+        self.achieved_qps >= 0.90 * self.offered_qps
+    }
+}
+
+/// One backend×policy throughput–latency curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCurve {
+    /// Backend label.
+    pub system: String,
+    /// Dispatch policy the curve was measured under.
+    pub policy: DispatchPolicy,
+    /// Back-to-back saturation throughput (queries per simulated second)
+    /// probed before the sweep.
+    pub saturation_qps: f64,
+    /// Measured points, in ascending offered-QPS order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepCurve {
+    /// The saturation knee: the highest offered load the system still
+    /// sustained (achieved ≥ 90% of offered). `None` when even the
+    /// lightest point was unsustainable.
+    pub fn knee(&self) -> Option<&SweepPoint> {
+        self.points.iter().rev().find(|p| p.sustained())
+    }
+}
+
+/// Probes the back-to-back service capacity of a fresh backend: all
+/// `queries` queries arrive at cycle 0 and the completion throughput of
+/// the resulting busy period is the saturation rate.
+///
+/// # Errors
+///
+/// Returns [`SimError::Stalled`] if a cycle-level run stalls.
+pub fn saturation_qps(
+    make_backend: &mut BackendFactory<'_>,
+    shape: QueryShape,
+    queries: usize,
+    seed: u64,
+) -> Result<f64, SimError> {
+    let mut backend = make_backend();
+    let cfg = ServingConfig {
+        process: ArrivalProcess::Uniform,
+        qps: 1.0, // unused: arrivals are pinned to cycle 0 below
+        queries,
+        shape,
+        policy: DispatchPolicy::FifoSingleQueue,
+        coalescing: None,
+        seed,
+    };
+    let arrivals = vec![0; queries];
+    let trace_queries = QueryStream::new(shape, seed).take_queries(queries);
+    let report = serve_arrivals(backend.as_mut(), &cfg, &arrivals, &trace_queries)?;
+    Ok(report.achieved_qps())
+}
+
+/// Measures one backend×policy throughput–latency curve.
+///
+/// The offered loads are `utilizations` fractions of the probed
+/// saturation rate, so curves from systems of very different capacity
+/// (a host channel vs a 4-channel NMP cluster) sample comparable
+/// operating regions — the knee lands inside the sweep by construction.
+///
+/// # Errors
+///
+/// Returns [`SimError::Stalled`] if any cycle-level run stalls.
+#[allow(clippy::too_many_arguments)]
+pub fn qps_sweep(
+    make_backend: &mut BackendFactory<'_>,
+    policy: DispatchPolicy,
+    process: ArrivalProcess,
+    shape: QueryShape,
+    utilizations: &[f64],
+    queries: usize,
+    probe_queries: usize,
+    seed: u64,
+) -> Result<SweepCurve, SimError> {
+    let saturation = saturation_qps(make_backend, shape, probe_queries, seed)?;
+    let mut points = Vec::with_capacity(utilizations.len());
+    let mut system = String::new();
+    for &u in utilizations {
+        assert!(u > 0.0, "utilization fractions must be positive");
+        let mut backend = make_backend();
+        let cfg = ServingConfig {
+            process,
+            qps: u * saturation,
+            queries,
+            shape,
+            policy,
+            coalescing: None,
+            seed,
+        };
+        let report = serve(backend.as_mut(), &cfg)?;
+        system = report.system.clone();
+        points.push(SweepPoint {
+            offered_qps: cfg.qps,
+            utilization: u,
+            achieved_qps: report.achieved_qps(),
+            summary: report.summary(),
+        });
+    }
+    Ok(SweepCurve {
+        system,
+        policy,
+        saturation_qps: saturation,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recnmp_baselines::HostBaseline;
+
+    fn host_factory() -> Box<dyn SlsBackend> {
+        Box::new(HostBaseline::new(1, 2).unwrap())
+    }
+
+    #[test]
+    fn saturation_probe_is_positive_and_deterministic() {
+        let shape = QueryShape::new(2, 2, 8);
+        let a = saturation_qps(&mut host_factory, shape, 6, 5).unwrap();
+        let b = saturation_qps(&mut host_factory, shape, 6, 5).unwrap();
+        assert!(a > 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_tail_grows_with_load_and_knee_exists() {
+        let shape = QueryShape::new(2, 2, 8);
+        let curve = qps_sweep(
+            &mut host_factory,
+            DispatchPolicy::FifoSingleQueue,
+            ArrivalProcess::Uniform,
+            shape,
+            &[0.3, 0.7, 1.5],
+            10,
+            6,
+            5,
+        )
+        .unwrap();
+        assert_eq!(curve.points.len(), 3);
+        // Latency is monotone-ish in load: the overloaded point's p99
+        // strictly exceeds the light point's.
+        assert!(curve.points[2].summary.p99 > curve.points[0].summary.p99);
+        // Light load is sustained; the knee is at or above it.
+        assert!(curve.points[0].sustained());
+        assert!(curve.knee().unwrap().utilization >= 0.3);
+    }
+}

@@ -32,6 +32,38 @@ pub fn cycles_to_ns(cycles: u64) -> f64 {
     cycles as f64 * DDR4_2400_CYCLE_SECS * 1e9
 }
 
+/// Converts a cycle count at the DDR4-2400 clock into microseconds — the
+/// unit query-serving latency distributions are reported in.
+pub fn cycles_to_us(cycles: u64) -> f64 {
+    cycles as f64 * DDR4_2400_CYCLE_SECS * 1e6
+}
+
+/// Mean inter-arrival gap in simulator cycles for an offered query rate.
+///
+/// Open-loop load generators draw arrival gaps around this mean; at the
+/// DDR4-2400 clock, 1 QPS is one query every 1.2e9 cycles.
+///
+/// # Panics
+///
+/// Panics when `qps` is not positive and finite.
+pub fn qps_to_interarrival_cycles(qps: f64) -> f64 {
+    assert!(
+        qps.is_finite() && qps > 0.0,
+        "offered QPS must be positive, got {qps}"
+    );
+    DDR4_2400_CLOCK_HZ / qps
+}
+
+/// Converts a span of simulator cycles and a completion count into a
+/// throughput in queries per second. Returns zero when `cycles` is zero.
+pub fn completions_to_qps(completions: u64, cycles: u64) -> f64 {
+    if cycles == 0 {
+        0.0
+    } else {
+        completions as f64 * DDR4_2400_CLOCK_HZ / cycles as f64
+    }
+}
+
 /// Converts bytes moved over a cycle span into GB/s at the DDR4-2400 clock.
 ///
 /// Returns zero when `cycles` is zero.
@@ -83,6 +115,25 @@ mod tests {
     #[test]
     fn bandwidth_zero_cycles_is_zero() {
         assert_eq!(bandwidth_gbs(100, 0), 0.0);
+    }
+
+    #[test]
+    fn serving_time_units_round_trip() {
+        // 1200 cycles at 1.2 GHz is exactly 1 microsecond.
+        assert!((cycles_to_us(1200) - 1.0).abs() < 1e-12);
+        // 1 QPS means one arrival every 1.2e9 cycles.
+        assert!((qps_to_interarrival_cycles(1.0) - 1.2e9).abs() < 1.0);
+        // 1000 QPS: one arrival every 1.2e6 cycles.
+        assert!((qps_to_interarrival_cycles(1000.0) - 1.2e6).abs() < 1e-3);
+        // 10 completions over 1.2e9 cycles is 10 QPS.
+        assert!((completions_to_qps(10, 1_200_000_000) - 10.0).abs() < 1e-9);
+        assert_eq!(completions_to_qps(10, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "offered QPS must be positive")]
+    fn qps_must_be_positive() {
+        qps_to_interarrival_cycles(0.0);
     }
 
     #[test]

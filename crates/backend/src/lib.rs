@@ -20,7 +20,13 @@
 //!
 //! Sharding ([`ShardingPolicy`], [`SlsTrace::shard`]) splits a multi-table
 //! trace across independent channels — the building block of the
-//! multi-channel `RecNmpCluster` in the `recnmp` crate.
+//! multi-channel `RecNmpCluster` in the `recnmp` crate. Where a batch
+//! *lands* is decided by the [`placement`] subsystem: a
+//! [`PlacementPlan`] assigns each table to one or more channels under a
+//! per-channel capacity model and a [`PlacementPolicy`] (hash baseline,
+//! capacity-aware bin-packing, or frequency-balanced with hot-table
+//! replication), and sharding consults the plan instead of recomputing a
+//! hash per batch.
 //!
 //! # Examples
 //!
@@ -46,9 +52,11 @@
 //! assert_eq!(shards.iter().map(SlsTrace::total_lookups).sum::<u64>(), 80);
 //! ```
 
+pub mod placement;
 pub mod report;
 pub mod trace;
 
+pub use placement::{PlacementPlan, PlacementPolicy, TableUsage};
 pub use report::RunReport;
 pub use trace::{ShardingPolicy, SlsTrace, TraceBatch};
 

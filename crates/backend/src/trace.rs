@@ -4,6 +4,8 @@ use recnmp_trace::SlsBatch;
 use recnmp_types::{PhysAddr, TableId};
 use serde::{Deserialize, Serialize};
 
+use crate::placement::{PlacementPlan, PlacementPolicy, TableUsage};
+
 /// One SLS batch together with the physical address of every lookup.
 ///
 /// `addrs[p][i]` is the translated address of
@@ -160,14 +162,49 @@ impl SlsTrace {
     /// arrival order. Shards may be empty (e.g. more channels than
     /// tables under [`ShardingPolicy::HashByTable`]).
     ///
+    /// [`ShardingPolicy::HashByTable`] is served by building a
+    /// [`PlacementPlan`] under [`PlacementPolicy::Hash`] and dispatching
+    /// through it — the plan is the single sharding mechanism; the
+    /// legacy per-batch hash survives only as that plan's policy.
+    ///
     /// # Panics
     ///
     /// Panics if `channels` is zero.
     pub fn shard(&self, channels: usize, policy: ShardingPolicy) -> Vec<SlsTrace> {
         assert!(channels > 0, "need at least one channel");
-        let mut shards = vec![SlsTrace::default(); channels];
+        match policy {
+            ShardingPolicy::HashByTable => {
+                let usage = TableUsage::from_trace(self);
+                let plan = PlacementPlan::build(channels, None, &usage, PlacementPolicy::Hash)
+                    .expect("uncapped hash placement cannot fail");
+                self.shard_with_plan(&plan)
+            }
+            ShardingPolicy::RoundRobin => {
+                let mut shards = vec![SlsTrace::default(); channels];
+                for (i, batch) in self.batches.iter().enumerate() {
+                    let c = policy.channel_for(batch.table(), i, channels);
+                    shards[c].batches.push(batch.clone());
+                }
+                shards
+            }
+        }
+    }
+
+    /// Splits the trace across the channels of a [`PlacementPlan`]: each
+    /// batch lands on one replica of its table, picked deterministically
+    /// from the batch's arrival index. Shard order preserves arrival
+    /// order; shards of channels owning no referenced table are empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a batch references a table the plan does not place —
+    /// plans must be built from (a superset of) the workload's tables.
+    pub fn shard_with_plan(&self, plan: &PlacementPlan) -> Vec<SlsTrace> {
+        let mut shards = vec![SlsTrace::default(); plan.channels()];
         for (i, batch) in self.batches.iter().enumerate() {
-            let c = policy.channel_for(batch.table(), i, channels);
+            let c = plan
+                .channel_for(batch.table(), i)
+                .unwrap_or_else(|| panic!("table {} missing from placement plan", batch.table()));
             shards[c].batches.push(batch.clone());
         }
         shards
@@ -258,6 +295,38 @@ mod tests {
             },
         ];
         SlsTrace::from_batches(&batches, &mut |_, row| PhysAddr::new(row * 64));
+    }
+
+    #[test]
+    fn plan_sharding_conserves_and_rotates_replicas() {
+        let tr = trace(4);
+        let usage = TableUsage::from_trace(&tr);
+        let plan = PlacementPlan::build(
+            2,
+            None,
+            &usage,
+            PlacementPolicy::FrequencyBalanced { replicate: 1 },
+        )
+        .unwrap();
+        let shards = tr.shard_with_plan(&plan);
+        assert_eq!(shards.len(), 2);
+        let total: u64 = shards.iter().map(SlsTrace::total_lookups).sum();
+        assert_eq!(total, tr.total_lookups());
+        // Every batch landed on a replica of its table.
+        for (c, shard) in shards.iter().enumerate() {
+            for b in &shard.batches {
+                assert!(plan.replicas(b.table()).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from placement plan")]
+    fn plan_sharding_rejects_unplaced_tables() {
+        let tr = trace(3);
+        let usage = TableUsage::from_trace(&trace(1));
+        let plan = PlacementPlan::build(2, None, &usage, PlacementPolicy::Hash).unwrap();
+        tr.shard_with_plan(&plan);
     }
 
     #[test]

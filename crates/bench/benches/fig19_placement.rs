@@ -1,0 +1,39 @@
+//! Criterion benchmark for the `fig19_placement` experiment (sharded
+//! scatter/gather serving under table placement).
+//!
+//! The full experiment sweeps three placement policies over a 4-channel
+//! cluster; this benchmark times one representative sharded serving run
+//! so `cargo bench` stays fast. Use `repro fig19_placement --full` to
+//! regenerate the complete figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recnmp::{RecNmpCluster, RecNmpClusterConfig};
+use recnmp_backend::PlacementPolicy;
+use recnmp_sim::serving::{serve, QueryShape, ServingConfig, ServingMode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig19_placement");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let mut cfg = ServingConfig::poisson(500_000.0, 16, QueryShape::reference_skewed(), 7);
+    cfg.mode = ServingMode::sharded(PlacementPolicy::FrequencyBalanced { replicate: 1 });
+    group.bench_function("kernel", |b| {
+        b.iter(|| {
+            let config = RecNmpClusterConfig::builder()
+                .channels(4)
+                .dimms(1)
+                .ranks_per_dimm(2)
+                .refresh(false)
+                .build()
+                .expect("cluster config");
+            let mut cluster = RecNmpCluster::new(config).expect("cluster");
+            let report = serve(&mut cluster, &cfg).expect("sharded serving run");
+            criterion::black_box(report)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

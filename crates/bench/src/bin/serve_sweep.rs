@@ -4,28 +4,33 @@
 //! PRs, next to `BENCH_throughput.json`'s simulator-speed trajectory.
 //!
 //! ```text
-//! cargo run -p recnmp-bench --release --bin serve_sweep -- [--smoke] [--out PATH]
+//! cargo run -p recnmp-bench --release --bin serve_sweep -- [--smoke] [--placement] [--out PATH]
 //! ```
 //!
 //! * `--smoke` shrinks queries/points for CI (seconds instead of minutes).
-//! * `--out`   output path (default `BENCH_serving.json`).
+//! * `--placement` run the placement comparison instead: sharded
+//!   scatter/gather serving on the 4-channel cluster under hash /
+//!   capacity-greedy / frequency-balanced placement with skewed
+//!   per-table traffic, all at the same absolute offered loads (default
+//!   out `BENCH_placement.json`).
+//! * `--out` output path.
 //!
-//! Measured systems: the host DRAM baseline, TensorDIMM, and a 4-channel
-//! `RecNmpCluster`, each under FIFO single-queue, round-robin, and
-//! least-outstanding dispatch. Offered loads are fractions of each
-//! system's probed saturation rate, so every curve samples its own knee.
+//! Both paths drive the shared sweep library
+//! (`recnmp_sim::serving::{sweep_matrix, placement_sweep}`), the same
+//! entry points the experiment harness uses — the binary only renders
+//! JSON.
 
-use recnmp::{RecNmpCluster, RecNmpClusterConfig};
+use recnmp_backend::PlacementPolicy;
 use recnmp_baselines::{HostBaseline, TensorDimm};
 use recnmp_model::RecModelKind;
-use recnmp_sim::serving::{qps_sweep, ArrivalProcess, DispatchPolicy, QueryShape, SweepCurve};
+use recnmp_sim::serving::{
+    placement_sweep, reference_channel_capacity, reference_cluster4, sweep_matrix, ArrivalProcess,
+    DispatchPolicy, GatherCost, NamedFactories, QueryShape, ServingMode, SweepCurve, SweepSpec,
+};
 
 const SEED: u64 = 0x5e12_2026;
 
-/// Labeled backend factories the sweep iterates over.
-type NamedFactories<'a> = Vec<(&'a str, Box<recnmp_sim::serving::BackendFactory<'a>>)>;
-
-fn curve_json(curve: &SweepCurve) -> String {
+fn curve_json(system: &str, curve: &SweepCurve) -> String {
     let points: Vec<String> = curve
         .points
         .iter()
@@ -54,120 +59,181 @@ fn curve_json(curve: &SweepCurve) -> String {
     format!(
         "{{\"system\": \"{}\", \"policy\": \"{}\", \"saturation_qps\": {:.1}, \
          \"knee_qps\": {},\n      \"points\": [\n        {}\n      ]}}",
-        curve.system,
-        curve.policy.name(),
+        system,
+        curve.mode.name(),
         curve.saturation_qps,
         knee,
         points.join(",\n        ")
     )
 }
 
+fn print_curve(label: &str, curve: &SweepCurve) {
+    let knee = curve
+        .knee()
+        .map_or("none".to_string(), |p| format!("{:.0} qps", p.offered_qps));
+    println!(
+        "  {:<18} {:<18} saturation {:>12.0} qps  knee {}",
+        label,
+        curve.mode.name(),
+        curve.saturation_qps,
+        knee
+    );
+}
+
+fn report_json(
+    schema: &str,
+    smoke: bool,
+    spec: &SweepSpec,
+    curves: &[(String, SweepCurve)],
+) -> String {
+    let shape = spec.shape;
+    let rendered: Vec<String> = curves
+        .iter()
+        .map(|(system, c)| curve_json(system, c))
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"{schema}\",\n  \"mode\": \"{}\",\n  \
+         \"arrival_process\": \"{}\",\n  \"seed\": {},\n  \
+         \"shape\": {{\"tables\": {}, \"batch\": {}, \"pooling\": {}, \
+         \"table_skew\": {:.2}, \"lookups_per_query\": {}}},\n  \
+         \"queries_per_point\": {},\n  \"curves\": [\n    {}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        spec.process.name(),
+        spec.seed,
+        shape.tables,
+        shape.batch,
+        shape.pooling,
+        shape.table_skew,
+        shape.lookups_per_query(),
+        spec.queries,
+        rendered.join(",\n    ")
+    )
+}
+
 fn main() {
     let mut smoke = false;
-    let mut out = String::from("BENCH_serving.json");
+    let mut placement = false;
+    let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
-            "--out" => out = args.next().expect("--out requires a path"),
+            "--placement" => placement = true,
+            "--out" => out = Some(args.next().expect("--out requires a path")),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: serve_sweep [--smoke] [--out PATH]");
+                eprintln!("usage: serve_sweep [--smoke] [--placement] [--out PATH]");
                 std::process::exit(2);
             }
         }
     }
-    let shape = if smoke {
+    let base_shape = if smoke {
         QueryShape::new(2, 2, 8)
     } else {
         QueryShape::for_model(RecModelKind::Rm1Small, 4)
     };
     let (queries, probe) = if smoke { (24, 8) } else { (48, 12) };
-    let utilizations: &[f64] = if smoke {
-        &[0.3, 0.6, 0.9, 1.2]
+    let utilizations: Vec<f64> = if smoke {
+        vec![0.3, 0.6, 0.9, 1.2]
     } else {
-        &[0.2, 0.4, 0.6, 0.8, 1.0, 1.2]
+        vec![0.2, 0.4, 0.6, 0.8, 1.0, 1.2]
     };
 
-    println!(
-        "serve_sweep ({}): {} tables x batch {} x pooling {} = {} lookups/query, \
-         {} queries/point, {} load points",
-        if smoke { "smoke" } else { "full" },
-        shape.tables,
-        shape.batch,
-        shape.pooling,
-        shape.lookups_per_query(),
-        queries,
-        utilizations.len()
-    );
-
-    let mut backends: NamedFactories<'_> = vec![
-        (
-            "host",
-            Box::new(|| Box::new(HostBaseline::new(4, 2).expect("host config"))),
-        ),
-        (
-            "tensordimm",
-            Box::new(|| Box::new(TensorDimm::new(4, 2).expect("tensordimm config"))),
-        ),
-        (
-            "recnmp-cluster[4]",
-            Box::new(|| {
-                let config = RecNmpClusterConfig::builder()
-                    .channels(4)
-                    .dimms(1)
-                    .ranks_per_dimm(2)
-                    .build()
-                    .expect("cluster config");
-                Box::new(RecNmpCluster::new(config).expect("valid cluster"))
-            }),
-        ),
-    ];
-
-    let mut curves = Vec::new();
-    for (label, factory) in backends.iter_mut() {
-        for policy in DispatchPolicy::ALL {
-            let curve = qps_sweep(
-                factory.as_mut(),
-                policy,
-                ArrivalProcess::Poisson,
-                shape,
-                utilizations,
-                queries,
-                probe,
-                SEED,
-            )
-            .unwrap_or_else(|e| panic!("{label}/{} sweep stalled: {e}", policy.name()));
-            let knee = curve
-                .knee()
-                .map_or("none".to_string(), |p| format!("{:.0} qps", p.offered_qps));
-            println!(
-                "  {:<18} {:<18} saturation {:>12.0} qps  knee {}",
-                label,
-                policy.name(),
-                curve.saturation_qps,
-                knee
-            );
-            curves.push(curve);
+    let (json, out_path) = if placement {
+        let shape = if smoke {
+            QueryShape::reference_skewed()
+        } else {
+            base_shape.with_table_skew(1.5)
+        };
+        let spec = SweepSpec {
+            process: ArrivalProcess::Poisson,
+            shape,
+            utilizations,
+            queries,
+            probe_queries: probe,
+            seed: SEED,
+        };
+        println!(
+            "serve_sweep placement ({}): {} tables (skew {:.1}) x batch {} = {} lookups/query, \
+             {} queries/point, {} load points",
+            if smoke { "smoke" } else { "full" },
+            shape.tables,
+            shape.table_skew,
+            shape.batch,
+            shape.lookups_per_query(),
+            spec.queries,
+            spec.utilizations.len()
+        );
+        let curves = placement_sweep(
+            &mut reference_cluster4,
+            &PlacementPolicy::COMPARED,
+            GatherCost::host_default(),
+            Some(reference_channel_capacity()),
+            &spec,
+        )
+        .unwrap_or_else(|e| panic!("placement sweep failed: {e}"));
+        let labeled: Vec<(String, SweepCurve)> = curves
+            .into_iter()
+            .map(|c| ("recnmp-cluster[4]".to_string(), c))
+            .collect();
+        for (label, c) in &labeled {
+            print_curve(label, c);
         }
-    }
+        (
+            report_json("recnmp-placement/1", smoke, &spec, &labeled),
+            out.unwrap_or_else(|| "BENCH_placement.json".to_string()),
+        )
+    } else {
+        let spec = SweepSpec {
+            process: ArrivalProcess::Poisson,
+            shape: base_shape,
+            utilizations,
+            queries,
+            probe_queries: probe,
+            seed: SEED,
+        };
+        println!(
+            "serve_sweep ({}): {} tables x batch {} x pooling {} = {} lookups/query, \
+             {} queries/point, {} load points",
+            if smoke { "smoke" } else { "full" },
+            base_shape.tables,
+            base_shape.batch,
+            base_shape.pooling,
+            base_shape.lookups_per_query(),
+            spec.queries,
+            spec.utilizations.len()
+        );
+        let mut backends: NamedFactories<'_> = vec![
+            (
+                "host",
+                Box::new(|| Box::new(HostBaseline::new(4, 2).expect("host config"))),
+            ),
+            (
+                "tensordimm",
+                Box::new(|| Box::new(TensorDimm::new(4, 2).expect("tensordimm config"))),
+            ),
+            ("recnmp-cluster[4]", Box::new(reference_cluster4)),
+        ];
+        let modes: Vec<ServingMode> = DispatchPolicy::ALL
+            .iter()
+            .map(|&p| ServingMode::Queued(p))
+            .collect();
+        let curves = sweep_matrix(&mut backends, &modes, &spec)
+            .unwrap_or_else(|e| panic!("serving sweep failed: {e}"));
+        let labeled: Vec<(String, SweepCurve)> = curves
+            .into_iter()
+            .map(|lc| (lc.backend, lc.curve))
+            .collect();
+        for (label, c) in &labeled {
+            print_curve(label, c);
+        }
+        (
+            // Schema /2: the shape object gained `table_skew`.
+            report_json("recnmp-serving/2", smoke, &spec, &labeled),
+            out.unwrap_or_else(|| "BENCH_serving.json".to_string()),
+        )
+    };
 
-    let curve_json: Vec<String> = curves.iter().map(curve_json).collect();
-    let json = format!(
-        "{{\n  \"schema\": \"recnmp-serving/1\",\n  \"mode\": \"{}\",\n  \
-         \"arrival_process\": \"{}\",\n  \"seed\": {},\n  \
-         \"shape\": {{\"tables\": {}, \"batch\": {}, \"pooling\": {}, \"lookups_per_query\": {}}},\n  \
-         \"queries_per_point\": {},\n  \"curves\": [\n    {}\n  ]\n}}\n",
-        if smoke { "smoke" } else { "full" },
-        ArrivalProcess::Poisson.name(),
-        SEED,
-        shape.tables,
-        shape.batch,
-        shape.pooling,
-        shape.lookups_per_query(),
-        queries,
-        curve_json.join(",\n    ")
-    );
-    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
-    println!("wrote {out}");
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
 }

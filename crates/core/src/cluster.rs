@@ -49,7 +49,9 @@
 //! # }
 //! ```
 
-use recnmp_backend::{RunReport, ShardingPolicy, SlsBackend, SlsTrace};
+use recnmp_backend::{
+    PlacementPlan, PlacementPolicy, RunReport, ShardingPolicy, SlsBackend, SlsTrace, TableUsage,
+};
 use recnmp_types::{ConfigError, SimError};
 use serde::{Deserialize, Serialize};
 
@@ -202,6 +204,7 @@ impl ClusterConfigBuilder {
 pub struct RecNmpCluster {
     name: String,
     sharding: ShardingPolicy,
+    placement: Option<PlacementPlan>,
     channels: Vec<RecNmpSystem>,
 }
 
@@ -219,6 +222,7 @@ impl RecNmpCluster {
         Ok(Self {
             name: format!("recnmp-cluster[{}]", config.channels),
             sharding: config.sharding,
+            placement: None,
             channels,
         })
     }
@@ -231,6 +235,68 @@ impl RecNmpCluster {
     /// The dispatch policy.
     pub fn sharding(&self) -> ShardingPolicy {
         self.sharding
+    }
+
+    /// The active placement plan, when one has been installed.
+    pub fn placement(&self) -> Option<&PlacementPlan> {
+        self.placement.as_ref()
+    }
+
+    /// Per-channel DRAM capacity in bytes — the capacity model table
+    /// placement packs against.
+    pub fn channel_capacity_bytes(&self) -> u64 {
+        self.channels[0].geometry().capacity_bytes()
+    }
+
+    /// Installs a placement plan; subsequent [`try_run`](SlsBackend::try_run)
+    /// calls shard through it instead of the stateless
+    /// [`ShardingPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the plan was built for a different
+    /// channel count.
+    pub fn set_placement(&mut self, plan: PlacementPlan) -> Result<(), ConfigError> {
+        if plan.channels() != self.channels.len() {
+            return Err(ConfigError::new(
+                "placement",
+                format!(
+                    "plan places onto {} channel(s) but the cluster has {}",
+                    plan.channels(),
+                    self.channels.len()
+                ),
+            ));
+        }
+        self.placement = Some(plan);
+        Ok(())
+    }
+
+    /// Removes the placement plan, restoring stateless sharding.
+    pub fn clear_placement(&mut self) {
+        self.placement = None;
+    }
+
+    /// Builds and installs a plan for `usage` under `policy`, bounded by
+    /// each channel's DRAM capacity
+    /// ([`channel_capacity_bytes`](Self::channel_capacity_bytes)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when a table does not fit under the
+    /// capacity bound.
+    pub fn place_tables(
+        &mut self,
+        usage: &[TableUsage],
+        policy: PlacementPolicy,
+    ) -> Result<&PlacementPlan, ConfigError> {
+        let plan = PlacementPlan::build(
+            self.channels.len(),
+            Some(self.channel_capacity_bytes()),
+            usage,
+            policy,
+        )?;
+        self.placement = Some(plan);
+        Ok(self.placement.as_ref().expect("just installed"))
     }
 
     /// Access to one channel (for per-channel inspection in experiments).
@@ -246,17 +312,22 @@ impl SlsBackend for RecNmpCluster {
         &self.name
     }
 
-    /// Shards `trace` across the channels, runs every shard — **one OS
-    /// thread per channel**, since the channels are independent hardware
-    /// running in parallel — and merges the per-channel reports: counters
-    /// add, per-unit instruction counts concatenate (channel-major), and
+    /// Shards `trace` across the channels — through the installed
+    /// [`PlacementPlan`] when one is set, else under the stateless
+    /// [`ShardingPolicy`] — runs every shard (**one OS thread per
+    /// channel**, since the channels are independent hardware running in
+    /// parallel) and merges the per-channel reports: counters add,
+    /// per-unit instruction counts concatenate (channel-major), and
     /// `total_cycles` is the slowest channel.
     ///
     /// The merge order is the fixed channel order regardless of thread
     /// completion order, so reports are deterministic and identical to a
     /// serial channel-by-channel run.
     fn try_run(&mut self, trace: &SlsTrace) -> Result<RunReport, SimError> {
-        let shards = trace.shard(self.channels.len(), self.sharding);
+        let shards = match &self.placement {
+            Some(plan) => trace.shard_with_plan(plan),
+            None => trace.shard(self.channels.len(), self.sharding),
+        };
         let results: Vec<Result<RunReport, SimError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .channels
@@ -401,6 +472,32 @@ mod tests {
         // Every channel saw work: 8 ranks' worth of per-unit counts.
         assert_eq!(report.rank_insts.len(), 8);
         assert!(report.rank_insts.iter().all(|&n| n > 0));
+    }
+
+    #[test]
+    fn placement_plan_drives_sharding() {
+        let trace = workload(8, 4);
+        let usage = TableUsage::from_trace(&trace);
+        let mut c = cluster(4);
+        // A capacity-bounded frequency plan built from the trace profile.
+        let plan = c
+            .place_tables(&usage, PlacementPolicy::FrequencyBalanced { replicate: 1 })
+            .unwrap()
+            .clone();
+        assert_eq!(plan.channels(), 4);
+        assert!(usage.iter().all(|u| !plan.replicas(u.table).is_empty()));
+        assert!(plan.bytes_on(0) <= c.channel_capacity_bytes());
+        let report = c.run(&trace);
+        // Placement-driven sharding conserves every lookup.
+        assert_eq!(report.insts, trace.total_lookups());
+        assert_eq!(report.gathered_bytes, trace.total_lookups() * 128);
+        // A plan for the wrong geometry is rejected.
+        let mut two = cluster(2);
+        assert!(two.set_placement(plan).is_err());
+        // Clearing restores stateless sharding.
+        c.clear_placement();
+        assert!(c.placement().is_none());
+        assert_eq!(c.run(&trace).insts, trace.total_lookups());
     }
 
     #[test]

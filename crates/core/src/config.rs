@@ -70,6 +70,12 @@ pub struct RecNmpConfig {
     /// Main-loop strategy of the per-rank DRAM engines (event-driven
     /// skip-ahead by default; per-cycle is the validation reference).
     pub engine: SimEngine,
+    /// Whether the channel's cumulative `SessionStats` retain the full
+    /// per-packet latency/imbalance history. Off by default: long serving
+    /// runs execute millions of packets, and unbounded history is a leak.
+    /// The session always keeps running summaries (count/sum/max); each
+    /// per-run `RunReport` always carries that run's full vectors.
+    pub retain_packet_history: bool,
 }
 
 impl RecNmpConfig {
@@ -88,6 +94,7 @@ impl RecNmpConfig {
             refresh: true,
             execution: ExecutionMode::Serial,
             engine: SimEngine::EventDriven,
+            retain_packet_history: false,
         }
     }
 

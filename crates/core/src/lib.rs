@@ -20,8 +20,12 @@
 //!   execution where each packet's latency is set by its slowest rank, and
 //!   the [`SlsBackend`] implementation every experiment runs through;
 //! * [`cluster`] — [`RecNmpCluster`]: N independent channels behind one
-//!   dispatch API with hash-by-table or round-robin sharding, the first
-//!   scaling axis beyond the paper's single-channel model;
+//!   dispatch API, the first scaling axis beyond the paper's
+//!   single-channel model. Sharding goes through an installed
+//!   [`PlacementPlan`](recnmp_backend::PlacementPlan) (built via
+//!   [`RecNmpCluster::place_tables`] against each channel's DRAM
+//!   capacity) or, without one, the stateless hash-by-table/round-robin
+//!   [`ShardingPolicy`];
 //! * [`sched`] / [`optimizer`] — table-aware packet scheduling and
 //!   hot-entry profiling (Section III-D);
 //! * [`datapath`] — the functional datapath equivalence layer: executes a
@@ -119,5 +123,8 @@ pub use inst::{NmpInst, NmpOpcode};
 pub use optimizer::LocalityAwareOptimizer;
 pub use packet::{NmpPacket, PacketBuilder};
 // Re-exported so downstream crates name the unified API through `recnmp`.
-pub use recnmp_backend::{RunReport, ShardingPolicy, SlsBackend, SlsTrace, TraceBatch};
-pub use system::{compile_trace, RecNmpSystem, SessionStats};
+pub use recnmp_backend::{
+    PlacementPlan, PlacementPolicy, RunReport, ShardingPolicy, SlsBackend, SlsTrace, TableUsage,
+    TraceBatch,
+};
+pub use system::{compile_trace, MetricSummary, PacketHistory, RecNmpSystem, SessionStats};

@@ -6,6 +6,9 @@
 //! queue so packets from the same (model, table) batch issue
 //! consecutively, the same idea as thread-level memory schedulers.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
 use recnmp_types::{ModelId, TableId};
 
 use crate::config::SchedulingPolicy;
@@ -17,25 +20,31 @@ use crate::packet::NmpPacket;
 /// * [`SchedulingPolicy::TableAware`] groups packets by (model, table),
 ///   groups ordered by first appearance, preserving order within groups
 ///   (a stable grouping, so no packet starves).
+///
+/// The grouping is a single O(n) pass: packets move by value into
+/// per-key buckets indexed by a `HashMap`, then concatenate in
+/// first-appearance order — no per-packet clones or rescans, so a
+/// long-queue serving run schedules in linear time.
 pub fn schedule(packets: Vec<NmpPacket>, policy: SchedulingPolicy) -> Vec<NmpPacket> {
     match policy {
         SchedulingPolicy::Fcfs => packets,
         SchedulingPolicy::TableAware => {
+            let total = packets.len();
             let mut order: Vec<(ModelId, TableId)> = Vec::new();
-            for p in &packets {
+            let mut groups: HashMap<(ModelId, TableId), Vec<NmpPacket>> = HashMap::new();
+            for p in packets {
                 let key = (p.model, p.table);
-                if !order.contains(&key) {
-                    order.push(key);
+                match groups.entry(key) {
+                    Entry::Vacant(slot) => {
+                        order.push(key);
+                        slot.insert(vec![p]);
+                    }
+                    Entry::Occupied(mut slot) => slot.get_mut().push(p),
                 }
             }
-            let mut out = Vec::with_capacity(packets.len());
+            let mut out = Vec::with_capacity(total);
             for key in order {
-                // Stable: drain matching packets in original order.
-                for p in &packets {
-                    if (p.model, p.table) == key {
-                        out.push(p.clone());
-                    }
-                }
+                out.append(&mut groups.remove(&key).expect("every key has a bucket"));
             }
             out
         }

@@ -15,6 +15,47 @@ use crate::inst::{NmpInst, NmpOpcode};
 use crate::optimizer::LocalityAwareOptimizer;
 use crate::packet::{NmpPacket, PacketBuilder};
 
+/// A bounded running summary of one per-packet metric: count, sum and
+/// max, from which the mean follows. O(1) space regardless of how many
+/// packets a session serves.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Observations folded in.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Largest observation (0 before the first).
+    pub max: f64,
+}
+
+impl MetricSummary {
+    /// Folds one observation in.
+    pub fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The optional full per-packet history a session retains when
+/// [`RecNmpConfig::retain_packet_history`] is set.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PacketHistory {
+    /// Per-packet latency, one entry per packet ever run.
+    pub latencies: Vec<Cycle>,
+    /// Per-packet busiest-rank fraction, aligned with `latencies`.
+    pub slowest_rank_fraction: Vec<f64>,
+}
+
 /// Lifetime statistics of one [`RecNmpSystem`] — **cumulative** across
 /// every run the channel has served.
 ///
@@ -22,22 +63,43 @@ use crate::packet::{NmpPacket, PacketBuilder};
 /// [`RecNmpSystem::run_packets`] (and the [`SlsBackend`] impl) return;
 /// this struct is the session-scope complement for long-running serving
 /// scenarios (utilization over a whole trace replay, total bytes moved).
+///
+/// Retention is bounded by default: per-packet latency and imbalance are
+/// kept as [`MetricSummary`] running summaries, so a serving run that
+/// executes millions of packets holds O(1) session state. Opting in to
+/// [`RecNmpConfig::retain_packet_history`] additionally keeps the full
+/// per-packet vectors in [`history`](Self::history).
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct SessionStats {
     /// Packets executed since construction.
     pub packets: usize,
     /// Instructions executed since construction.
     pub insts: u64,
-    /// Per-packet latency, one entry per packet ever run.
-    pub packet_latencies: Vec<Cycle>,
-    /// Per-packet busiest-rank fraction, aligned with `packet_latencies`.
-    pub slowest_rank_fraction: Vec<f64>,
+    /// Running summary of per-packet latency (cycles).
+    pub latency: MetricSummary,
+    /// Running summary of the per-packet busiest-rank fraction.
+    pub rank_fraction: MetricSummary,
+    /// Full per-packet history; `None` unless retention is enabled.
+    pub history: Option<PacketHistory>,
     /// Total instructions per rank since construction.
     pub rank_insts: Vec<u64>,
     /// Embedding bytes gathered since construction.
     pub gathered_bytes: u64,
     /// Channel-interface bytes since construction.
     pub io_bytes: u64,
+}
+
+impl SessionStats {
+    /// Folds one packet's latency and busiest-rank fraction into the
+    /// summaries (and the full history when retained).
+    fn observe_packet(&mut self, latency: Cycle, fraction: f64) {
+        self.latency.observe(latency as f64);
+        self.rank_fraction.observe(fraction);
+        if let Some(h) = &mut self.history {
+            h.latencies.push(latency);
+            h.slowest_rank_fraction.push(fraction);
+        }
+    }
 }
 
 /// Snapshot of every cumulative counter at the start of one run, used to
@@ -47,7 +109,6 @@ struct RunMark {
     start_cycle: Cycle,
     packets: usize,
     insts: u64,
-    latencies_len: usize,
     rank_insts: Vec<u64>,
     gathered_bytes: u64,
     io_bytes: u64,
@@ -73,6 +134,13 @@ pub struct RecNmpSystem {
     dimms: Vec<DimmNmp>,
     now: Cycle,
     session: SessionStats,
+    /// Per-packet latencies of the run in progress — cleared at each
+    /// run's [`mark`](Self::mark) so [`RunReport`]s carry full per-run
+    /// vectors while session retention stays bounded.
+    run_latencies: Vec<Cycle>,
+    /// Busiest-rank fractions of the run in progress, aligned with
+    /// `run_latencies`.
+    run_fractions: Vec<f64>,
 }
 
 impl RecNmpSystem {
@@ -87,14 +155,18 @@ impl RecNmpSystem {
             .map(|d| DimmNmp::new(recnmp_types::DimmId::new(d as u32), &config))
             .collect::<Result<Vec<_>, _>>()?;
         let ranks = config.total_ranks() as usize;
+        let history = config.retain_packet_history.then(PacketHistory::default);
         Ok(Self {
             config,
             dimms,
             now: 0,
             session: SessionStats {
                 rank_insts: vec![0; ranks],
+                history,
                 ..SessionStats::default()
             },
+            run_latencies: Vec::new(),
+            run_fractions: Vec::new(),
         })
     }
 
@@ -123,14 +195,16 @@ impl RecNmpSystem {
         &self.session
     }
 
-    /// Snapshots every cumulative counter at the start of a run.
-    fn mark(&self) -> RunMark {
+    /// Snapshots every cumulative counter at the start of a run and
+    /// resets the run-scoped per-packet buffers.
+    fn mark(&mut self) -> RunMark {
+        self.run_latencies.clear();
+        self.run_fractions.clear();
         let agg = self.aggregate();
         RunMark {
             start_cycle: self.now,
             packets: self.session.packets,
             insts: self.session.insts,
-            latencies_len: self.session.packet_latencies.len(),
             rank_insts: self.session.rank_insts.clone(),
             gathered_bytes: self.session.gathered_bytes,
             io_bytes: self.session.io_bytes,
@@ -150,9 +224,8 @@ impl RecNmpSystem {
             total_cycles: self.now - mark.start_cycle,
             packets: self.session.packets - mark.packets,
             insts: self.session.insts - mark.insts,
-            packet_latencies: self.session.packet_latencies[mark.latencies_len..].to_vec(),
-            slowest_rank_fraction: self.session.slowest_rank_fraction[mark.latencies_len..]
-                .to_vec(),
+            packet_latencies: self.run_latencies.clone(),
+            slowest_rank_fraction: self.run_fractions.clone(),
             rank_insts: self
                 .session
                 .rank_insts
@@ -235,10 +308,10 @@ impl RecNmpSystem {
 
         let total = packet.len() as u64;
         let max_rank = rank_counts.iter().copied().max().unwrap_or(0);
-        self.session
-            .slowest_rank_fraction
-            .push(max_rank as f64 / total as f64);
-        self.session.packet_latencies.push(packet_done - start);
+        let fraction = max_rank as f64 / total as f64;
+        self.run_latencies.push(packet_done - start);
+        self.run_fractions.push(fraction);
+        self.session.observe_packet(packet_done - start, fraction);
         for (acc, c) in self.session.rank_insts.iter_mut().zip(&rank_counts) {
             *acc += c;
         }
@@ -310,12 +383,11 @@ impl RecNmpSystem {
         let max_rank = rank_counts.iter().copied().max().unwrap_or(0);
         self.session.packets += packets.len();
         self.session.insts += delivered;
-        self.session
-            .packet_latencies
-            .push(self.now.saturating_sub(start));
-        self.session
-            .slowest_rank_fraction
-            .push(max_rank as f64 / total as f64);
+        let latency = self.now.saturating_sub(start);
+        let fraction = max_rank as f64 / total as f64;
+        self.run_latencies.push(latency);
+        self.run_fractions.push(fraction);
+        self.session.observe_packet(latency, fraction);
         for (acc, c) in self.session.rank_insts.iter_mut().zip(&rank_counts) {
             *acc += c;
         }
@@ -554,9 +626,52 @@ mod tests {
         assert_eq!(s.packets, first.packets + second.packets);
         assert_eq!(s.insts, first.insts + second.insts);
         assert_eq!(
-            s.packet_latencies.len(),
+            s.latency.count as usize,
             first.packet_latencies.len() + second.packet_latencies.len()
         );
+    }
+
+    #[test]
+    fn session_retention_is_bounded_by_default() {
+        // Default: per-run reports carry full vectors but the session
+        // keeps only running summaries — no unbounded history.
+        let mut sys = RecNmpSystem::new(quiet(RecNmpConfig::with_ranks(1, 2))).unwrap();
+        let w = batches(2, 8);
+        let first = sys.offload(&w).unwrap();
+        let second = sys.offload(&w).unwrap();
+        assert!(!first.packet_latencies.is_empty());
+        let s = sys.session();
+        assert!(s.history.is_none());
+        assert_eq!(
+            s.latency.count as usize,
+            first.packet_latencies.len() + second.packet_latencies.len()
+        );
+        let all: Vec<Cycle> = first
+            .packet_latencies
+            .iter()
+            .chain(&second.packet_latencies)
+            .copied()
+            .collect();
+        assert_eq!(s.latency.max, *all.iter().max().unwrap() as f64);
+        assert!((s.latency.sum - all.iter().sum::<Cycle>() as f64).abs() < 1e-9);
+        assert!(s.rank_fraction.mean() > 0.0);
+
+        // Opt-in: the full per-packet history is retained and matches
+        // the concatenated per-run reports.
+        let mut cfg = quiet(RecNmpConfig::with_ranks(1, 2));
+        cfg.retain_packet_history = true;
+        let mut retained = RecNmpSystem::new(cfg).unwrap();
+        let r1 = retained.offload(&w).unwrap();
+        let r2 = retained.offload(&w).unwrap();
+        let history = retained.session().history.as_ref().unwrap();
+        let expect: Vec<Cycle> = r1
+            .packet_latencies
+            .iter()
+            .chain(&r2.packet_latencies)
+            .copied()
+            .collect();
+        assert_eq!(history.latencies, expect);
+        assert_eq!(history.slowest_rank_fraction.len(), expect.len());
     }
 
     #[test]

@@ -75,8 +75,9 @@ impl fmt::Display for ExperimentResult {
     }
 }
 
-/// All experiment ids, in paper order.
-pub const IDS: [&str; 15] = [
+/// All experiment ids, in paper order (fig19 is this reproduction's own
+/// placement extension, numbered past the paper's last figure).
+pub const IDS: [&str; 16] = [
     "fig01_footprint",
     "fig01_roofline_lift",
     "fig04_breakdown",
@@ -90,6 +91,7 @@ pub const IDS: [&str; 15] = [
     "fig17_fc_colocation",
     "fig18_end2end",
     "fig18_tail_latency",
+    "fig19_placement",
     "tab01_config",
     "tab02_overhead",
 ];
@@ -110,6 +112,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentResult> {
         "fig17_fc_colocation" => endtoend::fig17_fc_colocation(),
         "fig18_end2end" => endtoend::fig18_end2end(scale),
         "fig18_tail_latency" => serving::fig18_tail_latency(scale),
+        "fig19_placement" => serving::fig19_placement(scale),
         "tab01_config" => tables::tab01_config(),
         "tab02_overhead" => tables::tab02_overhead(),
         _ => return None,

@@ -15,10 +15,13 @@
 //!   latency/throughput built on the calibrated CPU model and the
 //!   cycle-level SLS results;
 //! * [`serving`] — the query-serving subsystem: open-loop Poisson/uniform
-//!   load generation, dispatch policies (FIFO / round-robin /
-//!   least-outstanding, optional batch coalescing) over any backend's
-//!   servers, per-query p50/p95/p99 latency, and throughput–latency
-//!   sweeps with saturation-knee detection;
+//!   load generation, queued dispatch (FIFO / round-robin /
+//!   least-outstanding, optional batch coalescing) or **sharded
+//!   scatter/gather** over a table-placement plan (each query fans out
+//!   to the channels owning its tables and completes at its slowest
+//!   shard plus a host gather cost), per-query p50/p95/p99 latency, and
+//!   throughput–latency sweeps with saturation-knee detection, shared
+//!   between the `serve_sweep` binary and the experiment harness;
 //! * [`experiments`] — one entry point per table/figure
 //!   (`fig01_footprint` … `tab02_overhead`), each returning renderable
 //!   tables recorded in `EXPERIMENTS.md`;

@@ -61,18 +61,23 @@ impl ArrivalProcess {
 
 /// The shape of one query: how much SLS work a single inference request
 /// carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QueryShape {
     /// Embedding tables touched per query.
     pub tables: usize,
     /// Samples per query batch (poolings per table).
     pub batch: usize,
-    /// Lookups reduced per pooling.
+    /// Lookups reduced per pooling, before table skew.
     pub pooling: usize,
+    /// Skew of per-table traffic: 0 gives every table the same pooling
+    /// factor; larger values concentrate lookups on low-numbered tables
+    /// with Zipf-like weights `(t+1)^-skew` (Figure 7's observation that
+    /// a few tables carry most of the traffic).
+    pub table_skew: f64,
 }
 
 impl QueryShape {
-    /// A custom shape.
+    /// A custom shape with uniform per-table traffic.
     ///
     /// # Panics
     ///
@@ -86,7 +91,25 @@ impl QueryShape {
             tables,
             batch,
             pooling,
+            table_skew: 0.0,
         }
+    }
+
+    /// Skews per-table traffic with exponent `skew` (see
+    /// [`table_skew`](Self::table_skew)). The total lookups per query
+    /// stay close to the uniform shape's; per-table shares follow the
+    /// Zipf-like weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `skew` is negative or not finite.
+    pub fn with_table_skew(mut self, skew: f64) -> Self {
+        assert!(
+            skew >= 0.0 && skew.is_finite(),
+            "table skew must be finite and non-negative"
+        );
+        self.table_skew = skew;
+        self
     }
 
     /// The embedding-side shape of one paper model (`num_tables` tables,
@@ -96,9 +119,49 @@ impl QueryShape {
         Self::new(cfg.num_tables, batch, cfg.pooling)
     }
 
-    /// Embedding lookups one query performs.
+    /// The reference skewed quick/smoke workload of the placement
+    /// artifacts — 8 tables, batch 2, pooling 8, per-table traffic
+    /// `(t+1)^-1.5` — one definition shared by `fig19_placement`
+    /// (quick), `serve_sweep --placement --smoke`, the placement
+    /// acceptance tests and the Criterion bench, so none can silently
+    /// measure a different workload than the committed golden.
+    pub fn reference_skewed() -> Self {
+        Self::new(8, 2, 8).with_table_skew(1.5)
+    }
+
+    /// The pooling factor of every table under the configured skew:
+    /// uniformly [`pooling`](Self::pooling) when unskewed, otherwise each
+    /// table's Zipf-weighted share of the query's lookup budget (at
+    /// least 1, so every table stays referenced). One O(tables) pass —
+    /// per-query consumers compute this once and index into it.
+    pub fn table_poolings(&self) -> Vec<usize> {
+        if self.table_skew == 0.0 {
+            return vec![self.pooling; self.tables];
+        }
+        let weights: Vec<f64> = (0..self.tables)
+            .map(|i| ((i + 1) as f64).powf(-self.table_skew))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let budget = (self.tables * self.pooling) as f64;
+        weights
+            .iter()
+            .map(|w| ((budget * w / total).round() as usize).max(1))
+            .collect()
+    }
+
+    /// The pooling factor of table `t` (see
+    /// [`table_poolings`](Self::table_poolings), which amortizes the
+    /// weight normalization over all tables).
+    pub fn pooling_for_table(&self, t: usize) -> usize {
+        debug_assert!(t < self.tables);
+        self.table_poolings()[t]
+    }
+
+    /// Embedding lookups one query performs (the sum of the per-table
+    /// pooling factors times the batch size).
     pub fn lookups_per_query(&self) -> u64 {
-        (self.tables * self.batch * self.pooling) as u64
+        let per_sample: usize = self.table_poolings().iter().sum();
+        (self.batch * per_sample) as u64
     }
 }
 
@@ -111,6 +174,8 @@ impl QueryShape {
 #[derive(Debug)]
 pub struct QueryStream {
     shape: QueryShape,
+    /// Per-table pooling factors, computed once from the shape's skew.
+    poolings: Vec<usize>,
     gens: Vec<TraceGenerator>,
 }
 
@@ -129,7 +194,11 @@ impl QueryStream {
                 )
             })
             .collect();
-        Self { shape, gens }
+        Self {
+            shape,
+            poolings: shape.table_poolings(),
+            gens,
+        }
     }
 
     /// The shape every query of this stream has.
@@ -137,13 +206,16 @@ impl QueryStream {
         self.shape
     }
 
-    /// Generates the next query: one batch per table, translated with the
-    /// shared deterministic placement.
+    /// Generates the next query: one batch per table (pooling factors
+    /// following the shape's table skew), translated with the shared
+    /// deterministic placement.
     pub fn next_query(&mut self) -> SlsTrace {
+        let batch_size = self.shape.batch;
         let batches: Vec<SlsBatch> = self
             .gens
             .iter_mut()
-            .map(|g| g.batch(self.shape.batch, self.shape.pooling))
+            .zip(&self.poolings)
+            .map(|(g, &pooling)| g.batch(batch_size, pooling))
             .collect();
         SlsTrace::from_batches(&batches, &mut |t, row| {
             PhysAddr::new(((t as u64) << 31) ^ (row * 131 * 128))
@@ -189,6 +261,38 @@ mod tests {
         let s = QueryShape::for_model(RecModelKind::Rm1Small, 4);
         assert_eq!((s.tables, s.batch, s.pooling), (8, 4, 80));
         assert_eq!(s.lookups_per_query(), 8 * 4 * 80);
+    }
+
+    #[test]
+    fn table_skew_concentrates_traffic_and_conserves_budget() {
+        let flat = QueryShape::new(8, 2, 10);
+        assert_eq!(flat.pooling_for_table(0), 10);
+        assert_eq!(flat.lookups_per_query(), 8 * 2 * 10);
+
+        let skewed = flat.with_table_skew(1.5);
+        let poolings: Vec<usize> = (0..8).map(|t| skewed.pooling_for_table(t)).collect();
+        // Monotone non-increasing, table 0 dominates, every table kept.
+        assert!(poolings.windows(2).all(|w| w[0] >= w[1]));
+        assert!(poolings[0] > 4 * poolings[7]);
+        assert!(poolings.iter().all(|&p| p >= 1));
+        // The lookup budget stays within rounding of the uniform shape.
+        let total = skewed.lookups_per_query() as f64;
+        let uniform = flat.lookups_per_query() as f64;
+        assert!(
+            (total - uniform).abs() / uniform < 0.15,
+            "{total} vs {uniform}"
+        );
+        // The stream honors the skewed poolings.
+        let mut s = QueryStream::new(skewed, 3);
+        let q = s.next_query();
+        assert_eq!(q.total_lookups(), skewed.lookups_per_query());
+        for (t, b) in q.batches.iter().enumerate() {
+            assert!(b
+                .batch
+                .poolings
+                .iter()
+                .all(|p| p.indices.len() == skewed.pooling_for_table(t)));
+        }
     }
 
     #[test]

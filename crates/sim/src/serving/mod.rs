@@ -11,17 +11,25 @@
 //!   `recnmp_types::rng`, and the per-query trace stream ([`QueryStream`])
 //!   parameterized by offered QPS, batch size, and model kind
 //!   ([`QueryShape::for_model`]);
-//! * [`policy`] — dispatch policies ([`DispatchPolicy`]: FIFO single
-//!   queue, round-robin per channel, least-outstanding-work) plus
+//! * [`policy`] — serving modes ([`ServingMode`]): **queued** dispatch
+//!   under a [`DispatchPolicy`] (FIFO single queue, round-robin per
+//!   channel, least-outstanding-work), or **sharded** scatter/gather
+//!   ([`ShardedDispatch`]) where each query fans out to every channel
+//!   owning one of its tables under a placement policy
+//!   ([`PlacementPolicy`]) and pays a host [`GatherCost`] merge; plus
 //!   optional batch [`Coalescing`] with a max-wait deadline;
 //! * [`scheduler`] — [`serve`]: dispatches queries onto the backend's
 //!   servers (cluster channels via `SlsBackend::try_run_on`) and tracks
 //!   per-query enqueue→completion latency in simulated cycles
-//!   ([`ServingReport`], [`LatencySummary`] with p50/p95/p99/mean/max);
+//!   ([`ServingReport`], [`LatencySummary`] with p50/p95/p99/mean/max).
+//!   In sharded mode a query completes at the max of its shard
+//!   completions plus the gather cost;
 //! * [`sweep`] — throughput–latency curves over a QPS sweep
 //!   ([`qps_sweep`]), anchored at a probed saturation rate
 //!   ([`saturation_qps`]) with the knee identified
-//!   ([`SweepCurve::knee`]).
+//!   ([`SweepCurve::knee`]); shared drivers [`sweep_matrix`] and
+//!   [`placement_sweep`] feed both the `serve_sweep` binary and the
+//!   experiment harness.
 //!
 //! The model: each dispatched job occupies one server for exactly the
 //! cycles its cycle-level run reports; jobs queue when their server is
@@ -51,6 +59,11 @@ pub mod scheduler;
 pub mod sweep;
 
 pub use arrivals::{ArrivalProcess, QueryShape, QueryStream};
-pub use policy::{Coalescing, DispatchPolicy};
+pub use policy::{Coalescing, DispatchPolicy, GatherCost, ServingMode, ShardedDispatch};
+pub use recnmp_backend::PlacementPolicy;
 pub use scheduler::{serve, LatencySummary, ServingConfig, ServingReport};
-pub use sweep::{qps_sweep, saturation_qps, BackendFactory, SweepCurve, SweepPoint};
+pub use sweep::{
+    placement_sweep, qps_sweep, qps_sweep_at, reference_channel_capacity, reference_cluster4,
+    saturation_qps, sweep_matrix, BackendFactory, LabeledCurve, NamedFactories, SweepCurve,
+    SweepPoint, SweepSpec,
+};

@@ -1,13 +1,24 @@
 //! The query scheduler: turns a backend into an open-loop queueing system
 //! and accounts per-query enqueue→completion latency in simulated time.
+//!
+//! Two serving models share the scheduler core
+//! ([`ServingMode`]):
+//!
+//! * **Queued** — each job runs whole on one server picked by a
+//!   [`DispatchPolicy`](super::policy::DispatchPolicy);
+//! * **Sharded** — a [`PlacementPlan`] is built from the query stream's
+//!   table profile, each job *scatters* into one sub-trace per channel
+//!   owning its tables, the shards queue independently on their
+//!   channels, and the query completes at the slowest shard plus a host
+//!   [`GatherCost`](super::policy::GatherCost) merge.
 
-use recnmp_backend::{RunReport, SlsBackend, SlsTrace};
+use recnmp_backend::{PlacementPlan, RunReport, SlsBackend, SlsTrace, TableUsage};
 use recnmp_types::units::{completions_to_qps, cycles_to_us};
 use recnmp_types::{Cycle, SimError};
 use serde::{Deserialize, Serialize};
 
 use super::arrivals::{ArrivalProcess, QueryShape, QueryStream};
-use super::policy::{Coalescing, DispatchPolicy};
+use super::policy::{Coalescing, DispatchPolicy, ServingMode, ShardedDispatch};
 
 /// One serving run: an offered load, a query shape, and a scheduling
 /// discipline.
@@ -21,8 +32,9 @@ pub struct ServingConfig {
     pub queries: usize,
     /// SLS work per query.
     pub shape: QueryShape,
-    /// How jobs are placed onto servers.
-    pub policy: DispatchPolicy,
+    /// How jobs become backend work: queued whole-query dispatch or
+    /// sharded scatter/gather.
+    pub mode: ServingMode,
     /// Optional batch coalescing ahead of dispatch.
     pub coalescing: Option<Coalescing>,
     /// Seed for both the arrival schedule and the query index streams.
@@ -38,7 +50,7 @@ impl ServingConfig {
             qps,
             queries,
             shape,
-            policy: DispatchPolicy::FifoSingleQueue,
+            mode: ServingMode::Queued(DispatchPolicy::FifoSingleQueue),
             coalescing: None,
             seed,
         }
@@ -105,8 +117,8 @@ fn percentile(sorted: &[Cycle], q: f64) -> Cycle {
 pub struct ServingReport {
     /// Backend label the run was served by.
     pub system: String,
-    /// Dispatch policy used.
-    pub policy: DispatchPolicy,
+    /// Serving mode the run was scheduled under.
+    pub mode: ServingMode,
     /// Offered query rate.
     pub offered_qps: f64,
     /// Arrival cycle of each query, in arrival order.
@@ -156,15 +168,18 @@ impl ServingReport {
 ///
 /// The queueing model: the backend exposes
 /// [`server_count`](SlsBackend::server_count) independent servers
-/// (cluster channels); each dispatched job occupies one server for the
-/// `total_cycles` its cycle-level run reports, and a job placed on a busy
-/// server waits for it to free. Hardware state (row buffers, caches)
-/// persists across jobs on each server, as it would under sustained
-/// traffic; idle gaps between jobs are not separately simulated.
+/// (cluster channels); each dispatched job (in sharded mode, each of its
+/// shards) occupies one server for the `total_cycles` its cycle-level run
+/// reports, and work placed on a busy server waits for it to free.
+/// Hardware state (row buffers, caches) persists across jobs on each
+/// server, as it would under sustained traffic; idle gaps between jobs
+/// are not separately simulated.
 ///
 /// # Errors
 ///
-/// Returns [`SimError::Stalled`] if any job's cycle-level run stalls.
+/// Returns [`SimError::Stalled`] if any job's cycle-level run stalls, or
+/// [`SimError::Config`] when sharded mode cannot place the workload's
+/// tables (capacity overflow).
 pub fn serve(backend: &mut dyn SlsBackend, cfg: &ServingConfig) -> Result<ServingReport, SimError> {
     let mut arrival_rng = recnmp_types::rng::DetRng::seed(cfg.seed ^ 0xa5a5_5a5a_0f0f_f0f0);
     let arrivals = cfg
@@ -183,7 +198,7 @@ struct Job {
 
 /// The scheduler core, shared by [`serve`] and the saturation probe:
 /// coalesces `queries` (arrival `arrivals[i]` each) into jobs, places
-/// them under `cfg.policy`, and accounts completion times.
+/// them under `cfg.mode`, and accounts completion times.
 pub(super) fn serve_arrivals(
     backend: &mut dyn SlsBackend,
     cfg: &ServingConfig,
@@ -196,48 +211,75 @@ pub(super) fn serve_arrivals(
 
     let jobs = coalesce(arrivals, cfg.coalescing);
 
-    // Earliest cycle each server is free, and (for LeastOutstanding) the
-    // completion/lookup pairs of work still in flight per server.
+    // Earliest cycle each server is free.
     let mut free_at = vec![0 as Cycle; servers];
-    let mut in_flight: Vec<Vec<(Cycle, u64)>> = vec![Vec::new(); servers];
     let mut completions = vec![0 as Cycle; queries.len()];
     let mut merged = RunReport::for_system(backend.name().to_string());
 
-    for (job_idx, job) in jobs.iter().enumerate() {
-        let server = match cfg.policy {
-            DispatchPolicy::FifoSingleQueue => {
-                // Central queue: the job runs on whichever server frees
-                // first (ties to the lowest index).
-                (0..servers).min_by_key(|&s| (free_at[s], s)).unwrap()
-            }
-            DispatchPolicy::RoundRobin => job_idx % servers,
-            DispatchPolicy::LeastOutstanding => {
-                // Size-aware join-shortest-queue: least outstanding
-                // lookups at dispatch time. Dispatch times are
-                // non-decreasing, so work completed by now can never
-                // count again and is dropped before the scan.
-                (0..servers)
-                    .min_by_key(|&s| {
-                        in_flight[s].retain(|(done, _)| *done > job.dispatch);
-                        let backlog: u64 = in_flight[s].iter().map(|(_, lookups)| lookups).sum();
-                        (backlog, s)
-                    })
-                    .unwrap()
-            }
-        };
+    match cfg.mode {
+        ServingMode::Queued(policy) => {
+            // For LeastOutstanding: the completion/lookup pairs of work
+            // still in flight per server.
+            let mut in_flight: Vec<Vec<(Cycle, u64)>> = vec![Vec::new(); servers];
+            for (job_idx, job) in jobs.iter().enumerate() {
+                let server = match policy {
+                    DispatchPolicy::FifoSingleQueue => {
+                        // Central queue: the job runs on whichever server
+                        // frees first (ties to the lowest index).
+                        (0..servers).min_by_key(|&s| (free_at[s], s)).unwrap()
+                    }
+                    DispatchPolicy::RoundRobin => job_idx % servers,
+                    DispatchPolicy::LeastOutstanding => {
+                        // Size-aware join-shortest-queue: least
+                        // outstanding lookups at dispatch time. Dispatch
+                        // times are non-decreasing, so work completed by
+                        // now can never count again and is dropped
+                        // before the scan.
+                        (0..servers)
+                            .min_by_key(|&s| {
+                                in_flight[s].retain(|(done, _)| *done > job.dispatch);
+                                let backlog: u64 =
+                                    in_flight[s].iter().map(|(_, lookups)| lookups).sum();
+                                (backlog, s)
+                            })
+                            .unwrap()
+                    }
+                };
 
-        let trace = merge_queries(queries, &job.members);
-        let report = backend.try_run_on(server, &trace)?;
-        let start = job.dispatch.max(free_at[server]);
-        let complete = start + report.total_cycles;
-        free_at[server] = complete;
-        if cfg.policy == DispatchPolicy::LeastOutstanding {
-            in_flight[server].push((complete, trace.total_lookups()));
+                let trace = merge_queries(queries, &job.members);
+                let report = backend.try_run_on(server, &trace)?;
+                let start = job.dispatch.max(free_at[server]);
+                let complete = start + report.total_cycles;
+                free_at[server] = complete;
+                if policy == DispatchPolicy::LeastOutstanding {
+                    in_flight[server].push((complete, trace.total_lookups()));
+                }
+                for &q in &job.members {
+                    completions[q] = complete;
+                }
+                merged.absorb_parallel(report);
+            }
         }
-        for &q in &job.members {
-            completions[q] = complete;
+        ServingMode::Sharded(sharded) => {
+            // The placement plan is built once per run from the query
+            // stream's table profile; every job then consults it.
+            let usage = TableUsage::from_traces(queries);
+            let plan =
+                PlacementPlan::build(servers, sharded.channel_capacity, &usage, sharded.placement)
+                    .map_err(SimError::Config)?;
+            for job in &jobs {
+                serve_scattered(
+                    backend,
+                    &plan,
+                    &sharded,
+                    job,
+                    queries,
+                    &mut free_at,
+                    &mut completions,
+                    &mut merged,
+                )?;
+            }
         }
-        merged.absorb_parallel(report);
     }
 
     let latencies: Vec<Cycle> = completions
@@ -252,7 +294,7 @@ pub(super) fn serve_arrivals(
 
     Ok(ServingReport {
         system: backend.name().to_string(),
-        policy: cfg.policy,
+        mode: cfg.mode,
         offered_qps: cfg.qps,
         arrivals: arrivals.to_vec(),
         completions,
@@ -260,6 +302,60 @@ pub(super) fn serve_arrivals(
         jobs: jobs.len(),
         report: merged,
     })
+}
+
+/// Scatters one job across the channels owning its tables and gathers:
+/// each batch lands on the replica of its table with the least backlog
+/// (deterministic, ties to the lowest channel), each non-empty shard
+/// queues on its channel, and every member query completes at the
+/// slowest shard plus the host merge cost.
+#[allow(clippy::too_many_arguments)]
+fn serve_scattered(
+    backend: &mut dyn SlsBackend,
+    plan: &PlacementPlan,
+    sharded: &ShardedDispatch,
+    job: &Job,
+    queries: &[SlsTrace],
+    free_at: &mut [Cycle],
+    completions: &mut [Cycle],
+    merged: &mut RunReport,
+) -> Result<(), SimError> {
+    let trace = merge_queries(queries, &job.members);
+    let lookups = trace.total_lookups();
+    let mut shards: Vec<SlsTrace> = vec![SlsTrace::default(); free_at.len()];
+    for batch in trace.batches {
+        let table = batch.table();
+        let replicas = plan.replicas(table);
+        let &channel = replicas
+            .iter()
+            .min_by_key(|&&c| (free_at[c], c))
+            .unwrap_or_else(|| panic!("table {table} missing from placement plan"));
+        shards[channel].batches.push(batch);
+    }
+
+    let mut slowest = job.dispatch;
+    let mut fanout: Cycle = 0;
+    let mut scattered = 0u64;
+    for (channel, shard) in shards.iter().enumerate() {
+        if shard.batches.is_empty() {
+            continue;
+        }
+        scattered += shard.total_lookups();
+        let report = backend.try_run_on(channel, shard)?;
+        let start = job.dispatch.max(free_at[channel]);
+        let complete = start + report.total_cycles;
+        free_at[channel] = complete;
+        slowest = slowest.max(complete);
+        fanout += 1;
+        merged.absorb_parallel(report);
+    }
+    debug_assert_eq!(scattered, lookups, "scatter must conserve lookups");
+
+    let complete = slowest + sharded.gather.base + sharded.gather.per_shard * fanout;
+    for &q in &job.members {
+        completions[q] = complete;
+    }
+    Ok(())
 }
 
 /// Groups queries into dispatch jobs. Without coalescing every query is
@@ -322,7 +418,7 @@ mod tests {
             qps,
             queries,
             shape: QueryShape::new(2, 2, 8),
-            policy,
+            mode: ServingMode::Queued(policy),
             coalescing: None,
             seed: 11,
         }
@@ -389,5 +485,41 @@ mod tests {
             .collect();
         assert_eq!(reports[0].latencies, reports[1].latencies);
         assert_eq!(reports[1].latencies, reports[2].latencies);
+    }
+
+    #[test]
+    fn sharded_single_server_pays_exactly_the_gather_cost() {
+        // On one server the scatter degenerates to one shard, so the
+        // sharded completion schedule equals the queued FIFO schedule
+        // shifted by base + 1*per_shard gather cycles per query.
+        use crate::serving::policy::GatherCost;
+        use recnmp_backend::PlacementPolicy;
+
+        let queued = quick_cfg(100_000.0, 8, DispatchPolicy::FifoSingleQueue);
+        let mut host = HostBaseline::new(1, 2).unwrap();
+        let base = serve(&mut host, &queued).unwrap();
+
+        let mut sharded_cfg = queued;
+        let mut dispatch = ShardedDispatch::new(PlacementPolicy::Hash);
+        dispatch.gather = GatherCost::new(100, 7);
+        sharded_cfg.mode = ServingMode::Sharded(dispatch);
+        let mut host2 = HostBaseline::new(1, 2).unwrap();
+        let sharded = serve(&mut host2, &sharded_cfg).unwrap();
+
+        assert_eq!(sharded.report.insts, base.report.insts);
+        for (s, q) in sharded.completions.iter().zip(&base.completions) {
+            assert_eq!(*s, q + 107);
+        }
+    }
+
+    #[test]
+    fn sharded_mode_surfaces_capacity_overflow() {
+        use recnmp_backend::PlacementPolicy;
+        let mut cfg = quick_cfg(100_000.0, 4, DispatchPolicy::FifoSingleQueue);
+        let mut dispatch = ShardedDispatch::new(PlacementPolicy::CapacityGreedy);
+        dispatch.channel_capacity = Some(1); // nothing fits
+        cfg.mode = ServingMode::Sharded(dispatch);
+        let mut host = HostBaseline::new(1, 2).unwrap();
+        assert!(matches!(serve(&mut host, &cfg), Err(SimError::Config(_))));
     }
 }

@@ -1,11 +1,20 @@
 //! Throughput–latency curves: sweep offered QPS against a backend and
 //! locate the saturation knee.
+//!
+//! Two shared drivers sit on top of the point sweep so the `serve_sweep`
+//! bench binary and the experiment harness consume one code path:
+//!
+//! * [`sweep_matrix`] — every (backend factory × serving mode) pair, each
+//!   swept at fractions of its *own* probed saturation rate;
+//! * [`placement_sweep`] — one backend under every placement policy,
+//!   swept at fractions of the *sharded-hash baseline's* saturation rate,
+//!   so knee QPS and p99-at-fixed-load compare policies like for like.
 
-use recnmp_backend::SlsBackend;
+use recnmp_backend::{PlacementPolicy, SlsBackend};
 use recnmp_types::SimError;
 
 use super::arrivals::{ArrivalProcess, QueryShape, QueryStream};
-use super::policy::DispatchPolicy;
+use super::policy::{DispatchPolicy, GatherCost, ServingMode, ShardedDispatch};
 use super::scheduler::{serve, serve_arrivals, LatencySummary, ServingConfig};
 
 /// A factory producing fresh (cold) backends, so every sweep point starts
@@ -17,7 +26,8 @@ pub type BackendFactory<'a> = dyn FnMut() -> Box<dyn SlsBackend> + 'a;
 pub struct SweepPoint {
     /// Offered load (queries per simulated second).
     pub offered_qps: f64,
-    /// Offered load as a fraction of the probed saturation rate.
+    /// Offered load as a fraction of the curve's reference saturation
+    /// rate.
     pub utilization: f64,
     /// Completion throughput actually achieved.
     pub achieved_qps: f64,
@@ -34,15 +44,15 @@ impl SweepPoint {
     }
 }
 
-/// One backend×policy throughput–latency curve.
+/// One backend×mode throughput–latency curve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepCurve {
     /// Backend label.
     pub system: String,
-    /// Dispatch policy the curve was measured under.
-    pub policy: DispatchPolicy,
-    /// Back-to-back saturation throughput (queries per simulated second)
-    /// probed before the sweep.
+    /// Serving mode the curve was measured under.
+    pub mode: ServingMode,
+    /// Reference saturation throughput (queries per simulated second)
+    /// the utilization fractions are anchored to.
     pub saturation_qps: f64,
     /// Measured points, in ascending offered-QPS order.
     pub points: Vec<SweepPoint>,
@@ -57,15 +67,17 @@ impl SweepCurve {
     }
 }
 
-/// Probes the back-to-back service capacity of a fresh backend: all
-/// `queries` queries arrive at cycle 0 and the completion throughput of
-/// the resulting busy period is the saturation rate.
+/// Probes the back-to-back service capacity of a fresh backend under
+/// `mode`: all `queries` queries arrive at cycle 0 and the completion
+/// throughput of the resulting busy period is the saturation rate.
 ///
 /// # Errors
 ///
-/// Returns [`SimError::Stalled`] if a cycle-level run stalls.
+/// Returns [`SimError::Stalled`] if a cycle-level run stalls, or
+/// [`SimError::Config`] when sharded placement fails.
 pub fn saturation_qps(
     make_backend: &mut BackendFactory<'_>,
+    mode: ServingMode,
     shape: QueryShape,
     queries: usize,
     seed: u64,
@@ -76,7 +88,7 @@ pub fn saturation_qps(
         qps: 1.0, // unused: arrivals are pinned to cycle 0 below
         queries,
         shape,
-        policy: DispatchPolicy::FifoSingleQueue,
+        mode,
         coalescing: None,
         seed,
     };
@@ -86,7 +98,69 @@ pub fn saturation_qps(
     Ok(report.achieved_qps())
 }
 
-/// Measures one backend×policy throughput–latency curve.
+/// The serving mode a saturation probe should use for a sweep under
+/// `mode`: queued sweeps probe with the work-conserving FIFO reference
+/// (so all dispatch policies of one backend share an anchor), while
+/// sharded sweeps probe with their own placement (capacity depends on
+/// it).
+fn probe_mode(mode: ServingMode) -> ServingMode {
+    match mode {
+        ServingMode::Queued(_) => ServingMode::Queued(DispatchPolicy::FifoSingleQueue),
+        sharded @ ServingMode::Sharded(_) => sharded,
+    }
+}
+
+/// Measures one throughput–latency curve at explicit offered loads,
+/// anchored to a caller-provided `saturation` rate (each point's
+/// `utilization` is `offered / saturation`).
+///
+/// # Errors
+///
+/// Returns [`SimError::Stalled`] if any cycle-level run stalls, or
+/// [`SimError::Config`] when sharded placement fails.
+#[allow(clippy::too_many_arguments)]
+pub fn qps_sweep_at(
+    make_backend: &mut BackendFactory<'_>,
+    mode: ServingMode,
+    process: ArrivalProcess,
+    shape: QueryShape,
+    saturation: f64,
+    offered: &[f64],
+    queries: usize,
+    seed: u64,
+) -> Result<SweepCurve, SimError> {
+    let mut points = Vec::with_capacity(offered.len());
+    let mut system = String::new();
+    for &qps in offered {
+        assert!(qps > 0.0, "offered loads must be positive");
+        let mut backend = make_backend();
+        let cfg = ServingConfig {
+            process,
+            qps,
+            queries,
+            shape,
+            mode,
+            coalescing: None,
+            seed,
+        };
+        let report = serve(backend.as_mut(), &cfg)?;
+        system = report.system.clone();
+        points.push(SweepPoint {
+            offered_qps: qps,
+            utilization: qps / saturation,
+            achieved_qps: report.achieved_qps(),
+            summary: report.summary(),
+        });
+    }
+    Ok(SweepCurve {
+        system,
+        mode,
+        saturation_qps: saturation,
+        points,
+    })
+}
+
+/// Measures one backend×mode throughput–latency curve.
 ///
 /// The offered loads are `utilizations` fractions of the probed
 /// saturation rate, so curves from systems of very different capacity
@@ -95,11 +169,12 @@ pub fn saturation_qps(
 ///
 /// # Errors
 ///
-/// Returns [`SimError::Stalled`] if any cycle-level run stalls.
+/// Returns [`SimError::Stalled`] if any cycle-level run stalls, or
+/// [`SimError::Config`] when sharded placement fails.
 #[allow(clippy::too_many_arguments)]
 pub fn qps_sweep(
     make_backend: &mut BackendFactory<'_>,
-    policy: DispatchPolicy,
+    mode: ServingMode,
     process: ArrivalProcess,
     shape: QueryShape,
     utilizations: &[f64],
@@ -107,36 +182,163 @@ pub fn qps_sweep(
     probe_queries: usize,
     seed: u64,
 ) -> Result<SweepCurve, SimError> {
-    let saturation = saturation_qps(make_backend, shape, probe_queries, seed)?;
-    let mut points = Vec::with_capacity(utilizations.len());
-    let mut system = String::new();
-    for &u in utilizations {
-        assert!(u > 0.0, "utilization fractions must be positive");
-        let mut backend = make_backend();
-        let cfg = ServingConfig {
-            process,
-            qps: u * saturation,
-            queries,
-            shape,
-            policy,
-            coalescing: None,
-            seed,
-        };
-        let report = serve(backend.as_mut(), &cfg)?;
-        system = report.system.clone();
-        points.push(SweepPoint {
-            offered_qps: cfg.qps,
-            utilization: u,
-            achieved_qps: report.achieved_qps(),
-            summary: report.summary(),
-        });
+    let saturation = saturation_qps(make_backend, probe_mode(mode), shape, probe_queries, seed)?;
+    let offered: Vec<f64> = utilizations
+        .iter()
+        .inspect(|&&u| assert!(u > 0.0, "utilization fractions must be positive"))
+        .map(|&u| u * saturation)
+        .collect();
+    qps_sweep_at(
+        make_backend,
+        mode,
+        process,
+        shape,
+        saturation,
+        &offered,
+        queries,
+        seed,
+    )
+}
+
+/// The common knobs of a multi-curve sweep, shared by the `serve_sweep`
+/// binary and the experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Arrival process of every measured point.
+    pub process: ArrivalProcess,
+    /// SLS work per query.
+    pub shape: QueryShape,
+    /// Offered loads as fractions of the reference saturation rate.
+    pub utilizations: Vec<f64>,
+    /// Queries per measured point.
+    pub queries: usize,
+    /// Queries in the saturation probe.
+    pub probe_queries: usize,
+    /// Seed for arrivals and query streams.
+    pub seed: u64,
+}
+
+/// One backend's curve, labeled with the factory's name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledCurve {
+    /// Factory label (`"host"`, `"recnmp-cluster[4]"`, ...).
+    pub backend: String,
+    /// The measured curve.
+    pub curve: SweepCurve,
+}
+
+/// Labeled backend factories a sweep iterates over.
+pub type NamedFactories<'a> = Vec<(&'a str, Box<BackendFactory<'a>>)>;
+
+/// The geometry of the reference serving cluster: 4 channels of 1 DIMM
+/// × 2 ranks.
+fn reference_cluster_config() -> recnmp::RecNmpClusterConfig {
+    recnmp::RecNmpClusterConfig::builder()
+        .channels(4)
+        .dimms(1)
+        .ranks_per_dimm(2)
+        .build()
+        .expect("reference cluster config")
+}
+
+/// The 4-channel reference cluster every serving artifact measures — one
+/// definition, so the `serve_sweep` binary and the experiment harness
+/// can never desynchronize their geometry from the committed goldens.
+pub fn reference_cluster4() -> Box<dyn SlsBackend> {
+    Box::new(recnmp::RecNmpCluster::new(reference_cluster_config()).expect("reference cluster"))
+}
+
+/// Per-channel DRAM capacity of the reference cluster, in bytes — the
+/// capacity model placement sweeps pack against. Derived from the same
+/// config as [`reference_cluster4`], so the bound tracks the geometry.
+pub fn reference_channel_capacity() -> u64 {
+    reference_cluster_config()
+        .channel
+        .geometry()
+        .capacity_bytes()
+}
+
+/// Sweeps every (backend × mode) pair, each at fractions of its own
+/// probed saturation rate. Curves come back factory-major
+/// (`factories[0]` under every mode, then `factories[1]`, ...).
+///
+/// # Errors
+///
+/// Returns the first failing sweep's error.
+pub fn sweep_matrix(
+    factories: &mut NamedFactories<'_>,
+    modes: &[ServingMode],
+    spec: &SweepSpec,
+) -> Result<Vec<LabeledCurve>, SimError> {
+    let mut curves = Vec::with_capacity(factories.len() * modes.len());
+    for (label, factory) in factories.iter_mut() {
+        for &mode in modes {
+            let curve = qps_sweep(
+                factory.as_mut(),
+                mode,
+                spec.process,
+                spec.shape,
+                &spec.utilizations,
+                spec.queries,
+                spec.probe_queries,
+                spec.seed,
+            )?;
+            curves.push(LabeledCurve {
+                backend: label.to_string(),
+                curve,
+            });
+        }
     }
-    Ok(SweepCurve {
-        system,
-        policy,
-        saturation_qps: saturation,
-        points,
-    })
+    Ok(curves)
+}
+
+/// Sweeps one backend under every placement `policy`, all at the same
+/// absolute offered loads: fractions of the **sharded-hash baseline's**
+/// saturation rate. Fixing the load axis makes the comparison direct —
+/// a better placement shows up as a higher knee and a lower p99 at the
+/// same offered QPS.
+///
+/// # Errors
+///
+/// Returns the first failing sweep's error.
+pub fn placement_sweep(
+    make_backend: &mut BackendFactory<'_>,
+    policies: &[PlacementPolicy],
+    gather: GatherCost,
+    channel_capacity: Option<u64>,
+    spec: &SweepSpec,
+) -> Result<Vec<SweepCurve>, SimError> {
+    let sharded = |placement| {
+        ServingMode::Sharded(ShardedDispatch {
+            placement,
+            gather,
+            channel_capacity,
+        })
+    };
+    let baseline = sharded(PlacementPolicy::Hash);
+    let saturation = saturation_qps(
+        make_backend,
+        baseline,
+        spec.shape,
+        spec.probe_queries,
+        spec.seed,
+    )?;
+    let offered: Vec<f64> = spec.utilizations.iter().map(|&u| u * saturation).collect();
+    policies
+        .iter()
+        .map(|&policy| {
+            qps_sweep_at(
+                make_backend,
+                sharded(policy),
+                spec.process,
+                spec.shape,
+                saturation,
+                &offered,
+                spec.queries,
+                spec.seed,
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -148,11 +350,13 @@ mod tests {
         Box::new(HostBaseline::new(1, 2).unwrap())
     }
 
+    const FIFO: ServingMode = ServingMode::Queued(DispatchPolicy::FifoSingleQueue);
+
     #[test]
     fn saturation_probe_is_positive_and_deterministic() {
         let shape = QueryShape::new(2, 2, 8);
-        let a = saturation_qps(&mut host_factory, shape, 6, 5).unwrap();
-        let b = saturation_qps(&mut host_factory, shape, 6, 5).unwrap();
+        let a = saturation_qps(&mut host_factory, FIFO, shape, 6, 5).unwrap();
+        let b = saturation_qps(&mut host_factory, FIFO, shape, 6, 5).unwrap();
         assert!(a > 0.0);
         assert_eq!(a, b);
     }
@@ -162,7 +366,7 @@ mod tests {
         let shape = QueryShape::new(2, 2, 8);
         let curve = qps_sweep(
             &mut host_factory,
-            DispatchPolicy::FifoSingleQueue,
+            FIFO,
             ArrivalProcess::Uniform,
             shape,
             &[0.3, 0.7, 1.5],
@@ -178,5 +382,64 @@ mod tests {
         // Light load is sustained; the knee is at or above it.
         assert!(curve.points[0].sustained());
         assert!(curve.knee().unwrap().utilization >= 0.3);
+    }
+
+    #[test]
+    fn matrix_is_factory_major_and_matches_single_sweeps() {
+        let shape = QueryShape::new(2, 2, 8);
+        let spec = SweepSpec {
+            process: ArrivalProcess::Uniform,
+            shape,
+            utilizations: vec![0.4, 1.2],
+            queries: 8,
+            probe_queries: 6,
+            seed: 5,
+        };
+        let mut factories: NamedFactories<'_> = vec![("host", Box::new(host_factory))];
+        let modes = [FIFO, ServingMode::Queued(DispatchPolicy::RoundRobin)];
+        let curves = sweep_matrix(&mut factories, &modes, &spec).unwrap();
+        assert_eq!(curves.len(), 2);
+        assert!(curves.iter().all(|c| c.backend == "host"));
+        let solo = qps_sweep(
+            &mut host_factory,
+            FIFO,
+            spec.process,
+            shape,
+            &spec.utilizations,
+            spec.queries,
+            spec.probe_queries,
+            spec.seed,
+        )
+        .unwrap();
+        assert_eq!(curves[0].curve, solo);
+    }
+
+    #[test]
+    fn placement_sweep_shares_one_load_axis() {
+        let shape = QueryShape::new(4, 2, 6).with_table_skew(1.0);
+        let spec = SweepSpec {
+            process: ArrivalProcess::Uniform,
+            shape,
+            utilizations: vec![0.5, 1.1],
+            queries: 8,
+            probe_queries: 6,
+            seed: 9,
+        };
+        let curves = placement_sweep(
+            &mut host_factory,
+            &recnmp_backend::PlacementPolicy::COMPARED,
+            GatherCost::host_default(),
+            None,
+            &spec,
+        )
+        .unwrap();
+        assert_eq!(curves.len(), 3);
+        // Every policy was swept at the same absolute offered loads.
+        for c in &curves[1..] {
+            assert_eq!(c.saturation_qps, curves[0].saturation_qps);
+            for (a, b) in c.points.iter().zip(&curves[0].points) {
+                assert_eq!(a.offered_qps, b.offered_qps);
+            }
+        }
     }
 }

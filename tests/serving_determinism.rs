@@ -12,6 +12,7 @@ use recnmp_backend::SlsBackend;
 use recnmp_baselines::{HostBaseline, TensorDimm};
 use recnmp_sim::serving::{
     saturation_qps, serve, ArrivalProcess, Coalescing, DispatchPolicy, QueryShape, ServingConfig,
+    ServingMode,
 };
 
 fn cluster4() -> RecNmpCluster {
@@ -38,7 +39,7 @@ fn cfg(policy: DispatchPolicy) -> ServingConfig {
         qps: 500_000.0,
         queries: 24,
         shape: QueryShape::new(2, 2, 8),
-        policy,
+        mode: ServingMode::Queued(policy),
         coalescing: None,
         seed: 0xdead_beef,
     }
@@ -101,13 +102,14 @@ fn below_saturation_throughput_tracks_offered_rate() {
         ("cluster", Box::new(|| Box::new(cluster4()))),
     ];
     for (label, mut factory) in factories {
-        let sat = saturation_qps(factory.as_mut(), shape, 8, 3).unwrap();
+        let fifo = ServingMode::Queued(DispatchPolicy::FifoSingleQueue);
+        let sat = saturation_qps(factory.as_mut(), fifo, shape, 8, 3).unwrap();
         let c = ServingConfig {
             process: ArrivalProcess::Uniform,
             qps: 0.5 * sat,
             queries: 32,
             shape,
-            policy: DispatchPolicy::FifoSingleQueue,
+            mode: fifo,
             coalescing: None,
             seed: 3,
         };
@@ -118,6 +120,51 @@ fn below_saturation_throughput_tracks_offered_rate() {
             "{label}: offered {:.0} qps but achieved only {achieved:.0}",
             c.qps
         );
+    }
+}
+
+/// Sharded scatter/gather configuration over a skewed multi-table query
+/// stream on the 4-channel cluster.
+fn sharded_cfg(placement: recnmp_backend::PlacementPolicy) -> ServingConfig {
+    ServingConfig {
+        process: ArrivalProcess::Poisson,
+        qps: 500_000.0,
+        queries: 24,
+        shape: QueryShape::reference_skewed(),
+        mode: ServingMode::sharded(placement),
+        coalescing: None,
+        seed: 0xdead_beef,
+    }
+}
+
+#[test]
+fn sharded_serving_is_byte_identical_and_lookup_conserving() {
+    for placement in recnmp_backend::PlacementPolicy::COMPARED {
+        let c = sharded_cfg(placement);
+        let mut a = cluster4();
+        let mut b = cluster4();
+        let ra = serve(&mut a, &c).unwrap();
+        let rb = serve(&mut b, &c).unwrap();
+        // Byte-identical reruns for a fixed seed: the arrival schedule,
+        // every per-query completion timestamp, and every latency.
+        assert_eq!(ra.arrivals, rb.arrivals, "{placement} arrivals");
+        assert_eq!(ra.completions, rb.completions, "{placement} completions");
+        assert_eq!(ra.latencies, rb.latencies, "{placement} latencies");
+        assert_eq!(ra.report, rb.report, "{placement} merged report");
+        // Lookup conservation: the sum over all shards equals the query
+        // stream's total — scatter loses and duplicates nothing.
+        assert_eq!(
+            ra.report.insts,
+            c.shape.lookups_per_query() * c.queries as u64,
+            "{placement} lost lookups"
+        );
+        // Completion never precedes arrival, and every query pays at
+        // least the gather base cost after its slowest shard.
+        assert!(ra
+            .completions
+            .iter()
+            .zip(&ra.arrivals)
+            .all(|(done, arr)| done > arr));
     }
 }
 
@@ -149,7 +196,7 @@ fn pinned_latency_percentiles_for_fixed_seed() {
         qps: 1_000_000.0,
         queries: 16,
         shape: QueryShape::new(2, 2, 8),
-        policy: DispatchPolicy::FifoSingleQueue,
+        mode: ServingMode::Queued(DispatchPolicy::FifoSingleQueue),
         coalescing: None,
         seed: 42,
     };

@@ -79,7 +79,12 @@ use recnmp_types::SimError;
 ///   semantics). Hardware state — DRAM row buffers, cache contents, the
 ///   current cycle — persists across calls, as it would on real hardware,
 ///   but counters in the report never leak between runs.
-pub trait SlsBackend {
+///
+/// The `Send` supertrait lets harness layers move backends onto worker
+/// threads (the serving sweep simulates its load points in parallel);
+/// every backend is plain owned simulation state, so this costs
+/// implementors nothing.
+pub trait SlsBackend: Send {
     /// A short stable label for the system (`"host"`, `"recnmp"`, ...).
     fn name(&self) -> &str;
 

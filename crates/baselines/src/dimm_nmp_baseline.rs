@@ -127,10 +127,14 @@ impl DimmLevelNmp {
         // silently corrupting the next serve's delta report.
         let mut first_err = None;
         for (d, then) in self.dimms.iter_mut().zip(&before) {
-            match d.run_until_idle() {
-                Ok(done) => {
-                    end = end.max(done.iter().map(|c| c.finish_cycle).max().unwrap_or(start));
+            match d.run_to_idle() {
+                Ok(()) => {
+                    // Completions arrive in data-transfer order, so the
+                    // last one carries the latest finish cycle.
+                    let done = d.completions();
+                    end = end.max(done.last().map_or(start, |c| c.finish_cycle));
                     bursts += done.len() as u64;
+                    d.clear_completions();
                     add_dram(&mut dram, &dram_delta(d.stats(), then));
                 }
                 Err(e) => first_err = first_err.or(Some(e)),

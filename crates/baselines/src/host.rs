@@ -73,8 +73,16 @@ impl HostBaseline {
                 self.mem.enqueue_read(addr.offset(b * 64), start);
             }
         }
-        let done = self.mem.run_until_idle()?;
-        let end = done.iter().map(|c| c.finish_cycle).max().unwrap_or(start);
+        self.mem.run_to_idle()?;
+        // Completions arrive in data-transfer order; the last one is the
+        // end of the run. Clearing (not draining) keeps the buffer's
+        // capacity for the next serve call.
+        let end = self
+            .mem
+            .completions()
+            .last()
+            .map_or(start, |c| c.finish_cycle);
+        self.mem.clear_completions();
         let bursts = vectors.len() as u64 * bursts_per_vector as u64;
         Ok(RunReport {
             system: "host".into(),

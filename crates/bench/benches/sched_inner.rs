@@ -1,0 +1,61 @@
+//! Criterion micro-benchmark for the FR-FCFS scheduler inner loop.
+//!
+//! Times `MemorySystem::run_to_idle` — the `issue_request_command` /
+//! event-skip loop — on the two traffic shapes that dominate simulator
+//! wall-clock: the rank-NMP device pattern (single rank, staggered
+//! 2-per-cycle arrivals, Zipf-ish bank spread) and a conflict-heavy
+//! stream that maximizes PRE/ACT churn. This is the kernel the
+//! `sim_throughput` trajectory rides on; regressions here show up
+//! directly in `BENCH_throughput.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recnmp_dram::{DramConfig, MemorySystem};
+use recnmp_types::PhysAddr;
+
+fn run_pattern(mem: &mut MemorySystem, salt: u64, reqs: u64, stride: u64) -> u64 {
+    let base = mem.cycle();
+    for i in 0..reqs {
+        mem.enqueue_read(
+            PhysAddr::new(((i * stride + salt * 7919) * 128) & ((1 << 30) - 1)),
+            base + i / 2,
+        );
+    }
+    mem.run_to_idle().expect("drain");
+    let done = mem.completions().last().map_or(0, |c| c.finish_cycle);
+    mem.clear_completions();
+    done
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_inner");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("rank_device_mixed", |b| {
+        let mut mem = MemorySystem::new(DramConfig::single_rank()).expect("config");
+        let mut salt = 0u64;
+        b.iter(|| {
+            salt += 1;
+            criterion::black_box(run_pattern(&mut mem, salt, 512, 131))
+        })
+    });
+
+    group.bench_function("conflict_storm", |b| {
+        let mut cfg = DramConfig::single_rank();
+        cfg.refresh = false;
+        let mut mem = MemorySystem::new(cfg).expect("config");
+        let mut salt = 0u64;
+        b.iter(|| {
+            salt += 1;
+            // Stride chosen to pound few banks with alternating rows:
+            // every read needs PRE + ACT + RD.
+            criterion::black_box(run_pattern(&mut mem, salt, 512, 2048 + 16))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,11 +4,16 @@
 //! performance trajectory to defend.
 //!
 //! ```text
-//! cargo run -p recnmp-bench --release --bin sim_throughput -- [--smoke] [--out PATH]
+//! cargo run -p recnmp-bench --release --bin sim_throughput -- \
+//!     [--smoke] [--out PATH] [--baseline PATH]
 //! ```
 //!
-//! * `--smoke` shrinks the workload for CI (seconds instead of minutes).
-//! * `--out`   output path (default `BENCH_throughput.json`).
+//! * `--smoke`    shrinks the workload for CI (seconds instead of minutes).
+//! * `--out`      output path (default `BENCH_throughput.json`).
+//! * `--baseline` compares the fresh `lookups_per_second` of every
+//!   backend against the committed JSON at PATH and exits non-zero on a
+//!   regression beyond 30% — the CI gate that keeps the
+//!   simulator-performance trajectory from silently sliding back.
 //!
 //! Measured systems: the host DRAM baseline, TensorDIMM, single-channel
 //! RecNMP, and a 4-channel `RecNmpCluster` (one simulation thread per
@@ -88,6 +93,120 @@ fn measure(name: &str, backend: &mut dyn SlsBackend, trace: &SlsTrace) -> Measur
     }
 }
 
+/// One backend row of a committed `BENCH_throughput.json`.
+struct BaselineEntry {
+    name: String,
+    sim_cycles: u64,
+    lookups_per_second: f64,
+}
+
+/// Parsed committed baseline: the measurement mode plus per-backend rows.
+struct Baseline {
+    mode: String,
+    backends: Vec<BaselineEntry>,
+}
+
+/// Scans one `"field": ` occurrence inside the current JSON object
+/// (bounded at the closing `}`, so a missing field errors instead of
+/// stealing the next object's value) and parses its numeric value.
+fn scan_number(rest: &str, field: &str) -> Option<f64> {
+    let object = &rest[..rest.find('}').unwrap_or(rest.len())];
+    let key = format!("\"{field}\": ");
+    let at = object.find(&key)?;
+    let tail = &object[at + key.len()..];
+    let num: String = tail
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// Extracts the mode and per-backend measurements from a committed
+/// `BENCH_throughput.json` without a JSON dependency: scans for the
+/// fields the writer below emits.
+fn parse_baseline(json: &str) -> Baseline {
+    let mode = json
+        .find("\"mode\": \"")
+        .and_then(|at| {
+            let rest = &json[at + 9..];
+            rest.find('"').map(|end| rest[..end].to_string())
+        })
+        .unwrap_or_default();
+    let mut backends = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("\"name\": \"") {
+        rest = &rest[at + 9..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_string();
+        let (Some(cycles), Some(lps)) = (
+            scan_number(rest, "sim_cycles"),
+            scan_number(rest, "lookups_per_second"),
+        ) else {
+            break;
+        };
+        backends.push(BaselineEntry {
+            name,
+            sim_cycles: cycles as u64,
+            lookups_per_second: lps,
+        });
+    }
+    Baseline { mode, backends }
+}
+
+/// Compares fresh measurements against the committed baseline; returns
+/// failure messages. Three gates:
+///
+/// * every fresh backend must exist in the baseline (a rename or
+///   addition without regenerating the committed file must not silently
+///   fall out of the gate);
+/// * `sim_cycles` must match **exactly** — the simulation is
+///   deterministic, so any difference is a semantic change that needs a
+///   deliberate baseline regeneration (this gate is hardware-independent);
+/// * `lookups_per_second` must not regress more than 30% (the coarse
+///   wall-clock gate; the slack absorbs runner-to-runner variance).
+fn check_baseline(baseline: &[BaselineEntry], fresh: &[&Measurement]) -> Vec<String> {
+    const MAX_REGRESSION: f64 = 0.30;
+    let mut failures = Vec::new();
+    // Coverage is bidirectional: a backend deleted or renamed in the
+    // harness must not silently drop out of the gate either.
+    for b in baseline {
+        if !fresh.iter().any(|m| m.name == b.name) {
+            failures.push(format!(
+                "{}: in the committed baseline but no longer measured \
+                 (regenerate the baseline deliberately)",
+                b.name
+            ));
+        }
+    }
+    for m in fresh {
+        let Some(committed) = baseline.iter().find(|b| b.name == m.name) else {
+            failures.push(format!(
+                "{}: not present in the committed baseline (regenerate it)",
+                m.name
+            ));
+            continue;
+        };
+        if m.sim_cycles != committed.sim_cycles {
+            failures.push(format!(
+                "{}: simulated {} cycles vs committed {} — simulation \
+                 semantics changed; regenerate the baseline deliberately",
+                m.name, m.sim_cycles, committed.sim_cycles
+            ));
+        }
+        let now = m.lookups_per_second();
+        if now < committed.lookups_per_second * (1.0 - MAX_REGRESSION) {
+            failures.push(format!(
+                "{}: {:.0} lookups/s vs committed {:.0} ({:+.1}%)",
+                m.name,
+                now,
+                committed.lookups_per_second,
+                (now / committed.lookups_per_second - 1.0) * 100.0
+            ));
+        }
+    }
+    failures
+}
+
 fn cluster(channels: usize) -> RecNmpCluster {
     let config = RecNmpClusterConfig::builder()
         .channels(channels)
@@ -102,14 +221,18 @@ fn cluster(channels: usize) -> RecNmpCluster {
 fn main() {
     let mut smoke = false;
     let mut out = String::from("BENCH_throughput.json");
+    let mut baseline_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--out" => out = args.next().expect("--out requires a path"),
+            "--baseline" => {
+                baseline_path = Some(args.next().expect("--baseline requires a path"));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: sim_throughput [--smoke] [--out PATH]");
+                eprintln!("usage: sim_throughput [--smoke] [--out PATH] [--baseline PATH]");
                 std::process::exit(2);
             }
         }
@@ -204,4 +327,35 @@ fn main() {
     );
     std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("wrote {out}");
+
+    if let Some(path) = baseline_path {
+        let committed =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let baseline = parse_baseline(&committed);
+        assert!(
+            !baseline.backends.is_empty(),
+            "no backend measurements found in {path}"
+        );
+        let mode = if smoke { "smoke" } else { "full" };
+        if baseline.mode != mode {
+            eprintln!(
+                "baseline {path} was measured in {:?} mode but this run is {mode:?}; \
+                 per-lookup costs differ across workload sizes, so the comparison \
+                 would be meaningless",
+                baseline.mode
+            );
+            std::process::exit(1);
+        }
+        let fresh: Vec<&Measurement> = results.iter().chain([&single, &quad]).collect();
+        let failures = check_baseline(&baseline.backends, &fresh);
+        if failures.is_empty() {
+            println!("baseline check vs {path}: ok (>30% regression gate)");
+        } else {
+            eprintln!("simulator throughput regressed >30% vs {path}:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -137,25 +137,34 @@ impl PacketBuilder {
                 | NmpOpcode::WeightedMean8
         );
         let mut packets = Vec::new();
+        // Track last row per bank to set the embedded DDR command flags
+        // the way the host MC would (consecutive-access heuristic; the
+        // rank-NMP re-derives actual commands locally). Flat bank-indexed
+        // array (`u32::MAX` = untouched), reset per packet — hashing a
+        // key per instruction would dominate compile time.
+        let banks_per_rank = self.geo.banks_per_rank();
+        let mut last_row = vec![u32::MAX; self.geo.ranks as usize * banks_per_rank];
         for chunk in batch.poolings.chunks(self.poolings_per_packet) {
-            let mut insts = Vec::new();
-            let mut origins = Vec::new();
+            let lookups: usize = chunk.iter().map(|p| p.len()).sum();
+            let mut insts = Vec::with_capacity(lookups);
+            let mut origins = Vec::with_capacity(lookups);
             let mut pooling_sizes = Vec::with_capacity(chunk.len());
-            // Track last row per bank to set the embedded DDR command
-            // flags the way the host MC would (consecutive-access
-            // heuristic; the rank-NMP re-derives actual commands locally).
-            let mut last_row: std::collections::HashMap<(u8, u8, u8), u32> =
-                std::collections::HashMap::new();
+            last_row.fill(u32::MAX);
             for (tag, pooling) in chunk.iter().enumerate() {
                 pooling_sizes.push(pooling.len());
                 for (i, &row) in pooling.indices.iter().enumerate() {
                     let phys = translate(row);
                     let daddr = self.mapping.decode(phys, &self.geo);
-                    let bank_key = (daddr.rank, daddr.bank_group, daddr.bank);
-                    let ddr_cmd = match last_row.insert(bank_key, daddr.row) {
-                        Some(prev) if prev == daddr.row => DdrCmdFlags::row_hit(),
-                        Some(_) => DdrCmdFlags::row_conflict(),
-                        None => DdrCmdFlags::row_closed(),
+                    let bank_key = daddr.rank as usize * banks_per_rank
+                        + daddr.flat_bank(self.geo.banks_per_group);
+                    let prev = last_row[bank_key];
+                    last_row[bank_key] = daddr.row;
+                    let ddr_cmd = if prev == u32::MAX {
+                        DdrCmdFlags::row_closed()
+                    } else if prev == daddr.row {
+                        DdrCmdFlags::row_hit()
+                    } else {
+                        DdrCmdFlags::row_conflict()
                     };
                     let locality = match profile {
                         Some(p) => p.is_hot(row),

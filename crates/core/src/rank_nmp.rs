@@ -121,6 +121,13 @@ impl RankNmp {
         self.dram.stats()
     }
 
+    /// Main-loop iterations this rank's DRAM engine has executed (see
+    /// [`recnmp_dram::MemorySystem::loop_iterations`]) — the simulator-cost
+    /// metric the throughput benchmarks track.
+    pub fn dram_loop_iterations(&self) -> u64 {
+        self.dram.loop_iterations()
+    }
+
     /// Executes this rank's slice of a packet.
     ///
     /// `arrivals` pairs each instruction with the cycle the MC delivered
@@ -189,12 +196,18 @@ impl RankNmp {
             }
         }
         let dram_done = if enqueued > 0 {
-            let completed = self.dram.run_until_idle()?;
-            completed
-                .iter()
-                .map(|c| c.finish_cycle)
-                .max()
-                .unwrap_or(start)
+            // Borrow-based completion hand-off: completions stay in the
+            // engine's reusable buffer (they arrive in data-transfer
+            // order, so the last one is the latest) — no per-packet
+            // allocation.
+            self.dram.run_to_idle()?;
+            let done = self
+                .dram
+                .completions()
+                .last()
+                .map_or(start, |c| c.finish_cycle);
+            self.dram.clear_completions();
+            done
         } else {
             start
         };

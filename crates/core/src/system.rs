@@ -102,6 +102,10 @@ impl SessionStats {
     }
 }
 
+/// Per-packet instruction delivery buffers: `[dimm][local rank]` slices
+/// of `(arrival cycle, instruction)` pairs, reused across packets.
+type DeliverySlices = Vec<Vec<Vec<(Cycle, NmpInst)>>>;
+
 /// Snapshot of every cumulative counter at the start of one run, used to
 /// report that run as a delta.
 #[derive(Debug, Clone)]
@@ -141,6 +145,12 @@ pub struct RecNmpSystem {
     /// Busiest-rank fractions of the run in progress, aligned with
     /// `run_latencies`.
     run_fractions: Vec<f64>,
+    /// Reusable per-packet delivery buffers (`[dimm][local rank]`
+    /// instruction slices) so the scheduling loop does not allocate per
+    /// packet; taken out and put back around each packet.
+    slice_scratch: DeliverySlices,
+    /// Reusable per-packet instruction counts, one per global rank.
+    count_scratch: Vec<u64>,
 }
 
 impl RecNmpSystem {
@@ -167,6 +177,8 @@ impl RecNmpSystem {
             },
             run_latencies: Vec::new(),
             run_fractions: Vec::new(),
+            slice_scratch: Vec::new(),
+            count_scratch: Vec::new(),
         })
     }
 
@@ -195,6 +207,17 @@ impl RecNmpSystem {
         &self.session
     }
 
+    /// Total DRAM-engine main-loop iterations across every rank — the
+    /// wall-clock cost driver of this channel's simulation (each
+    /// iteration is one scheduling decision).
+    pub fn total_dram_loop_iterations(&self) -> u64 {
+        self.dimms
+            .iter()
+            .flat_map(|d| d.ranks())
+            .map(|r| r.dram_loop_iterations())
+            .sum()
+    }
+
     /// Snapshots every cumulative counter at the start of a run and
     /// resets the run-scoped per-packet buffers.
     fn mark(&mut self) -> RunMark {
@@ -216,16 +239,18 @@ impl RecNmpSystem {
         }
     }
 
-    /// The per-run snapshot: everything that changed since `mark`.
-    fn report_since(&self, mark: &RunMark) -> RunReport {
+    /// The per-run snapshot: everything that changed since `mark`. The
+    /// run-scoped per-packet buffers are *moved* into the report (the
+    /// next run's [`mark`](Self::mark) starts them fresh), not cloned.
+    fn report_since(&mut self, mark: &RunMark) -> RunReport {
         let agg = self.aggregate();
         RunReport {
             system: "recnmp".into(),
             total_cycles: self.now - mark.start_cycle,
             packets: self.session.packets - mark.packets,
             insts: self.session.insts - mark.insts,
-            packet_latencies: self.run_latencies.clone(),
-            slowest_rank_fraction: self.run_fractions.clone(),
+            packet_latencies: std::mem::take(&mut self.run_latencies),
+            slowest_rank_fraction: std::mem::take(&mut self.run_fractions),
             rank_insts: self
                 .session
                 .rank_insts
@@ -273,6 +298,29 @@ impl RecNmpSystem {
         agg
     }
 
+    /// Takes the per-packet scratch buffers out of `self`, shaped and
+    /// cleared for this channel's geometry.
+    fn take_scratch(&mut self) -> (DeliverySlices, Vec<u64>) {
+        let ranks_per_dimm = self.config.ranks_per_dimm as usize;
+        let total_ranks = self.config.total_ranks() as usize;
+        let mut slices = std::mem::take(&mut self.slice_scratch);
+        if slices.len() != self.dimms.len()
+            || slices.first().is_some_and(|d| d.len() != ranks_per_dimm)
+        {
+            slices = vec![vec![Vec::new(); ranks_per_dimm]; self.dimms.len()];
+        } else {
+            for dimm in &mut slices {
+                for rank in dimm.iter_mut() {
+                    rank.clear();
+                }
+            }
+        }
+        let mut counts = std::mem::take(&mut self.count_scratch);
+        counts.clear();
+        counts.resize(total_ranks, 0);
+        (slices, counts)
+    }
+
     fn run_one(&mut self, packet: &NmpPacket) -> Result<(), SimError> {
         if packet.is_empty() {
             return Ok(());
@@ -283,10 +331,9 @@ impl RecNmpSystem {
 
         // Delivery schedule: insts_per_cycle instructions per DRAM cycle
         // over the shared channel interface (the compressed-format C/A
-        // expansion of Figure 9(b)).
-        let mut per_dimm: Vec<Vec<Vec<(Cycle, NmpInst)>>> =
-            vec![vec![Vec::new(); ranks_per_dimm]; self.dimms.len()];
-        let mut rank_counts = vec![0u64; total_ranks];
+        // expansion of Figure 9(b)). The delivery buffers are run-scoped
+        // scratch, reused across packets.
+        let (mut per_dimm, mut rank_counts) = self.take_scratch();
         for (i, inst) in packet.insts.iter().enumerate() {
             let arrival = start + (i as u64) / self.config.insts_per_cycle as u64;
             let rank = inst.daddr.rank as usize % total_ranks;
@@ -320,6 +367,8 @@ impl RecNmpSystem {
         self.session.gathered_bytes += packet.gathered_bytes();
         self.session.io_bytes += packet.inst_bytes() + packet.output_bytes();
         self.now = packet_done;
+        self.slice_scratch = per_dimm;
+        self.count_scratch = rank_counts;
         Ok(())
     }
 
@@ -341,9 +390,7 @@ impl RecNmpSystem {
         let start = self.now;
         let ranks_per_dimm = self.config.ranks_per_dimm as usize;
         let total_ranks = self.config.total_ranks() as usize;
-        let mut per_dimm: Vec<Vec<Vec<(Cycle, NmpInst)>>> =
-            vec![vec![Vec::new(); ranks_per_dimm]; self.dimms.len()];
-        let mut rank_counts = vec![0u64; total_ranks];
+        let (mut per_dimm, mut rank_counts) = self.take_scratch();
         let mut delivered = 0u64;
         let mut gathered = 0u64;
         let mut io = 0u64;
@@ -393,6 +440,8 @@ impl RecNmpSystem {
         }
         self.session.gathered_bytes += gathered;
         self.session.io_bytes += io;
+        self.slice_scratch = per_dimm;
+        self.count_scratch = rank_counts;
         Ok(self.report_since(&mark))
     }
 
@@ -458,12 +507,18 @@ pub fn compile_trace(
         let mut tr = |_row: u64| addrs.next().expect("one address per lookup");
         per_batch.push(builder.build(ModelId::new(0), &tb.batch, &mut tr, profile.as_ref()));
     }
-    let mut interleaved = Vec::new();
+    // Round-robin interleave by *moving* packets out of the per-batch
+    // streams — packets carry their full instruction vectors, so cloning
+    // each one here would copy the entire compiled trace.
     let max_len = per_batch.iter().map(Vec::len).max().unwrap_or(0);
-    for i in 0..max_len {
-        for packets in &per_batch {
-            if let Some(p) = packets.get(i) {
-                interleaved.push(p.clone());
+    let total: usize = per_batch.iter().map(Vec::len).sum();
+    let mut interleaved = Vec::with_capacity(total);
+    let mut streams: Vec<std::vec::IntoIter<NmpPacket>> =
+        per_batch.into_iter().map(Vec::into_iter).collect();
+    for _ in 0..max_len {
+        for stream in &mut streams {
+            if let Some(p) = stream.next() {
+                interleaved.push(p);
             }
         }
     }

@@ -120,16 +120,24 @@ impl Bank {
     }
 }
 
+/// The most bank groups a rank timer supports (DDR4 x8 devices have 4;
+/// the fixed bound keeps the per-group timing state inline — the issue
+/// loop queries it on every scheduling decision, and a heap indirection
+/// here is a measurable fraction of simulator wall-clock).
+pub const MAX_BANK_GROUPS: usize = 8;
+
 /// Rank-level timing state: tRRD, tFAW, tCCD, write-to-read turnaround and
 /// refresh bookkeeping.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RankTimer {
-    /// Issue times of the most recent ACTs (for the four-activate window).
-    act_history: Vec<Cycle>,
+    /// Issue times of the most recent ACTs (for the four-activate
+    /// window), oldest first; only the first `act_count` are valid.
+    act_history: [Cycle; 4],
+    act_count: usize,
     next_act_any: Cycle,
-    next_act_same_bg: Vec<Cycle>,
+    next_act_same_bg: [Cycle; MAX_BANK_GROUPS],
     next_rd_any: Cycle,
-    next_rd_same_bg: Vec<Cycle>,
+    next_rd_same_bg: [Cycle; MAX_BANK_GROUPS],
     next_wr_any: Cycle,
     faw: Cycle,
     /// Rank unavailable until this cycle (refresh in progress).
@@ -140,13 +148,22 @@ pub struct RankTimer {
 
 impl RankTimer {
     /// Creates an idle rank timer for a rank with `bank_groups` groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank_groups` exceeds [`MAX_BANK_GROUPS`].
     pub fn new(bank_groups: u8, t: &DdrTiming) -> Self {
+        assert!(
+            bank_groups as usize <= MAX_BANK_GROUPS,
+            "RankTimer supports at most {MAX_BANK_GROUPS} bank groups"
+        );
         Self {
-            act_history: Vec::with_capacity(4),
+            act_history: [0; 4],
+            act_count: 0,
             next_act_any: 0,
-            next_act_same_bg: vec![0; bank_groups as usize],
+            next_act_same_bg: [0; MAX_BANK_GROUPS],
             next_rd_any: 0,
-            next_rd_same_bg: vec![0; bank_groups as usize],
+            next_rd_same_bg: [0; MAX_BANK_GROUPS],
             next_wr_any: 0,
             faw: t.t_faw,
             busy_until: 0,
@@ -160,7 +177,7 @@ impl RankTimer {
             .next_act_any
             .max(self.next_act_same_bg[bank_group as usize])
             .max(self.busy_until);
-        if self.act_history.len() == 4 {
+        if self.act_count == 4 {
             // tFAW counts from the oldest of the last four ACTs.
             ready = ready.max(self.act_history[0] + self.faw_window());
         }
@@ -202,10 +219,13 @@ impl RankTimer {
     pub fn did_act(&mut self, now: Cycle, bank_group: u8, t: &DdrTiming) {
         self.next_act_any = now + t.t_rrd_s;
         self.next_act_same_bg[bank_group as usize] = now + t.t_rrd_l;
-        if self.act_history.len() == 4 {
-            self.act_history.remove(0);
+        if self.act_count == 4 {
+            self.act_history.copy_within(1..4, 0);
+            self.act_history[3] = now;
+        } else {
+            self.act_history[self.act_count] = now;
+            self.act_count += 1;
         }
-        self.act_history.push(now);
         self.faw = t.t_faw;
     }
 

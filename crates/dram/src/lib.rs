@@ -29,15 +29,28 @@
 //!
 //! # Simulator performance
 //!
-//! `run_until_idle` is **event-driven** by default ([`SimEngine`]): when no
-//! command can issue, the clock jumps straight to the next cycle at which
-//! anything could change (staged arrival, refresh deadline, bank/rank
-//! timing expiry, data-bus release) instead of ticking through idle
-//! cycles. The result is cycle-identical to the per-cycle reference engine
-//! — same completions, same statistics, same final cycle — while doing
-//! O(commands) instead of O(cycles) work; the `event_equivalence` test
-//! suite enforces this, and [`MemorySystem::loop_iterations`] exposes the
-//! work saved.
+//! The scheduler hot path is allocation-free and index-structured:
+//! admitted requests live in a slab with recycled slots, reached through
+//! per-(rank,bank) queues and seq-ordered order deques, with decoded
+//! coordinates computed once at enqueue. Each bank caches its earliest
+//! candidates per command class (one 64-byte line, stamp-invalidated
+//! only when that bank changes), so an FR-FCFS decision is one traversal
+//! of the banks that have work — requests needing the same command on
+//! the same bank share one legality verdict.
+//!
+//! `run_until_idle` is **event-driven** by default ([`SimEngine`]): when
+//! no command can issue, the clock jumps straight to the next cycle at
+//! which anything could change — and the jump target falls out of the
+//! same traversal that failed to issue, so there is no separate event
+//! rescan. The result is cycle-identical to the per-cycle reference
+//! engine — same completions (and completion order), same statistics,
+//! same final cycle — while doing O(commands) instead of O(cycles) work;
+//! the `event_equivalence` suite and the `sched_props` proptests enforce
+//! this, and [`MemorySystem::loop_iterations`] exposes the work saved.
+//! Hot callers avoid the completion-vector hand-off entirely via
+//! [`MemorySystem::run_to_idle`] + [`MemorySystem::completions`] +
+//! [`MemorySystem::clear_completions`] (a counting-allocator test proves
+//! the steady-state loop performs zero allocations).
 //!
 //! # Examples
 //!

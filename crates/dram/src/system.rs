@@ -23,6 +23,9 @@ struct Queued {
     seq: u64,
     acts: u8,
     pres: u8,
+    /// Global flat bank index (`rank * banks_per_rank + flat_bank`),
+    /// decoded once at enqueue so the issue loop never re-derives it.
+    gbank: u32,
 }
 
 impl Queued {
@@ -31,6 +34,130 @@ impl Queued {
             (0, 0) => RowOutcome::Hit,
             (0, _) => RowOutcome::Miss,
             _ => RowOutcome::Conflict,
+        }
+    }
+}
+
+/// One entry of a per-(rank,bank) FR-FCFS queue: the slab slot plus the
+/// two fields the scheduling passes actually compare (`row` for hit
+/// classification, `seq` for age ordering), kept inline so candidate
+/// selection never dereferences the slab.
+#[derive(Debug, Clone, Copy)]
+struct BankEntry {
+    slot: u32,
+    row: u32,
+    seq: u64,
+}
+
+/// The command a pass-2 candidate needs next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NextCmd {
+    Column,
+    Pre,
+    Act,
+}
+
+/// What one direction's candidate traversal produced.
+#[derive(Debug, Clone, Copy)]
+struct ScanResult {
+    /// Pass-1 winner: oldest legal row-hit column command.
+    col_winner: Option<u32>,
+    /// Pass-2 winner: oldest legal next command.
+    other_winner: Option<(u32, NextCmd)>,
+    /// Earliest future readiness over every not-yet-legal candidate.
+    min_ready: Option<Cycle>,
+    /// How many candidates were legal this cycle. When the issued winner
+    /// was the only one, `min_ready` (plus the issued bank's fresh
+    /// candidates) bounds every surviving candidate and the engine can
+    /// jump; with more, the next cycle usually issues again and is
+    /// ticked normally.
+    legal: u32,
+}
+
+/// The smaller of two optional cycles.
+fn min_cycle(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// What one controller cycle did.
+///
+/// A tick that issued nothing hands back the earliest future cycle at
+/// which any *queued-request command* could become legal, computed for
+/// free from the same candidate traversal that just failed to find a
+/// legal command (nothing mutated, so the readiness cycles it gathered
+/// are still exact). The event-driven engine combines it with the cheap
+/// non-bank events (staged arrival, refresh) to pick its jump target —
+/// no second traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TickOutcome {
+    /// A command slot was consumed. The payload, when present, is a *safe
+    /// lower bound* on the next bank-candidate event: the pre-issue scan
+    /// minimum (an issue only ever pushes timing constraints later, so
+    /// surviving candidates cannot become ready earlier than it) combined
+    /// with the issued bank's freshly recomputed candidates. A
+    /// lower-bound jump can cost at most a no-op tick; it can never skip
+    /// a decision cycle. `None` means no safe bound is available (e.g. a
+    /// refresh issued, or drain mode flipped) — tick the next cycle
+    /// normally.
+    Issued(Option<Cycle>),
+    /// Nothing issued; the earliest future bank-candidate readiness, if
+    /// any request is queued.
+    Idle(Option<Cycle>),
+}
+
+/// Cached scheduling candidates of one (bank, direction), packed into a
+/// single 64-byte cache line — the scan over active banks touches exactly
+/// one unique line per bank.
+///
+/// A bank has at most two candidate classes at a time: when its row
+/// buffer is open, the earliest row-hit entry (column command) and the
+/// earliest row-mismatch entry (PRE); when closed, only the earliest
+/// entry (ACT). The cache stores them as `col` and `alt`, with
+/// `alt_is_act` recording which command the `alt` slot needs. A
+/// `u64::MAX` sequence number marks an absent candidate.
+///
+/// Valid while the owning bank's stamp is unchanged — i.e. until the
+/// bank's timing state, row state or queue contents change. Rank-level
+/// timers and the shared data bus change on almost every issue, so those
+/// parts are deliberately **not** cached: they are read live (cheap
+/// inline loads) and combined at query time. Mere passage of time never
+/// invalidates the cache — legality is a comparison of the cached cycle
+/// against `now`.
+#[derive(Debug, Clone, Copy)]
+#[repr(align(64))]
+struct CandCache {
+    /// The bank's stamp value this cache was computed at (0 = never).
+    epoch: u64,
+    /// Sequence of the earliest row-hit entry (`u64::MAX` = none).
+    col_seq: u64,
+    /// Sequence of the earliest PRE/ACT entry (`u64::MAX` = none).
+    alt_seq: u64,
+    /// Bank-local earliest-legal cycle of the column command.
+    col_ready: Cycle,
+    /// Bank-local earliest-legal cycle of the PRE/ACT command.
+    alt_ready: Cycle,
+    /// Slab slots of the two candidates.
+    col_slot: u32,
+    alt_slot: u32,
+    /// Whether `alt` is an ACT (closed bank) rather than a PRE.
+    alt_is_act: bool,
+}
+
+impl Default for CandCache {
+    fn default() -> Self {
+        Self {
+            epoch: 0,
+            col_seq: u64::MAX,
+            alt_seq: u64::MAX,
+            col_ready: 0,
+            alt_ready: 0,
+            col_slot: 0,
+            alt_slot: 0,
+            alt_is_act: false,
         }
     }
 }
@@ -67,15 +194,44 @@ pub struct MemorySystem {
     config: DramConfig,
     timing: DdrTiming,
     geo: Geometry,
+    /// `geo.banks_per_rank()`, cached for the flat bank indexing below.
+    bpr: usize,
     cycle: Cycle,
-    banks: Vec<Vec<Bank>>,
+    /// All banks, flattened rank-major: `banks[rank * bpr + flat_bank]`.
+    banks: Vec<Bank>,
     ranks: Vec<RankTimer>,
     refresh_pending: Vec<bool>,
     data_bus_free: Cycle,
     last_data_rank: Option<u8>,
     staged: VecDeque<Queued>,
-    read_q: Vec<Queued>,
-    write_q: Vec<Queued>,
+    /// Slab of admitted requests; slots are recycled through `free_slots`
+    /// so the steady-state issue loop never allocates.
+    slab: Vec<Queued>,
+    free_slots: Vec<u32>,
+    /// Admitted reads/writes as slab indices in arrival (`seq`) order —
+    /// the FR-FCFS consideration order. Removal preserves order.
+    read_order: VecDeque<u32>,
+    write_order: VecDeque<u32>,
+    /// Per-(rank,bank) FR-FCFS queues in `seq` order, one pair per global
+    /// flat bank. Small (queue caps bound them), capacity reused.
+    bank_reads: Vec<Vec<BankEntry>>,
+    bank_writes: Vec<Vec<BankEntry>>,
+    /// Banks with at least one admitted request — the only banks the
+    /// scheduling passes and `next_event_cycle` have to look at.
+    active_banks: Vec<u32>,
+    bank_active: Vec<bool>,
+    /// Per-bank rank and bank-group lookup tables (indexed by global flat
+    /// bank), so the hot loops never divide.
+    bank_rank: Vec<u8>,
+    bank_bg: Vec<u8>,
+    /// Per-bank cache-invalidation stamps (dense, a few cache lines for
+    /// the whole channel) and the per-(bank, direction) candidate caches
+    /// (one 64-byte line each). Write caches live in their own array so
+    /// read-only traffic never touches them.
+    bank_stamp: Vec<u64>,
+    cand_rd: Vec<CandCache>,
+    cand_wr: Vec<CandCache>,
+    epoch_ctr: u64,
     completed: Vec<CompletedRequest>,
     next_seq: u64,
     next_auto_id: u64,
@@ -98,22 +254,36 @@ impl MemorySystem {
         let ranks = (0..geo.ranks)
             .map(|_| RankTimer::new(geo.bank_groups, &timing))
             .collect();
-        let banks = (0..geo.ranks)
-            .map(|_| vec![Bank::new(); geo.banks_per_rank()])
-            .collect();
+        let bpr = geo.banks_per_rank();
+        let total_banks = geo.ranks as usize * bpr;
         Ok(Self {
             refresh_pending: vec![false; geo.ranks as usize],
             config,
             timing,
             geo,
+            bpr,
             cycle: 0,
-            banks,
+            banks: vec![Bank::new(); total_banks],
             ranks,
             data_bus_free: 0,
             last_data_rank: None,
             staged: VecDeque::new(),
-            read_q: Vec::new(),
-            write_q: Vec::new(),
+            slab: Vec::new(),
+            free_slots: Vec::new(),
+            read_order: VecDeque::new(),
+            write_order: VecDeque::new(),
+            bank_reads: vec![Vec::new(); total_banks],
+            bank_writes: vec![Vec::new(); total_banks],
+            active_banks: Vec::new(),
+            bank_active: vec![false; total_banks],
+            bank_rank: (0..total_banks).map(|g| (g / bpr) as u8).collect(),
+            bank_bg: (0..total_banks)
+                .map(|g| ((g % bpr) / geo.banks_per_group as usize) as u8)
+                .collect(),
+            bank_stamp: vec![1; total_banks],
+            cand_rd: vec![CandCache::default(); total_banks],
+            cand_wr: vec![CandCache::default(); total_banks],
+            epoch_ctr: 1,
             completed: Vec::new(),
             next_seq: 0,
             next_auto_id: 0,
@@ -156,7 +326,7 @@ impl MemorySystem {
 
     /// Requests known to the controller but not yet completed.
     pub fn pending(&self) -> usize {
-        self.staged.len() + self.read_q.len() + self.write_q.len()
+        self.staged.len() + self.read_order.len() + self.write_order.len()
     }
 
     /// Enqueues a request built by the caller.
@@ -191,6 +361,8 @@ impl MemorySystem {
                 && addr.column < self.geo.columns,
             "decoded address out of range for geometry"
         );
+        let gbank =
+            (addr.rank as usize * self.bpr + addr.flat_bank(self.geo.banks_per_group)) as u32;
         let q = Queued {
             id,
             kind,
@@ -199,6 +371,7 @@ impl MemorySystem {
             seq: self.next_seq,
             acts: 0,
             pres: 0,
+            gbank,
         };
         self.next_seq += 1;
         self.staged.push_back(q);
@@ -210,23 +383,21 @@ impl MemorySystem {
     }
 
     /// One controller cycle: admit arrivals, progress refresh, issue at
-    /// most one command. Returns whether a command slot was consumed.
-    fn tick_inner(&mut self) -> bool {
+    /// most one command. Returns whether a command slot was consumed and,
+    /// when it was not, the earliest future bank-candidate readiness.
+    fn tick_inner(&mut self) -> TickOutcome {
         self.loop_iters += 1;
         self.admit_arrivals();
         if self.config.refresh {
             self.update_refresh_state();
+            if self.try_issue_refresh() {
+                self.cycle += 1;
+                return TickOutcome::Issued(None);
+            }
         }
-        let mut issued = if self.config.refresh {
-            self.try_issue_refresh()
-        } else {
-            false
-        };
-        if !issued {
-            issued = self.issue_request_command();
-        }
+        let outcome = self.issue_request_command();
         self.cycle += 1;
-        issued
+        outcome
     }
 
     /// Main-loop iterations executed so far (ticks, across both engines).
@@ -255,11 +426,39 @@ impl MemorySystem {
     /// see [`DramConfig::stall_iterations`]). The seed engine `assert!`ed
     /// after 500M cycles instead.
     pub fn run_until_idle(&mut self) -> Result<Vec<CompletedRequest>, SimError> {
-        match self.config.engine {
-            SimEngine::EventDriven => self.run_event_driven()?,
-            SimEngine::PerCycle => self.run_per_cycle()?,
-        }
+        self.run_to_idle()?;
         Ok(self.drain_completed())
+    }
+
+    /// Runs until every request has completed, leaving the completion
+    /// records in the internal buffer (see [`completions`](Self::completions)).
+    ///
+    /// This is the allocation-free counterpart of
+    /// [`run_until_idle`](Self::run_until_idle): callers that only
+    /// inspect completions can read the borrowed slice and then
+    /// [`clear_completions`](Self::clear_completions), so the buffer's
+    /// capacity is reused run after run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] exactly as
+    /// [`run_until_idle`](Self::run_until_idle) does.
+    pub fn run_to_idle(&mut self) -> Result<(), SimError> {
+        match self.config.engine {
+            SimEngine::EventDriven => self.run_event_driven(),
+            SimEngine::PerCycle => self.run_per_cycle(),
+        }
+    }
+
+    /// Completion records accumulated since the last drain/clear, in
+    /// data-transfer order (`finish_cycle` is non-decreasing).
+    pub fn completions(&self) -> &[CompletedRequest] {
+        &self.completed
+    }
+
+    /// Clears the completion buffer, retaining its capacity.
+    pub fn clear_completions(&mut self) {
+        self.completed.clear();
     }
 
     fn stalled(&self) -> SimError {
@@ -313,18 +512,33 @@ impl MemorySystem {
     }
 
     /// Event-driven main loop: whenever a tick issues nothing, jump the
-    /// clock to the next cycle at which anything could change.
+    /// clock to the next cycle at which anything could change. The
+    /// bank-candidate part of that jump target comes straight out of the
+    /// failed tick's own scheduling scan (nothing mutated, so the
+    /// readiness cycles it gathered are exact); only the cheap non-bank
+    /// events (staged arrival, refresh deadlines) are added here.
     fn run_event_driven(&mut self) -> Result<(), SimError> {
         let mut last = self.progress_state();
         let mut idle = 0u64;
         while self.pending() > 0 {
-            let issued = self.tick_inner();
+            let outcome = self.tick_inner();
             self.note_progress(&mut last, &mut idle)?;
-            if !issued {
-                match self.next_event_cycle() {
+            match outcome {
+                TickOutcome::Idle(cand) => match self.light_event_cycle(cand) {
                     Some(e) => self.cycle = e.max(self.cycle),
                     None => return Err(self.stalled()),
+                },
+                // Post-issue skip: jump over the cycles where provably
+                // nothing can happen. The bound is conservative (never
+                // late), so at worst the next tick is a no-op. Skipped
+                // when the issue emptied the queues (the run ends at the
+                // current cycle) or no safe bound exists.
+                TickOutcome::Issued(Some(bound)) if self.pending() > 0 => {
+                    if let Some(e) = self.light_event_cycle(Some(bound)) {
+                        self.cycle = e.max(self.cycle);
+                    }
                 }
+                TickOutcome::Issued(_) => {}
             }
         }
         self.drain_data_bus();
@@ -336,41 +550,38 @@ impl MemorySystem {
     fn drain_data_bus(&mut self) {
         let drain_to = self.data_bus_free.max(self.cycle);
         while self.cycle < drain_to {
-            let issued = self.tick_inner();
-            if self.config.engine == SimEngine::EventDriven && !issued {
-                let e = self
-                    .next_event_cycle()
-                    .map_or(drain_to, |e| e.min(drain_to));
-                self.cycle = e.max(self.cycle);
+            let outcome = self.tick_inner();
+            if self.config.engine == SimEngine::EventDriven {
+                if let TickOutcome::Idle(cand) = outcome {
+                    let e = self
+                        .light_event_cycle(cand)
+                        .map_or(drain_to, |e| e.min(drain_to));
+                    self.cycle = e.max(self.cycle);
+                }
+                // Issued ticks keep stepping cycle by cycle; the drain
+                // window is a handful of cycles, not worth bounding.
             }
         }
     }
 
-    /// The next cycle (>= the current one) at which the controller state
-    /// can change: the earliest of the next admissible staged arrival, the
-    /// next refresh deadline or refresh-step legality, and the earliest
-    /// bank/rank/data-bus readiness of any schedulable queued request.
-    ///
-    /// Returns `None` when no such cycle exists — with requests pending
-    /// that is a livelock, which `run_until_idle` reports as
-    /// [`SimError::Stalled`].
-    pub fn next_event_cycle(&self) -> Option<Cycle> {
+    /// The non-bank events plus a precomputed bank-candidate readiness:
+    /// the jump target of a tick that issued nothing. Equals
+    /// [`next_event_cycle`](Self::next_event_cycle) when `cand` is the
+    /// minimum readiness over every schedulable queued request (which is
+    /// exactly what the failed tick's scan produced).
+    fn light_event_cycle(&self, cand: Option<Cycle>) -> Option<Cycle> {
         let now = self.cycle;
         let mut next: Option<Cycle> = None;
         let mut consider = |at: Cycle| {
             let at = at.max(now);
             next = Some(next.map_or(at, |n| n.min(at)));
         };
-
-        // Staged admission (FIFO: only the front can unblock by arrival;
-        // a full queue unblocks via an issue, which is its own event).
+        if let Some(at) = cand {
+            consider(at);
+        }
         if let Some(at) = self.next_admissible_arrival() {
             consider(at);
         }
-
-        // Refresh: pending flags flip at `refresh_due`; the first pending
-        // rank (the only one `try_issue_refresh` progresses) has a step —
-        // PRE of an open bank or the REF itself — with a known ready cycle.
         if self.config.refresh {
             let mut first_pending = true;
             for r in 0..self.geo.ranks as usize {
@@ -382,80 +593,197 @@ impl MemorySystem {
                 }
             }
         }
+        next
+    }
 
+    /// The next cycle (>= the current one) at which the controller state
+    /// can change: the earliest of the next admissible staged arrival, the
+    /// next refresh deadline or refresh-step legality, and the earliest
+    /// bank/rank/data-bus readiness of any schedulable queued request.
+    ///
+    /// Returns `None` when no such cycle exists — with requests pending
+    /// that is a livelock, which `run_until_idle` reports as
+    /// [`SimError::Stalled`].
+    pub fn next_event_cycle(&self) -> Option<Cycle> {
         // Queued requests: the cycle their next command (column, PRE or
-        // ACT) becomes legal. Writes only participate when the controller
-        // would drain them — drain mode flips only on admissions or
-        // issues, which are events themselves.
-        for q in &self.read_q {
-            if let Some(at) = self.request_ready(true, q) {
-                consider(at);
+        // ACT) becomes legal. Command legality is a property of the bank,
+        // not the request, so each *active bank* contributes at most two
+        // candidate cycles per direction (column for open-row matches,
+        // PRE for mismatches; ACT when closed) — served from the per-bank
+        // candidate caches, no per-request rescan. Writes only
+        // participate when the controller would drain them — drain mode
+        // flips only on admissions or issues, which are events themselves.
+        let mut cand: Option<Cycle> = None;
+        let mut consider = |at: Cycle| {
+            cand = Some(cand.map_or(at, |n| n.min(at)));
+        };
+        let drain = self.drain_writes();
+        for &gb in &self.active_banks {
+            let gbank = gb as usize;
+            let rank = self.bank_rank[gbank] as usize;
+            if self.refresh_pending[rank] {
+                // The refresh-step event (in `light_event_cycle`) covers
+                // the unblock.
+                continue;
+            }
+            self.consider_bank_events(true, gbank, &mut consider);
+            if drain {
+                self.consider_bank_events(false, gbank, &mut consider);
             }
         }
-        if self.drain_writes() {
-            for q in &self.write_q {
-                if let Some(at) = self.request_ready(false, q) {
-                    consider(at);
+        // The non-bank events (staged admission, refresh deadlines and
+        // steps) live in the same helper the run loop uses, so the
+        // standalone query and the engine's jump targets cannot drift
+        // apart.
+        self.light_event_cycle(cand)
+    }
+
+    /// Feeds the earliest-legal cycles of one (bank, direction)'s
+    /// candidates into `consider`, reading through the candidate cache
+    /// (recomputing on the fly when stale — this is a `&self` query).
+    fn consider_bank_events(&self, is_read: bool, gbank: usize, consider: &mut impl FnMut(Cycle)) {
+        let cached = if is_read {
+            &self.cand_rd[gbank]
+        } else {
+            &self.cand_wr[gbank]
+        };
+        let fresh;
+        let c = if cached.epoch == self.bank_stamp[gbank] {
+            cached
+        } else {
+            fresh = self.compute_cand(is_read, gbank);
+            &fresh
+        };
+        let (col, alt) = self.cand_effective_ready(c, is_read, gbank);
+        if col != Cycle::MAX {
+            consider(col);
+        }
+        if alt != Cycle::MAX {
+            consider(alt);
+        }
+    }
+
+    /// The effective earliest-legal cycles of a cache's candidates: the
+    /// cached bank-local parts combined with the **live** rank timers and
+    /// data-bus reservation — the one place (besides the inlined hot loop
+    /// in `scan_direction`, kept in sync by the equivalence suites) that
+    /// spells out the candidate-readiness formula. `Cycle::MAX` marks an
+    /// absent candidate.
+    fn cand_effective_ready(&self, c: &CandCache, is_read: bool, gbank: usize) -> (Cycle, Cycle) {
+        let rank = self.bank_rank[gbank] as usize;
+        let bg = self.bank_bg[gbank];
+        let col = if c.col_seq != u64::MAX {
+            c.col_ready
+                .max(self.ranks[rank].col_ready(is_read, bg))
+                .max(self.bus_part(is_read, rank as u8))
+        } else {
+            Cycle::MAX
+        };
+        let alt = if c.alt_seq == u64::MAX {
+            Cycle::MAX
+        } else if c.alt_is_act {
+            c.alt_ready.max(self.ranks[rank].act_ready(bg))
+        } else {
+            c.alt_ready
+        };
+        (col, alt)
+    }
+
+    /// The data-bus contribution to column legality for `rank`: the cycle
+    /// from which a column command's data (offset by CL/CWL) no longer
+    /// collides with the current bus reservation, including the
+    /// rank-to-rank switch penalty.
+    fn bus_part(&self, is_read: bool, rank: u8) -> Cycle {
+        let data_offset = if is_read {
+            self.timing.t_cl
+        } else {
+            self.timing.t_cwl
+        };
+        let mut bus_free = self.data_bus_free;
+        if self.last_data_rank.is_some() && self.last_data_rank != Some(rank) {
+            bus_free += self.timing.rank_switch;
+        }
+        bus_free.saturating_sub(data_offset)
+    }
+
+    /// Recomputes the candidate cache of one (bank, direction) from its
+    /// queue and bank state.
+    fn compute_cand(&self, is_read: bool, gbank: usize) -> CandCache {
+        let bank_q = if is_read {
+            &self.bank_reads[gbank]
+        } else {
+            &self.bank_writes[gbank]
+        };
+        let bank = &self.banks[gbank];
+        let mut c = CandCache {
+            epoch: self.bank_stamp[gbank],
+            ..CandCache::default()
+        };
+        match bank.state {
+            BankState::Closed => {
+                if let Some(e) = bank_q.first() {
+                    c.alt_seq = e.seq;
+                    c.alt_slot = e.slot;
+                    c.alt_ready = bank.act_ready();
+                    c.alt_is_act = true;
+                }
+            }
+            BankState::Open(row) => {
+                for e in bank_q {
+                    if e.row == row {
+                        if c.col_seq == u64::MAX {
+                            c.col_seq = e.seq;
+                            c.col_slot = e.slot;
+                        }
+                    } else if c.alt_seq == u64::MAX {
+                        c.alt_seq = e.seq;
+                        c.alt_slot = e.slot;
+                    }
+                    if c.col_seq != u64::MAX && c.alt_seq != u64::MAX {
+                        break;
+                    }
+                }
+                if c.col_seq != u64::MAX {
+                    c.col_ready = bank.col_ready(is_read);
+                }
+                if c.alt_seq != u64::MAX {
+                    c.alt_ready = bank.pre_ready();
                 }
             }
         }
-        next
+        c
+    }
+
+    /// Marks `gbank`'s candidate caches stale (timing state, row state or
+    /// queue contents changed).
+    fn touch_bank(&mut self, gbank: usize) {
+        self.epoch_ctr += 1;
+        self.bank_stamp[gbank] = self.epoch_ctr;
     }
 
     /// Arrival cycle of the staged-queue front, if its target queue has
     /// room to admit it.
     fn next_admissible_arrival(&self) -> Option<Cycle> {
         let front = self.staged.front()?;
-        let (q, cap) = if front.kind == RequestKind::Read {
-            (&self.read_q, self.config.read_queue)
+        let (len, cap) = if front.kind == RequestKind::Read {
+            (self.read_order.len(), self.config.read_queue)
         } else {
-            (&self.write_q, self.config.write_queue)
+            (self.write_order.len(), self.config.write_queue)
         };
-        (q.len() < cap).then_some(front.arrival)
-    }
-
-    /// Earliest cycle queued request `q`'s next command could issue, or
-    /// `None` while its rank has a refresh pending (the refresh events
-    /// cover the unblock).
-    fn request_ready(&self, is_read: bool, q: &Queued) -> Option<Cycle> {
-        let rank = q.addr.rank as usize;
-        if self.refresh_pending[rank] {
-            return None;
-        }
-        let flat = q.addr.flat_bank(self.geo.banks_per_group);
-        let bank = &self.banks[rank][flat];
-        Some(match bank.state {
-            BankState::Open(row) if row == q.addr.row => {
-                let data_offset = if is_read {
-                    self.timing.t_cl
-                } else {
-                    self.timing.t_cwl
-                };
-                let mut bus_free = self.data_bus_free;
-                if self.last_data_rank.is_some() && self.last_data_rank != Some(q.addr.rank) {
-                    bus_free += self.timing.rank_switch;
-                }
-                bank.col_ready(is_read)
-                    .max(self.ranks[rank].col_ready(is_read, q.addr.bank_group))
-                    .max(bus_free.saturating_sub(data_offset))
-            }
-            BankState::Open(_) => bank.pre_ready(),
-            BankState::Closed => bank
-                .act_ready()
-                .max(self.ranks[rank].act_ready(q.addr.bank_group)),
-        })
+        (len < cap).then_some(front.arrival)
     }
 
     /// Earliest cycle rank `r`'s next refresh step (PRE of the first open
     /// bank, or the REF itself) becomes legal.
     fn refresh_step_ready(&self, r: usize) -> Cycle {
-        if let Some(b) = self.banks[r]
+        let banks = self.rank_banks(r);
+        if let Some(b) = banks
             .iter()
             .position(|b| matches!(b.state, BankState::Open(_)))
         {
-            self.banks[r][b].pre_ready()
+            banks[b].pre_ready()
         } else {
-            self.banks[r]
+            banks
                 .iter()
                 .map(Bank::act_ready)
                 .max()
@@ -464,32 +792,33 @@ impl MemorySystem {
         }
     }
 
+    /// The banks of rank `r` as a slice of the flat bank array.
+    fn rank_banks(&self, r: usize) -> &[Bank] {
+        &self.banks[r * self.bpr..(r + 1) * self.bpr]
+    }
+
     /// Whether the controller is in write-drain mode (the same predicate
     /// `issue_request_command` applies).
     fn drain_writes(&self) -> bool {
-        self.write_q.len() * 4 >= self.config.write_queue * 3
-            || (self.read_q.is_empty() && !self.write_q.is_empty())
+        self.write_order.len() * 4 >= self.config.write_queue * 3
+            || (self.read_order.is_empty() && !self.write_order.is_empty())
     }
 
     /// Removes and returns all completions whose data has fully transferred
     /// by the current cycle.
+    ///
+    /// Completions are recorded in data-transfer order (the shared data
+    /// bus serializes bursts), so the buffer is always sorted by
+    /// `finish_cycle`: the common all-done case hands the whole buffer
+    /// over, and a partial drain splits off a prefix — no re-partitioning
+    /// scan of the remainder.
     pub fn drain_completed(&mut self) -> Vec<CompletedRequest> {
         let now = self.cycle;
-        // Common case after `run_until_idle`: everything is done — hand the
-        // buffer over without copying or re-partitioning.
-        if self.completed.iter().all(|c| c.finish_cycle <= now) {
+        if self.completed.last().is_none_or(|c| c.finish_cycle <= now) {
             return std::mem::take(&mut self.completed);
         }
-        let mut done = Vec::new();
-        self.completed.retain(|c| {
-            if c.finish_cycle <= now {
-                done.push(*c);
-                false
-            } else {
-                true
-            }
-        });
-        done
+        let k = self.completed.partition_point(|c| c.finish_cycle <= now);
+        self.completed.drain(..k).collect()
     }
 
     fn admit_arrivals(&mut self) {
@@ -500,20 +829,45 @@ impl MemorySystem {
                 break;
             }
             let is_read = front.kind == RequestKind::Read;
-            let q = if is_read {
-                &mut self.read_q
+            let (len, cap) = if is_read {
+                (self.read_order.len(), self.config.read_queue)
             } else {
-                &mut self.write_q
+                (self.write_order.len(), self.config.write_queue)
             };
-            let cap = if is_read {
-                self.config.read_queue
-            } else {
-                self.config.write_queue
-            };
-            if q.len() >= cap {
+            if len >= cap {
                 break;
             }
-            q.push(self.staged.pop_front().expect("front checked"));
+            let q = self.staged.pop_front().expect("front checked");
+            let gbank = q.gbank as usize;
+            let entry_row = q.addr.row;
+            let entry_seq = q.seq;
+            let slot = match self.free_slots.pop() {
+                Some(s) => {
+                    self.slab[s as usize] = q;
+                    s
+                }
+                None => {
+                    self.slab.push(q);
+                    (self.slab.len() - 1) as u32
+                }
+            };
+            let entry = BankEntry {
+                slot,
+                row: entry_row,
+                seq: entry_seq,
+            };
+            if is_read {
+                self.read_order.push_back(slot);
+                self.bank_reads[gbank].push(entry);
+            } else {
+                self.write_order.push_back(slot);
+                self.bank_writes[gbank].push(entry);
+            }
+            self.touch_bank(gbank);
+            if !self.bank_active[gbank] {
+                self.bank_active[gbank] = true;
+                self.active_banks.push(gbank as u32);
+            }
         }
     }
 
@@ -533,15 +887,18 @@ impl MemorySystem {
             if !self.refresh_pending[r] {
                 continue;
             }
+            let base = r * self.bpr;
             // Close any open bank first.
-            if let Some(b) = self.banks[r]
+            if let Some(b) = self
+                .rank_banks(r)
                 .iter()
                 .position(|b| matches!(b.state, BankState::Open(_)))
             {
-                if self.banks[r][b].pre_ready() <= now {
+                if self.banks[base + b].pre_ready() <= now {
                     let addr = self.bank_addr(r as u8, b);
                     self.issue(DdrCommand::new(DdrCommandKind::Pre, addr));
-                    self.banks[r][b].do_pre(now, &self.timing);
+                    self.banks[base + b].do_pre(now, &self.timing);
+                    self.touch_bank(base + b);
                     self.stats.pres += 1;
                     return true;
                 }
@@ -549,14 +906,22 @@ impl MemorySystem {
                 return false;
             }
             // All banks closed: wait out tRP, then refresh.
-            let ready = self.banks[r].iter().map(Bank::act_ready).max().unwrap_or(0);
+            let ready = self
+                .rank_banks(r)
+                .iter()
+                .map(Bank::act_ready)
+                .max()
+                .unwrap_or(0);
             if ready <= now && self.ranks[r].busy_until <= now {
                 let addr = self.bank_addr(r as u8, 0);
                 self.issue(DdrCommand::new(DdrCommandKind::Ref, addr));
                 self.ranks[r].did_ref(now, &self.timing);
                 let done = now + self.timing.t_rfc;
-                for bank in &mut self.banks[r] {
+                for bank in &mut self.banks[base..base + self.bpr] {
                     bank.finish_refresh(done);
+                }
+                for gbank in base..base + self.bpr {
+                    self.touch_bank(gbank);
                 }
                 self.stats.refs += 1;
                 self.refresh_pending[r] = false;
@@ -577,127 +942,246 @@ impl MemorySystem {
         }
     }
 
-    /// FR-FCFS issue: one command per cycle. Returns whether a command was
-    /// issued.
-    fn issue_request_command(&mut self) -> bool {
+    /// FR-FCFS issue: one command per cycle.
+    ///
+    /// The decision procedure is unchanged from the flat-queue scheduler —
+    /// pass 1 issues the oldest row-hit column command that is legal right
+    /// now, pass 2 the oldest request whose next command (column, PRE or
+    /// ACT) is legal, reads always ahead of writes, writes only in drain
+    /// mode — but both passes run over the per-bank candidate caches: each
+    /// active bank contributes its earliest eligible request per command
+    /// class (requests needing the same command on the same bank share one
+    /// legality verdict), and the oldest legal candidate across banks
+    /// wins. No allocation, no sort, no per-request timing re-checks. When
+    /// nothing is legal, the same traversal has already produced the
+    /// earliest future readiness, which the event-driven engine jumps to.
+    fn issue_request_command(&mut self) -> TickOutcome {
         let drain_writes = self.drain_writes();
-
-        // Order of consideration: reads oldest-first, then writes when in
-        // drain mode.
-        let mut order: Vec<(bool, usize)> = Vec::with_capacity(self.read_q.len());
-        let mut read_idx: Vec<usize> = (0..self.read_q.len()).collect();
-        read_idx.sort_by_key(|&i| self.read_q[i].seq);
-        order.extend(read_idx.into_iter().map(|i| (true, i)));
-        if drain_writes {
-            let mut wr_idx: Vec<usize> = (0..self.write_q.len()).collect();
-            wr_idx.sort_by_key(|&i| self.write_q[i].seq);
-            order.extend(wr_idx.into_iter().map(|i| (false, i)));
-        }
-        if order.is_empty() {
-            return false;
+        let has_reads = !self.read_order.is_empty();
+        if !has_reads && (!drain_writes || self.write_order.is_empty()) {
+            return TickOutcome::Idle(None);
         }
 
         // Starvation guard: when the oldest request has waited too long,
         // skip the row-hit pass so it makes progress.
-        let oldest_age = {
-            let (is_read, i) = order[0];
-            let q = if is_read {
-                &self.read_q[i]
-            } else {
-                &self.write_q[i]
-            };
-            self.cycle.saturating_sub(q.arrival)
+        let oldest = if has_reads {
+            self.read_order[0]
+        } else {
+            self.write_order[0]
         };
+        let oldest_age = self
+            .cycle
+            .saturating_sub(self.slab[oldest as usize].arrival);
         let allow_fr = oldest_age < self.config.starvation_cycles;
 
+        let reads = self.scan_direction(true, allow_fr);
         if allow_fr {
-            // Pass 1: first-ready — any request whose row is open and whose
-            // column command is legal right now.
-            for &(is_read, i) in &order {
-                if self.try_issue_column(is_read, i, true) {
-                    return true;
+            // Pass 1: first-ready — the oldest request whose row is open
+            // and whose column command is legal right now, reads first.
+            if let Some(slot) = reads.col_winner {
+                let gbank = self.slab[slot as usize].gbank as usize;
+                self.issue_column(true, slot);
+                let hint = self.post_issue_hint(gbank, drain_writes, &reads);
+                return TickOutcome::Issued(hint);
+            }
+            if drain_writes {
+                let writes = self.scan_direction(false, allow_fr);
+                if let Some(slot) = writes.col_winner {
+                    self.issue_column(false, slot);
+                    return TickOutcome::Issued(None);
+                }
+                // Pass 2 with both directions already scanned.
+                if let Some((slot, cmd)) = reads.other_winner {
+                    self.issue_progress(true, slot, cmd);
+                    return TickOutcome::Issued(None);
+                }
+                if let Some((slot, cmd)) = writes.other_winner {
+                    self.issue_progress(false, slot, cmd);
+                    return TickOutcome::Issued(None);
+                }
+                return TickOutcome::Idle(min_cycle(reads.min_ready, writes.min_ready));
+            }
+        }
+        // Pass 2: oldest-first — issue whatever command the oldest
+        // serviceable request needs next, if legal. When pass 1 ran,
+        // row-hit column commands are already proven illegal (legality is
+        // bank state that cannot change without an issue), so only PRE
+        // and ACT candidates remain in play.
+        if let Some((slot, cmd)) = reads.other_winner {
+            let gbank = self.slab[slot as usize].gbank as usize;
+            self.issue_progress(true, slot, cmd);
+            let hint = self.post_issue_hint(gbank, drain_writes, &reads);
+            return TickOutcome::Issued(hint);
+        }
+        if drain_writes {
+            let writes = self.scan_direction(false, allow_fr);
+            if let Some((slot, cmd)) = writes.other_winner {
+                self.issue_progress(false, slot, cmd);
+                return TickOutcome::Issued(None);
+            }
+            return TickOutcome::Idle(min_cycle(reads.min_ready, writes.min_ready));
+        }
+        TickOutcome::Idle(reads.min_ready)
+    }
+
+    /// A safe lower bound on the next bank-candidate event after an
+    /// issue in read-only (non-drain) mode, or `None` when the very next
+    /// cycle must be ticked normally.
+    ///
+    /// Only taken when the issued command was the *only* legal candidate
+    /// this cycle. Then every surviving candidate was not-yet-legal, and
+    /// `min_ready` bounds their readiness from below (an issue only ever
+    /// pushes timing constraints later). The issued bank's candidate
+    /// structure did change, so its candidates are recomputed fresh. A
+    /// lower-bound jump can cost at most a no-op tick; it can never skip
+    /// a decision cycle. Drain-mode flips change which candidates
+    /// participate at all, so any flip bails out.
+    fn post_issue_hint(
+        &mut self,
+        gbank: usize,
+        drain_before: bool,
+        scan: &ScanResult,
+    ) -> Option<Cycle> {
+        if scan.legal != 1 || drain_before || self.drain_writes() {
+            return None;
+        }
+        let mut m = scan.min_ready;
+        let fresh = self.compute_cand(true, gbank);
+        self.cand_rd[gbank] = fresh;
+        let (col, alt) = self.cand_effective_ready(&fresh, true, gbank);
+        if col != Cycle::MAX {
+            m = min_cycle(m, Some(col));
+        }
+        if alt != Cycle::MAX {
+            m = min_cycle(m, Some(alt));
+        }
+        m
+    }
+
+    fn scan_direction(&mut self, is_read: bool, fr: bool) -> ScanResult {
+        let now = self.cycle;
+        let mut best_col_seq = u64::MAX;
+        let mut best_col = 0u32;
+        let mut best_other_seq = u64::MAX;
+        let mut best_other = (0u32, NextCmd::Pre);
+        let mut min_ready = Cycle::MAX;
+        let mut legal = 0u32;
+        // Data-bus reservation, hoisted: one value for the rank that last
+        // owned the bus, one (with the switch penalty) for every other.
+        let data_offset = if is_read {
+            self.timing.t_cl
+        } else {
+            self.timing.t_cwl
+        };
+        let bus_same = self.data_bus_free.saturating_sub(data_offset);
+        let bus_other = (self.data_bus_free + self.timing.rank_switch).saturating_sub(data_offset);
+        let last_rank = self.last_data_rank;
+        for i in 0..self.active_banks.len() {
+            let gbank = self.active_banks[i] as usize;
+            let rank = self.bank_rank[gbank] as usize;
+            if self.refresh_pending[rank] {
+                continue;
+            }
+            let cands = if is_read {
+                &self.cand_rd[gbank]
+            } else {
+                &self.cand_wr[gbank]
+            };
+            if cands.epoch != self.bank_stamp[gbank] {
+                let fresh = self.compute_cand(is_read, gbank);
+                if is_read {
+                    self.cand_rd[gbank] = fresh;
+                } else {
+                    self.cand_wr[gbank] = fresh;
+                }
+            }
+            let c = if is_read {
+                &self.cand_rd[gbank]
+            } else {
+                &self.cand_wr[gbank]
+            };
+            let bg = self.bank_bg[gbank];
+            if c.col_seq != u64::MAX {
+                let bus = if last_rank.is_some() && last_rank != Some(rank as u8) {
+                    bus_other
+                } else {
+                    bus_same
+                };
+                let ready = c
+                    .col_ready
+                    .max(self.ranks[rank].col_ready(is_read, bg))
+                    .max(bus);
+                if ready <= now {
+                    legal += 1;
+                    if fr {
+                        if c.col_seq < best_col_seq {
+                            best_col_seq = c.col_seq;
+                            best_col = c.col_slot;
+                        }
+                    } else if c.col_seq < best_other_seq {
+                        best_other_seq = c.col_seq;
+                        best_other = (c.col_slot, NextCmd::Column);
+                    }
+                } else {
+                    min_ready = min_ready.min(ready);
+                }
+            }
+            if c.alt_seq != u64::MAX {
+                let (ready, cmd) = if c.alt_is_act {
+                    (
+                        c.alt_ready.max(self.ranks[rank].act_ready(bg)),
+                        NextCmd::Act,
+                    )
+                } else {
+                    (c.alt_ready, NextCmd::Pre)
+                };
+                if ready <= now {
+                    legal += 1;
+                    if c.alt_seq < best_other_seq {
+                        best_other_seq = c.alt_seq;
+                        best_other = (c.alt_slot, cmd);
+                    }
+                } else {
+                    min_ready = min_ready.min(ready);
                 }
             }
         }
-        // Pass 2: oldest-first — issue whatever command the request needs
-        // next, if legal.
-        for &(is_read, i) in &order {
-            if self.try_progress(is_read, i) {
-                return true;
-            }
+        ScanResult {
+            col_winner: (best_col_seq != u64::MAX).then_some(best_col),
+            other_winner: (best_other_seq != u64::MAX).then_some(best_other),
+            min_ready: (min_ready != Cycle::MAX).then_some(min_ready),
+            legal,
         }
-        false
     }
 
-    /// Attempts the column command for queue entry `i`; `require_open`
-    /// restricts to row hits. Returns true if a command was issued.
-    fn try_issue_column(&mut self, is_read: bool, i: usize, require_open: bool) -> bool {
+    /// Issues the already-verified-legal column command for `slot`,
+    /// completing the request.
+    fn issue_column(&mut self, is_read: bool, slot: u32) {
         let now = self.cycle;
-        let q = if is_read {
-            &self.read_q[i]
-        } else {
-            &self.write_q[i]
-        };
+        let q = self.remove_queued(is_read, slot);
+        let gbank = q.gbank as usize;
         let (rank, bg) = (q.addr.rank, q.addr.bank_group);
-        if self.refresh_pending[rank as usize] {
-            return false;
-        }
-        let flat = q.addr.flat_bank(self.geo.banks_per_group);
-        let bank = &self.banks[rank as usize][flat];
-        match bank.state {
-            BankState::Open(row) if row == q.addr.row => {}
-            _ if require_open => return false,
-            _ => return false,
-        }
-        let (bank_ready, rank_ready, data_offset) = if is_read {
-            (
-                bank.rd_ready(),
-                self.ranks[rank as usize].rd_ready(bg),
-                self.timing.t_cl,
-            )
-        } else {
-            (
-                bank.wr_ready(),
-                self.ranks[rank as usize].wr_ready(bg),
-                self.timing.t_cwl,
-            )
-        };
-        if bank_ready > now || rank_ready > now {
-            return false;
-        }
-        // Data-bus reservation, including the rank-to-rank switch penalty.
-        let mut bus_free = self.data_bus_free;
-        if self.last_data_rank.is_some() && self.last_data_rank != Some(rank) {
-            bus_free += self.timing.rank_switch;
-        }
-        if now + data_offset < bus_free {
-            return false;
-        }
-
-        // Legal: issue.
         let kind = if is_read {
             DdrCommandKind::Rd
         } else {
             DdrCommandKind::Wr
         };
-        let q = if is_read {
-            self.read_q.swap_remove(i)
-        } else {
-            self.write_q.swap_remove(i)
-        };
         self.issue(DdrCommand::new(kind, q.addr));
-        let bank = &mut self.banks[rank as usize][flat];
-        if is_read {
+        let bank = &mut self.banks[gbank];
+        let data_offset = if is_read {
             bank.do_rd(now, &self.timing);
             self.ranks[rank as usize].did_rd(now, bg, &self.timing);
             self.stats.reads += 1;
+            self.timing.t_cl
         } else {
             bank.do_wr(now, &self.timing);
             self.ranks[rank as usize].did_wr(now, bg, &self.timing);
             self.stats.writes += 1;
-        }
+            self.timing.t_cwl
+        };
+        self.touch_bank(gbank);
         let finish = now + data_offset + self.timing.t_bl;
-        self.data_bus_free = now + data_offset + self.timing.t_bl;
+        self.data_bus_free = finish;
         self.last_data_rank = Some(rank);
         self.stats.data_bus_busy += self.timing.t_bl;
         let outcome = q.outcome();
@@ -711,64 +1195,75 @@ impl MemorySystem {
             finish_cycle: finish,
             outcome,
         });
-        true
     }
 
-    /// Issues whatever command queue entry `i` needs next (PRE, ACT or the
-    /// column command). Returns true if a command was issued.
-    fn try_progress(&mut self, is_read: bool, i: usize) -> bool {
+    /// Issues the already-verified-legal pass-2 command for `slot`.
+    fn issue_progress(&mut self, is_read: bool, slot: u32, cmd: NextCmd) {
         let now = self.cycle;
-        let (addr, _seq) = {
-            let q = if is_read {
-                &self.read_q[i]
-            } else {
-                &self.write_q[i]
-            };
-            (q.addr, q.seq)
-        };
-        if self.refresh_pending[addr.rank as usize] {
-            return false;
-        }
-        let flat = addr.flat_bank(self.geo.banks_per_group);
-        let state = self.banks[addr.rank as usize][flat].state;
-        match state {
-            BankState::Open(row) if row == addr.row => self.try_issue_column(is_read, i, true),
-            BankState::Open(_) => {
-                // Row conflict: precharge.
-                let bank = &mut self.banks[addr.rank as usize][flat];
-                if bank.pre_ready() > now {
-                    return false;
-                }
-                bank.do_pre(now, &self.timing);
+        match cmd {
+            NextCmd::Column => self.issue_column(is_read, slot),
+            NextCmd::Pre => {
+                let addr = self.slab[slot as usize].addr;
+                let gbank = self.slab[slot as usize].gbank as usize;
+                self.banks[gbank].do_pre(now, &self.timing);
+                self.touch_bank(gbank);
                 self.stats.pres += 1;
-                let q = if is_read {
-                    &mut self.read_q[i]
-                } else {
-                    &mut self.write_q[i]
-                };
+                let q = &mut self.slab[slot as usize];
                 q.pres = q.pres.saturating_add(1);
                 self.issue(DdrCommand::new(DdrCommandKind::Pre, addr));
-                true
             }
-            BankState::Closed => {
-                let bank_ready = self.banks[addr.rank as usize][flat].act_ready();
-                let rank_ready = self.ranks[addr.rank as usize].act_ready(addr.bank_group);
-                if bank_ready > now || rank_ready > now {
-                    return false;
-                }
-                self.banks[addr.rank as usize][flat].do_act(now, addr.row, &self.timing);
+            NextCmd::Act => {
+                let addr = self.slab[slot as usize].addr;
+                let gbank = self.slab[slot as usize].gbank as usize;
+                self.banks[gbank].do_act(now, addr.row, &self.timing);
+                self.touch_bank(gbank);
                 self.ranks[addr.rank as usize].did_act(now, addr.bank_group, &self.timing);
                 self.stats.acts += 1;
-                let q = if is_read {
-                    &mut self.read_q[i]
-                } else {
-                    &mut self.write_q[i]
-                };
+                let q = &mut self.slab[slot as usize];
                 q.acts = q.acts.saturating_add(1);
                 self.issue(DdrCommand::new(DdrCommandKind::Act, addr));
-                true
             }
         }
+    }
+
+    /// Unlinks `slot` from its order queue and its bank queue, recycles
+    /// the slab slot, and retires the bank from the active list when it
+    /// has no queued requests left. Returns the request.
+    fn remove_queued(&mut self, is_read: bool, slot: u32) -> Queued {
+        let order = if is_read {
+            &mut self.read_order
+        } else {
+            &mut self.write_order
+        };
+        let pos = order
+            .iter()
+            .position(|&s| s == slot)
+            .expect("slot is in its order queue");
+        order.remove(pos);
+        let q = self.slab[slot as usize].clone();
+        let gbank = q.gbank as usize;
+        let bank_q = if is_read {
+            &mut self.bank_reads[gbank]
+        } else {
+            &mut self.bank_writes[gbank]
+        };
+        let bpos = bank_q
+            .iter()
+            .position(|e| e.slot == slot)
+            .expect("slot is in its bank queue");
+        bank_q.remove(bpos);
+        self.touch_bank(gbank);
+        self.free_slots.push(slot);
+        if self.bank_reads[gbank].is_empty() && self.bank_writes[gbank].is_empty() {
+            self.bank_active[gbank] = false;
+            let apos = self
+                .active_banks
+                .iter()
+                .position(|&g| g as usize == gbank)
+                .expect("queued bank is active");
+            self.active_banks.swap_remove(apos);
+        }
+        q
     }
 
     fn issue(&mut self, cmd: DdrCommand) {

@@ -114,6 +114,13 @@ fn probe_mode(mode: ServingMode) -> ServingMode {
 /// anchored to a caller-provided `saturation` rate (each point's
 /// `utilization` is `offered / saturation`).
 ///
+/// The load points are independent simulations over fresh backends, so
+/// they run on one OS thread each (`std::thread::scope`) and the curve
+/// is assembled in point order — results are byte-identical to a serial
+/// sweep, only wall-clock changes. Backends are created on the calling
+/// thread, in point order, so stateful factories observe the same
+/// creation sequence as before.
+///
 /// # Errors
 ///
 /// Returns [`SimError::Stalled`] if any cycle-level run stalls, or
@@ -129,21 +136,36 @@ pub fn qps_sweep_at(
     queries: usize,
     seed: u64,
 ) -> Result<SweepCurve, SimError> {
+    let mut jobs: Vec<(Box<dyn SlsBackend>, ServingConfig)> = offered
+        .iter()
+        .map(|&qps| {
+            assert!(qps > 0.0, "offered loads must be positive");
+            let cfg = ServingConfig {
+                process,
+                qps,
+                queries,
+                shape,
+                mode,
+                coalescing: None,
+                seed,
+            };
+            (make_backend(), cfg)
+        })
+        .collect();
+    let results: Vec<Result<_, SimError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter_mut()
+            .map(|(backend, cfg)| scope.spawn(|| serve(backend.as_mut(), cfg)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep-point simulation thread panicked"))
+            .collect()
+    });
     let mut points = Vec::with_capacity(offered.len());
     let mut system = String::new();
-    for &qps in offered {
-        assert!(qps > 0.0, "offered loads must be positive");
-        let mut backend = make_backend();
-        let cfg = ServingConfig {
-            process,
-            qps,
-            queries,
-            shape,
-            mode,
-            coalescing: None,
-            seed,
-        };
-        let report = serve(backend.as_mut(), &cfg)?;
+    for (&qps, result) in offered.iter().zip(results) {
+        let report = result?;
         system = report.system.clone();
         points.push(SweepPoint {
             offered_qps: qps,

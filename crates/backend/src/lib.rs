@@ -56,6 +56,10 @@ pub mod placement;
 pub mod report;
 pub mod trace;
 
+pub use placement::tiered::{
+    MigrationCost, MigrationReport, PromotionPolicy, StorageTier, TierSpec, TieredPlacementPlan,
+    TieredPolicy,
+};
 pub use placement::{PlacementPlan, PlacementPolicy, TableUsage};
 pub use report::RunReport;
 pub use trace::{ShardingPolicy, SlsTrace, TraceBatch};

@@ -52,6 +52,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::trace::SlsTrace;
 
+pub mod tiered;
+
 /// The placement-relevant profile of one embedding table: how big it is
 /// and how often a workload touches it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -342,20 +344,33 @@ impl PlacementPlan {
 
     /// Access-load imbalance: busiest channel's load over the mean
     /// (1.0 = perfectly even; `channels` = everything on one channel).
-    /// Zero when the plan carries no accesses.
+    ///
+    /// Degenerate-plan convention: a plan with zero total accesses and a
+    /// single-channel plan are both perfectly even *by construction* —
+    /// there is nothing to spread, or nowhere else to spread it — so both
+    /// report exactly 1.0 rather than 0 or NaN. Tiered plans rely on this
+    /// when reporting the metric per tier: an idle or one-unit tier reads
+    /// as "even", comparable against loaded tiers.
     pub fn load_imbalance(&self) -> f64 {
-        let total: f64 = self.load.iter().sum();
-        if total == 0.0 {
-            return 0.0;
-        }
-        let max = self.load.iter().copied().fold(0.0f64, f64::max);
-        max * self.channels as f64 / total
+        imbalance(&self.load)
     }
 
     /// Iterates `(table, replica channels)` in table-id order.
     pub fn assignments(&self) -> impl Iterator<Item = (TableId, &[usize])> {
         self.entries.iter().map(|(t, r)| (*t, r.as_slice()))
     }
+}
+
+/// Max-over-mean imbalance of a load vector under the degenerate-plan
+/// convention documented on [`PlacementPlan::load_imbalance`]. Shared with
+/// the [`tiered`] layer so per-tier imbalance follows the same rules.
+pub(crate) fn imbalance(loads: &[f64]) -> f64 {
+    let total: f64 = loads.iter().sum();
+    if total == 0.0 || loads.len() == 1 {
+        return 1.0;
+    }
+    let max = loads.iter().copied().fold(0.0f64, f64::max);
+    max * loads.len() as f64 / total
 }
 
 #[cfg(test)]
@@ -447,6 +462,26 @@ mod tests {
         // Hash placement also enforces capacity on its fixed channel.
         let fat = usage(&[(0, 100, 1), (2, 100, 1)]);
         assert!(PlacementPlan::build(2, Some(150), &fat, PlacementPolicy::Hash).is_err());
+    }
+
+    #[test]
+    fn load_imbalance_convention_on_degenerate_plans() {
+        // Zero-access plan: nothing to imbalance, reads as perfectly even.
+        let cold = usage(&[(0, 10, 0), (1, 10, 0)]);
+        let plan = PlacementPlan::build(2, None, &cold, PlacementPolicy::Hash).unwrap();
+        assert_eq!(plan.load_imbalance(), 1.0);
+        // Single-channel plan: the one channel always holds the mean.
+        let hot = usage(&[(0, 10, 100), (1, 10, 5)]);
+        let single = PlacementPlan::build(1, None, &hot, PlacementPolicy::Hash).unwrap();
+        assert_eq!(single.load_imbalance(), 1.0);
+        // Empty single-channel plan hits both conventions at once.
+        let empty = PlacementPlan::build(1, None, &[], PlacementPolicy::Hash).unwrap();
+        assert_eq!(empty.load_imbalance(), 1.0);
+        // Loaded multi-channel plans are unchanged: all-on-one-channel
+        // still reads `channels`.
+        let stacked = usage(&[(0, 10, 60), (2, 10, 40)]);
+        let skew = PlacementPlan::build(2, None, &stacked, PlacementPolicy::Hash).unwrap();
+        assert_eq!(skew.load_imbalance(), 2.0);
     }
 
     #[test]

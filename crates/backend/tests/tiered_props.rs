@@ -1,0 +1,164 @@
+//! Property-based tests for the tiered-placement invariants:
+//!
+//! * per-unit (and hence per-tier) capacity bounds hold whenever a build
+//!   succeeds, for both tiers' heterogeneous capacities;
+//! * every profiled table is placed on exactly one replica set whose
+//!   units are sorted, distinct, in range and all on one tier;
+//! * an epoch rebalance conserves the table set, respects capacity, and
+//!   reports exactly the tables that changed tier.
+
+use proptest::prelude::*;
+use recnmp_backend::{
+    MigrationCost, PromotionPolicy, StorageTier, TableUsage, TierSpec, TieredPlacementPlan,
+    TieredPolicy,
+};
+use recnmp_types::{ByteSize, TableId};
+
+/// A random usage set: table `i` with the given bytes/accesses.
+fn usage_strategy() -> impl Strategy<Value = Vec<TableUsage>> {
+    prop::collection::vec((1u64..200, 0u64..1000), 1..12).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (bytes, accesses))| TableUsage::new(TableId::new(i as u32), bytes, accesses))
+            .collect()
+    })
+}
+
+fn spec_strategy() -> impl Strategy<Value = TierSpec> {
+    (1usize..5, 50u64..600, 1usize..4, 200u64..4000).prop_map(
+        |(dram_channels, dram_cap, ssd_units, ssd_cap)| TierSpec {
+            dram_channels,
+            dram_channel_capacity: ByteSize::bytes(dram_cap),
+            ssd_units,
+            ssd_unit_capacity: ByteSize::bytes(ssd_cap),
+        },
+    )
+}
+
+fn policy_strategy() -> impl Strategy<Value = TieredPolicy> {
+    prop_oneof![
+        Just(TieredPolicy::Hash),
+        Just(TieredPolicy::FrequencyTiered { replicate_hot: 0 }),
+        Just(TieredPolicy::FrequencyTiered { replicate_hot: 2 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn per_unit_capacity_never_exceeded(
+        usage in usage_strategy(),
+        spec in spec_strategy(),
+        policy in policy_strategy(),
+    ) {
+        if let Ok(plan) = TieredPlacementPlan::build(spec, &usage, policy) {
+            for unit in 0..spec.units() {
+                prop_assert!(
+                    plan.flat().bytes_on(unit) <= spec.capacity_of(unit),
+                    "unit {} holds {} > capacity {}",
+                    unit,
+                    plan.flat().bytes_on(unit),
+                    spec.capacity_of(unit)
+                );
+            }
+            // Per-tier totals follow from the per-unit bounds.
+            for tier in StorageTier::ALL {
+                prop_assert!(plan.bytes_in(tier) <= spec.tier_capacity(tier));
+            }
+        }
+    }
+
+    #[test]
+    fn every_table_placed_exactly_once_on_one_tier(
+        usage in usage_strategy(),
+        spec in spec_strategy(),
+        policy in policy_strategy(),
+    ) {
+        if let Ok(plan) = TieredPlacementPlan::build(spec, &usage, policy) {
+            prop_assert_eq!(plan.flat().tables(), usage.len());
+            prop_assert_eq!(
+                plan.tables_in(StorageTier::Dram) + plan.tables_in(StorageTier::Ssd),
+                usage.len()
+            );
+            for u in &usage {
+                let reps = plan.flat().replicas(u.table);
+                // One replica set per table: non-empty, sorted, distinct,
+                // in range.
+                prop_assert!(!reps.is_empty(), "table {} unplaced", u.table);
+                prop_assert!(reps.windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(reps.iter().all(|&c| c < spec.units()));
+                // Replica sets never span tiers, so the table's tier is
+                // well-defined.
+                let tier = plan.tier_of_table(u.table).unwrap();
+                prop_assert!(reps.iter().all(|&c| spec.tier_of(c) == tier));
+                // SSD never replicates (replication is a DRAM affair).
+                if tier == StorageTier::Ssd {
+                    prop_assert_eq!(reps.len(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_rebalance_conserves_tables_and_capacity(
+        before in usage_strategy(),
+        shuffle in prop::collection::vec(0u64..1000, 12..13),
+        spec in spec_strategy(),
+        policy in policy_strategy(),
+        hysteresis in 0u32..50,
+    ) {
+        let Ok(plan) = TieredPlacementPlan::build(spec, &before, policy) else {
+            return;
+        };
+        // Same tables and sizes, new traffic: the epoch's observation.
+        let observed: Vec<TableUsage> = before
+            .iter()
+            .zip(&shuffle)
+            .map(|(u, &acc)| TableUsage::new(u.table, u.bytes, acc))
+            .collect();
+        let promo = PromotionPolicy {
+            hysteresis_pct: hysteresis,
+            migration: MigrationCost::new(100, 1),
+        };
+        let Ok((next, report)) = plan.epoch_rebalance(&observed, promo) else {
+            return;
+        };
+        // Conservation: the new plan places exactly the observed tables.
+        prop_assert_eq!(next.flat().tables(), observed.len());
+        for u in &observed {
+            prop_assert!(!next.flat().replicas(u.table).is_empty());
+        }
+        // Capacity holds after the moves, per unit.
+        for unit in 0..spec.units() {
+            prop_assert!(next.flat().bytes_on(unit) <= spec.capacity_of(unit));
+        }
+        // The report names exactly the tables whose tier changed, each
+        // in one direction only, and charges their bytes.
+        let mut moved_bytes = 0u64;
+        for u in &observed {
+            let (old, new) = (plan.tier_of_table(u.table), next.tier_of_table(u.table));
+            let promoted = report.promoted.contains(&u.table);
+            let demoted = report.demoted.contains(&u.table);
+            prop_assert!(!(promoted && demoted));
+            match (old, new) {
+                (Some(StorageTier::Ssd), Some(StorageTier::Dram)) => {
+                    prop_assert!(promoted);
+                    moved_bytes += u.bytes;
+                }
+                (Some(StorageTier::Dram), Some(StorageTier::Ssd)) => {
+                    prop_assert!(demoted);
+                    moved_bytes += u.bytes;
+                }
+                _ => prop_assert!(!promoted && !demoted),
+            }
+        }
+        prop_assert_eq!(report.moved_bytes, moved_bytes);
+        // No moves, no stall; any move pays at least the base cost.
+        if moved_bytes == 0 {
+            prop_assert_eq!(report.stall_cycles, 0);
+        } else {
+            prop_assert!(report.stall_cycles >= promo.migration.base);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion benchmark for the `fig_capacity` experiment (tiered
+//! DRAM+SSD serving as the footprint outgrows DRAM).
+//!
+//! The full experiment sweeps five footprint ratios under two tiered
+//! policies; this benchmark times one representative tiered serving run
+//! at the 4x spill point so `cargo bench` stays fast. Use
+//! `repro fig_capacity --full` to regenerate the complete figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recnmp_backend::{TierSpec, TieredPolicy};
+use recnmp_sim::serving::{reference_tiered, serve, QueryShape, ServingConfig, ServingMode};
+use recnmp_types::ByteSize;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_capacity");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    // 16 x 128 MB tables at 4x the DRAM tier's capacity: the spill
+    // regime where the frequency split earns its keep.
+    let tiers = TierSpec {
+        dram_channels: 4,
+        dram_channel_capacity: ByteSize::bytes(16 * 128_000_000 / 16),
+        ssd_units: 2,
+        ssd_unit_capacity: ByteSize::gib(4),
+    };
+    let shape = QueryShape::new(16, 2, 4)
+        .with_table_skew(1.5)
+        .with_skew_rotation(5)
+        .with_table_sampling(4);
+    let mut cfg = ServingConfig::poisson(8_000.0, 16, shape, 7);
+    cfg.mode = ServingMode::tiered(TieredPolicy::FrequencyTiered { replicate_hot: 0 }, tiers);
+    group.bench_function("kernel", |b| {
+        b.iter(|| {
+            let mut backend = reference_tiered(tiers);
+            let report = serve(backend.as_mut(), &cfg).expect("tiered serving run");
+            criterion::black_box(report)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -13,20 +13,26 @@
 //!   capacity-greedy / frequency-balanced placement with skewed
 //!   per-table traffic, all at the same absolute offered loads (default
 //!   out `BENCH_placement.json`).
+//! * `--tiering` run the capacity-tiered comparison instead: tiered
+//!   scatter/gather serving over 4 DRAM channels + 2 SSD-class units
+//!   under hash vs frequency-tiered placement, with the footprint/DRAM
+//!   ratio swept 0.5x–8x (default out `BENCH_tiering.json`).
 //! * `--out` output path.
 //!
-//! Both paths drive the shared sweep library
-//! (`recnmp_sim::serving::{sweep_matrix, placement_sweep}`), the same
-//! entry points the experiment harness uses — the binary only renders
-//! JSON.
+//! All paths drive the shared sweep library
+//! (`recnmp_sim::serving::{sweep_matrix, placement_sweep, tiered_sweep}`),
+//! the same entry points the experiment harness uses — the binary only
+//! renders JSON.
 
 use recnmp_backend::PlacementPolicy;
 use recnmp_baselines::{HostBaseline, TensorDimm};
 use recnmp_model::RecModelKind;
 use recnmp_sim::serving::{
-    placement_sweep, reference_channel_capacity, reference_cluster4, sweep_matrix, ArrivalProcess,
-    DispatchPolicy, GatherCost, NamedFactories, QueryShape, ServingMode, SweepCurve, SweepSpec,
+    placement_sweep, reference_channel_capacity, reference_cluster4, reference_tiered,
+    sweep_matrix, tiered_sweep, ArrivalProcess, DispatchPolicy, GatherCost, NamedFactories,
+    QueryShape, ServingMode, SweepCurve, SweepSpec, TierSpec, TieredPolicy,
 };
+use recnmp_types::ByteSize;
 
 const SEED: u64 = 0x5e12_2026;
 
@@ -110,19 +116,76 @@ fn report_json(
     )
 }
 
+/// Geometry of the tiering sweep: 16 tables of one million 128-byte rows
+/// (2.048 GB total) over 4 DRAM channels + 2 SSD-class units, mirroring
+/// the `fig_capacity` experiment.
+const TIER_TABLES: usize = 16;
+const TIER_TABLE_BYTES: u64 = 128_000_000;
+const TIER_RATIOS: [(u64, u64, &str); 5] = [
+    (1, 2, "0.5x"),
+    (1, 1, "1x"),
+    (2, 1, "2x"),
+    (4, 1, "4x"),
+    (8, 1, "8x"),
+];
+
+fn tiers_at(num: u64, den: u64) -> TierSpec {
+    let footprint = TIER_TABLES as u64 * TIER_TABLE_BYTES;
+    TierSpec {
+        dram_channels: 4,
+        dram_channel_capacity: ByteSize::bytes(footprint * den / (num * 4)),
+        ssd_units: 2,
+        ssd_unit_capacity: ByteSize::gib(4),
+    }
+}
+
+/// The tiering report: like [`report_json`] but the shape object also
+/// records the sampling/rotation parameters that define the capacity
+/// workload, and each curve is labeled with its footprint ratio.
+fn tiering_report_json(smoke: bool, spec: &SweepSpec, curves: &[(String, SweepCurve)]) -> String {
+    let shape = spec.shape;
+    let rendered: Vec<String> = curves
+        .iter()
+        .map(|(system, c)| curve_json(system, c))
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"recnmp-tiering/1\",\n  \"mode\": \"{}\",\n  \
+         \"arrival_process\": \"{}\",\n  \"seed\": {},\n  \
+         \"shape\": {{\"tables\": {}, \"batch\": {}, \"pooling\": {}, \
+         \"table_skew\": {:.2}, \"skew_rotate\": {}, \"sample_tables\": {}, \
+         \"lookups_per_query\": {}}},\n  \
+         \"footprint_bytes\": {},\n  \"queries_per_point\": {},\n  \"curves\": [\n    {}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        spec.process.name(),
+        spec.seed,
+        shape.tables,
+        shape.batch,
+        shape.pooling,
+        shape.table_skew,
+        shape.skew_rotate,
+        shape.sample_tables,
+        shape.lookups_per_query(),
+        TIER_TABLES as u64 * TIER_TABLE_BYTES,
+        spec.queries,
+        rendered.join(",\n    ")
+    )
+}
+
 fn main() {
     let mut smoke = false;
     let mut placement = false;
+    let mut tiering = false;
     let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--placement" => placement = true,
+            "--tiering" => tiering = true,
             "--out" => out = Some(args.next().expect("--out requires a path")),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: serve_sweep [--smoke] [--placement] [--out PATH]");
+                eprintln!("usage: serve_sweep [--smoke] [--placement] [--tiering] [--out PATH]");
                 std::process::exit(2);
             }
         }
@@ -139,7 +202,63 @@ fn main() {
         vec![0.2, 0.4, 0.6, 0.8, 1.0, 1.2]
     };
 
-    let (json, out_path) = if placement {
+    let (json, out_path) = if tiering {
+        // The capacity workload of `fig_capacity`: each query samples 4
+        // of 16 tables under Zipf-1.5 weights with the hot ranks strided
+        // across the id space (stride 5, coprime to 16).
+        let shape = if smoke {
+            QueryShape::new(TIER_TABLES, 2, 4)
+        } else {
+            QueryShape::new(TIER_TABLES, 4, 8)
+        }
+        .with_table_skew(1.5)
+        .with_skew_rotation(5)
+        .with_table_sampling(4);
+        let spec = SweepSpec {
+            process: ArrivalProcess::Poisson,
+            shape,
+            utilizations,
+            queries: if smoke { 14 } else { queries },
+            probe_queries: if smoke { 6 } else { probe },
+            seed: SEED,
+        };
+        println!(
+            "serve_sweep tiering ({}): {} tables (skew {:.1}, sample {}) x batch {} = \
+             {} lookups/query, {} queries/point, {} ratios x {} load points",
+            if smoke { "smoke" } else { "full" },
+            shape.tables,
+            shape.table_skew,
+            shape.sample_tables,
+            shape.batch,
+            shape.lookups_per_query(),
+            spec.queries,
+            TIER_RATIOS.len(),
+            spec.utilizations.len()
+        );
+        let mut labeled: Vec<(String, SweepCurve)> = Vec::new();
+        for (num, den, ratio) in TIER_RATIOS {
+            let tiers = tiers_at(num, den);
+            let mut factory = || reference_tiered(tiers);
+            let curves = tiered_sweep(
+                &mut factory,
+                &TieredPolicy::COMPARED,
+                GatherCost::host_default(),
+                tiers,
+                &spec,
+            )
+            .unwrap_or_else(|e| panic!("tiered sweep at {ratio} failed: {e}"));
+            for c in curves {
+                labeled.push((format!("tiered[4+2]@{ratio}"), c));
+            }
+        }
+        for (label, c) in &labeled {
+            print_curve(label, c);
+        }
+        (
+            tiering_report_json(smoke, &spec, &labeled),
+            out.unwrap_or_else(|| "BENCH_tiering.json".to_string()),
+        )
+    } else if placement {
         let shape = if smoke {
             QueryShape::reference_skewed()
         } else {

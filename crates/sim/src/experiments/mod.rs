@@ -8,6 +8,7 @@ mod characterization;
 mod endtoend;
 mod nmp;
 mod serving;
+mod storage;
 mod tables;
 
 use std::fmt;
@@ -75,9 +76,10 @@ impl fmt::Display for ExperimentResult {
     }
 }
 
-/// All experiment ids, in paper order (fig19 is this reproduction's own
-/// placement extension, numbered past the paper's last figure).
-pub const IDS: [&str; 16] = [
+/// All experiment ids, in paper order (fig19 and fig_capacity are this
+/// reproduction's own extensions, numbered past the paper's last
+/// figure).
+pub const IDS: [&str; 17] = [
     "fig01_footprint",
     "fig01_roofline_lift",
     "fig04_breakdown",
@@ -92,6 +94,7 @@ pub const IDS: [&str; 16] = [
     "fig18_end2end",
     "fig18_tail_latency",
     "fig19_placement",
+    "fig_capacity",
     "tab01_config",
     "tab02_overhead",
 ];
@@ -113,6 +116,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentResult> {
         "fig18_end2end" => endtoend::fig18_end2end(scale),
         "fig18_tail_latency" => serving::fig18_tail_latency(scale),
         "fig19_placement" => serving::fig19_placement(scale),
+        "fig_capacity" => storage::fig_capacity(scale),
         "tab01_config" => tables::tab01_config(),
         "tab02_overhead" => tables::tab02_overhead(),
         _ => return None,

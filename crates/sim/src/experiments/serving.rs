@@ -160,7 +160,7 @@ pub fn fig19_placement(scale: Scale) -> ExperimentResult {
     result
 }
 
-fn push_curve_rows(table: &mut TextTable, curve: &SweepCurve) {
+pub(super) fn push_curve_rows(table: &mut TextTable, curve: &SweepCurve) {
     for p in &curve.points {
         let (p50, p95, p99) = p.summary.percentiles_us();
         table.push_row(vec![
@@ -176,7 +176,7 @@ fn push_curve_rows(table: &mut TextTable, curve: &SweepCurve) {
     }
 }
 
-fn knee_note(label: &str, curve: &SweepCurve) -> String {
+pub(super) fn knee_note(label: &str, curve: &SweepCurve) -> String {
     match curve.knee() {
         Some(p) => format!(
             "{label}/{}: saturation {:.0} qps, knee at {:.0} qps (util {:.1})",

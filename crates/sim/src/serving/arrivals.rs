@@ -74,6 +74,22 @@ pub struct QueryShape {
     /// with Zipf-like weights `(t+1)^-skew` (Figure 7's observation that
     /// a few tables carry most of the traffic).
     pub table_skew: f64,
+    /// Decorrelation stride of the skew: table `t` takes the Zipf weight
+    /// of rank `(t * skew_rotate) % tables`, so hotness need not follow
+    /// table-id order. The default stride 1 is the identity; a stride
+    /// coprime to `tables` permutes the ranks (table 0 stays pinned at
+    /// rank 0, every other hot rank scatters across the id space), which
+    /// keeps id-ordered placements (hash) honest — they no longer get
+    /// the frequency ordering for free.
+    pub skew_rotate: usize,
+    /// Tables drawn per query: 0 (the default) touches every table each
+    /// query; `k > 0` samples `k` distinct tables per query, weighted by
+    /// the skew weights, each at the flat [`pooling`](Self::pooling)
+    /// factor. Sampling turns the skew from "hot tables pool more" into
+    /// "hot tables appear in more queries" — the access pattern that
+    /// lets a query avoid a storage tier entirely when none of its
+    /// tables live there.
+    pub sample_tables: usize,
 }
 
 impl QueryShape {
@@ -92,6 +108,8 @@ impl QueryShape {
             batch,
             pooling,
             table_skew: 0.0,
+            skew_rotate: 1,
+            sample_tables: 0,
         }
     }
 
@@ -109,6 +127,41 @@ impl QueryShape {
             "table skew must be finite and non-negative"
         );
         self.table_skew = skew;
+        self
+    }
+
+    /// Strides the skew ranks by `rotate` (see
+    /// [`skew_rotate`](Self::skew_rotate)), decorrelating table-id order
+    /// from traffic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rotate` is not coprime to the table count (the rank
+    /// map must be a permutation, or two tables would share one weight
+    /// and another weight would go unused).
+    pub fn with_skew_rotation(mut self, rotate: usize) -> Self {
+        assert!(
+            gcd(rotate, self.tables) == 1,
+            "skew rotation {rotate} must be coprime to {} tables",
+            self.tables
+        );
+        self.skew_rotate = rotate;
+        self
+    }
+
+    /// Samples `k` distinct tables per query instead of touching all of
+    /// them (see [`sample_tables`](Self::sample_tables)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is zero or exceeds the table count.
+    pub fn with_table_sampling(mut self, k: usize) -> Self {
+        assert!(
+            k > 0 && k <= self.tables,
+            "sample size {k} must be in 1..={} tables",
+            self.tables
+        );
+        self.sample_tables = k;
         self
     }
 
@@ -138,9 +191,7 @@ impl QueryShape {
         if self.table_skew == 0.0 {
             return vec![self.pooling; self.tables];
         }
-        let weights: Vec<f64> = (0..self.tables)
-            .map(|i| ((i + 1) as f64).powf(-self.table_skew))
-            .collect();
+        let weights = self.table_weights();
         let total: f64 = weights.iter().sum();
         let budget = (self.tables * self.pooling) as f64;
         weights
@@ -157,11 +208,36 @@ impl QueryShape {
         self.table_poolings()[t]
     }
 
-    /// Embedding lookups one query performs (the sum of the per-table
-    /// pooling factors times the batch size).
+    /// The Zipf-like traffic weight of every table under the configured
+    /// skew and rotation (uniformly 1 when unskewed).
+    pub fn table_weights(&self) -> Vec<f64> {
+        (0..self.tables)
+            .map(|i| {
+                let rank = (i * self.skew_rotate) % self.tables;
+                ((rank + 1) as f64).powf(-self.table_skew)
+            })
+            .collect()
+    }
+
+    /// Embedding lookups one query performs: the sum of the per-table
+    /// pooling factors times the batch size, or — under table sampling —
+    /// the flat pooling over the sampled tables.
     pub fn lookups_per_query(&self) -> u64 {
+        if self.sample_tables > 0 {
+            return (self.sample_tables * self.batch * self.pooling) as u64;
+        }
         let per_sample: usize = self.table_poolings().iter().sum();
         (self.batch * per_sample) as u64
+    }
+}
+
+/// Greatest common divisor (Euclid), for the skew-rotation coprimality
+/// check.
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
     }
 }
 
@@ -176,6 +252,9 @@ pub struct QueryStream {
     shape: QueryShape,
     /// Per-table pooling factors, computed once from the shape's skew.
     poolings: Vec<usize>,
+    /// Per-table sampling weights and the sampler's own RNG, present
+    /// only when the shape samples tables per query.
+    sampler: Option<(Vec<f64>, DetRng)>,
     gens: Vec<TraceGenerator>,
 }
 
@@ -194,9 +273,16 @@ impl QueryStream {
                 )
             })
             .collect();
+        let sampler = (shape.sample_tables > 0).then(|| {
+            (
+                shape.table_weights(),
+                DetRng::seed(seed ^ 0x7ab1_e5a2_90d3_11c7),
+            )
+        });
         Self {
             shape,
             poolings: shape.table_poolings(),
+            sampler,
             gens,
         }
     }
@@ -206,17 +292,41 @@ impl QueryStream {
         self.shape
     }
 
-    /// Generates the next query: one batch per table (pooling factors
-    /// following the shape's table skew), translated with the shared
-    /// deterministic placement.
+    /// Generates the next query, translated with the shared
+    /// deterministic placement: one batch per table (pooling factors
+    /// following the shape's table skew), or — under table sampling —
+    /// one flat-pooling batch per sampled table.
     pub fn next_query(&mut self) -> SlsTrace {
         let batch_size = self.shape.batch;
-        let batches: Vec<SlsBatch> = self
-            .gens
-            .iter_mut()
-            .zip(&self.poolings)
-            .map(|(g, &pooling)| g.batch(batch_size, pooling))
-            .collect();
+        let batches: Vec<SlsBatch> = match &mut self.sampler {
+            None => self
+                .gens
+                .iter_mut()
+                .zip(&self.poolings)
+                .map(|(g, &pooling)| g.batch(batch_size, pooling))
+                .collect(),
+            Some((weights, rng)) => {
+                // Efraimidis–Spirakis weighted sampling without
+                // replacement: key each table `u^(1/w)` and keep the k
+                // largest. One RNG draw per table per query, so the
+                // stream's draw sequence is independent of k.
+                let mut keyed: Vec<(f64, usize)> = weights
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &w)| (rng.unit_f64().powf(1.0 / w), t))
+                    .collect();
+                keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+                let mut chosen: Vec<usize> = keyed[..self.shape.sample_tables]
+                    .iter()
+                    .map(|&(_, t)| t)
+                    .collect();
+                chosen.sort_unstable();
+                chosen
+                    .into_iter()
+                    .map(|t| self.gens[t].batch(batch_size, self.shape.pooling))
+                    .collect()
+            }
+        };
         SlsTrace::from_batches(&batches, &mut |t, row| {
             PhysAddr::new(((t as u64) << 31) ^ (row * 131 * 128))
         })
@@ -293,6 +403,33 @@ mod tests {
                 .iter()
                 .all(|p| p.indices.len() == skewed.pooling_for_table(t)));
         }
+    }
+
+    #[test]
+    fn skew_rotation_permutes_ranks_and_conserves_budget() {
+        let plain = QueryShape::new(8, 2, 10).with_table_skew(1.5);
+        let rotated = plain.with_skew_rotation(5);
+        let (a, b) = (plain.table_poolings(), rotated.table_poolings());
+        // Same multiset of pooling factors, different assignment — the
+        // hottest table is no longer id 0.
+        let (mut sa, mut sb) = (a.clone(), b.clone());
+        sa.sort_unstable();
+        sb.sort_unstable();
+        assert_eq!(sa, sb);
+        assert_ne!(a, b);
+        // Table 0 is pinned at rank 0 (0·r ≡ 0), but the rest scramble:
+        // table 1 drops from rank 1 to rank 5 under stride 5.
+        assert_eq!(b[0], a[0]);
+        assert!(b[1] < a[1]);
+        assert_eq!(rotated.lookups_per_query(), plain.lookups_per_query());
+        // Stride 1 is the identity, so default shapes are unchanged.
+        assert_eq!(plain.with_skew_rotation(1).table_poolings(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "coprime")]
+    fn non_coprime_rotation_is_rejected() {
+        QueryShape::new(8, 2, 10).with_skew_rotation(4);
     }
 
     #[test]

@@ -16,8 +16,11 @@
 //!   channel, least-outstanding-work), or **sharded** scatter/gather
 //!   ([`ShardedDispatch`]) where each query fans out to every channel
 //!   owning one of its tables under a placement policy
-//!   ([`PlacementPolicy`]) and pays a host [`GatherCost`] merge; plus
-//!   optional batch [`Coalescing`] with a max-wait deadline;
+//!   ([`PlacementPolicy`]) and pays a host [`GatherCost`] merge, or
+//!   **tiered** scatter/gather ([`TieredDispatch`]) over a DRAM+SSD
+//!   server space with optional epoch-based promotion
+//!   ([`EpochPromotion`]); plus optional batch [`Coalescing`] with a
+//!   max-wait deadline;
 //! * [`scheduler`] — [`serve`]: dispatches queries onto the backend's
 //!   servers (cluster channels via `SlsBackend::try_run_on`) and tracks
 //!   per-query enqueue→completion latency in simulated cycles
@@ -27,9 +30,9 @@
 //! * [`sweep`] — throughput–latency curves over a QPS sweep
 //!   ([`qps_sweep`]), anchored at a probed saturation rate
 //!   ([`saturation_qps`]) with the knee identified
-//!   ([`SweepCurve::knee`]); shared drivers [`sweep_matrix`] and
-//!   [`placement_sweep`] feed both the `serve_sweep` binary and the
-//!   experiment harness.
+//!   ([`SweepCurve::knee`]); shared drivers [`sweep_matrix`],
+//!   [`placement_sweep`] and [`tiered_sweep`] feed both the
+//!   `serve_sweep` binary and the experiment harness.
 //!
 //! The model: each dispatched job occupies one server for exactly the
 //! cycles its cycle-level run reports; jobs queue when their server is
@@ -59,11 +62,14 @@ pub mod scheduler;
 pub mod sweep;
 
 pub use arrivals::{ArrivalProcess, QueryShape, QueryStream};
-pub use policy::{Coalescing, DispatchPolicy, GatherCost, ServingMode, ShardedDispatch};
-pub use recnmp_backend::PlacementPolicy;
+pub use policy::{
+    Coalescing, DispatchPolicy, EpochPromotion, GatherCost, ServingMode, ShardedDispatch,
+    TieredDispatch,
+};
+pub use recnmp_backend::{PlacementPolicy, TierSpec, TieredPolicy};
 pub use scheduler::{serve, LatencySummary, ServingConfig, ServingReport};
 pub use sweep::{
     placement_sweep, qps_sweep, qps_sweep_at, reference_channel_capacity, reference_cluster4,
-    saturation_qps, sweep_matrix, BackendFactory, LabeledCurve, NamedFactories, SweepCurve,
-    SweepPoint, SweepSpec,
+    reference_tiered, saturation_qps, sweep_matrix, tiered_sweep, BackendFactory, LabeledCurve,
+    NamedFactories, SweepCurve, SweepPoint, SweepSpec,
 };

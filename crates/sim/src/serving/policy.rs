@@ -1,8 +1,8 @@
 //! Dispatch policies, sharded scatter/gather dispatch, and batch
 //! coalescing for the query scheduler.
 
-use recnmp_backend::PlacementPolicy;
-use recnmp_types::Cycle;
+use recnmp_backend::{PlacementPolicy, PromotionPolicy, TierSpec, TieredPolicy};
+use recnmp_types::{ByteSize, Cycle};
 use serde::{Deserialize, Serialize};
 
 /// How the scheduler places dispatched jobs onto the backend's servers
@@ -92,7 +92,7 @@ pub struct ShardedDispatch {
     /// Host-side merge cost added after the slowest shard completes.
     pub gather: GatherCost,
     /// Optional per-channel byte capacity for the placement plan.
-    pub channel_capacity: Option<u64>,
+    pub channel_capacity: Option<ByteSize>,
 }
 
 impl ShardedDispatch {
@@ -107,9 +107,58 @@ impl ShardedDispatch {
     }
 }
 
+/// Epoch-based promotion/demotion layered on tiered serving: every
+/// `epoch_queries` dispatched jobs the scheduler rebuilds the tiered
+/// plan from the traffic observed in the finished epoch
+/// ([`TieredPlacementPlan::epoch_rebalance`][rebal]) and stalls the
+/// units that gained or lost tables by the modeled migration cost.
+///
+/// [rebal]: recnmp_backend::TieredPlacementPlan::epoch_rebalance
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochPromotion {
+    /// Jobs per epoch (a rebalance happens at each epoch boundary).
+    pub epoch_queries: usize,
+    /// Hysteresis and migration-cost model of each rebalance.
+    pub policy: PromotionPolicy,
+}
+
+/// Tiered scatter/gather dispatch: a
+/// [`TieredPlacementPlan`](recnmp_backend::TieredPlacementPlan) assigns
+/// each table to a DRAM channel or an SSD unit of the combined server
+/// space; queries whose tables span tiers fan out to both and complete
+/// at the slowest tier plus the host [`GatherCost`] — so tail latency
+/// reflects the slow tier exactly when placement puts hot data there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TieredDispatch {
+    /// How tables split across tiers.
+    pub policy: TieredPolicy,
+    /// Host-side merge cost added after the slowest shard completes.
+    pub gather: GatherCost,
+    /// The capacity geometry (must match the backend's server space:
+    /// DRAM channels first, SSD units after).
+    pub tiers: TierSpec,
+    /// Optional epoch-based promotion/demotion; `None` serves a static
+    /// plan built from the query stream's table profile.
+    pub promotion: Option<EpochPromotion>,
+}
+
+impl TieredDispatch {
+    /// Tiered dispatch under `policy` over `tiers`, default gather cost,
+    /// no promotion epochs.
+    pub const fn new(policy: TieredPolicy, tiers: TierSpec) -> Self {
+        Self {
+            policy,
+            gather: GatherCost::host_default(),
+            tiers,
+            promotion: None,
+        }
+    }
+}
+
 /// How the scheduler turns queries into backend work: whole-query
-/// dispatch onto one server under a [`DispatchPolicy`], or sharded
-/// scatter/gather across the servers owning the query's tables.
+/// dispatch onto one server under a [`DispatchPolicy`], sharded
+/// scatter/gather across the servers owning the query's tables, or
+/// tier-aware scatter/gather over a DRAM+SSD server space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ServingMode {
     /// Each job runs unsharded on a single server picked by the policy —
@@ -118,6 +167,9 @@ pub enum ServingMode {
     /// Each job scatters across the channels its tables live on and
     /// gathers on the host.
     Sharded(ShardedDispatch),
+    /// Each job scatters across both storage tiers under a
+    /// [`TieredPlacementPlan`](recnmp_backend::TieredPlacementPlan).
+    Tiered(TieredDispatch),
 }
 
 impl ServingMode {
@@ -132,12 +184,26 @@ impl ServingMode {
                 PlacementPolicy::CapacityGreedy => "sharded-capacity",
                 PlacementPolicy::FrequencyBalanced { .. } => "sharded-frequency",
             },
+            ServingMode::Tiered(t) => match (t.policy, t.promotion) {
+                (TieredPolicy::Hash, None) => "tiered-hash",
+                (TieredPolicy::FrequencyTiered { .. }, None) => "tiered-frequency",
+                // With epochs the plan converges to frequency-tiered
+                // regardless of the cold-start policy; the name records
+                // that the split was *learned*, not given.
+                (_, Some(_)) => "tiered-promote",
+            },
         }
     }
 
     /// Sharded mode under `placement` with default gather cost.
     pub const fn sharded(placement: PlacementPolicy) -> Self {
         ServingMode::Sharded(ShardedDispatch::new(placement))
+    }
+
+    /// Tiered mode under `policy` over `tiers` with default gather cost
+    /// and no promotion epochs.
+    pub const fn tiered(policy: TieredPolicy, tiers: TierSpec) -> Self {
+        ServingMode::Tiered(TieredDispatch::new(policy, tiers))
     }
 }
 
@@ -207,6 +273,35 @@ mod tests {
             .collect();
         assert_eq!(sharded.len(), PlacementPolicy::COMPARED.len());
         assert!(sharded.iter().all(|n| n.starts_with("sharded-")));
+    }
+
+    #[test]
+    fn tiered_mode_names_distinguish_policy_and_promotion() {
+        use recnmp_backend::MigrationCost;
+        use recnmp_types::ByteSize;
+        let tiers = TierSpec {
+            dram_channels: 4,
+            dram_channel_capacity: ByteSize::mib(128),
+            ssd_units: 2,
+            ssd_unit_capacity: ByteSize::gib(64),
+        };
+        assert_eq!(
+            ServingMode::tiered(TieredPolicy::Hash, tiers).name(),
+            "tiered-hash"
+        );
+        assert_eq!(
+            ServingMode::tiered(TieredPolicy::FrequencyTiered { replicate_hot: 0 }, tiers).name(),
+            "tiered-frequency"
+        );
+        let mut promote = TieredDispatch::new(TieredPolicy::Hash, tiers);
+        promote.promotion = Some(EpochPromotion {
+            epoch_queries: 8,
+            policy: PromotionPolicy {
+                hysteresis_pct: 10,
+                migration: MigrationCost::new(1000, 10),
+            },
+        });
+        assert_eq!(ServingMode::Tiered(promote).name(), "tiered-promote");
     }
 
     #[test]

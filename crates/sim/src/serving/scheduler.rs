@@ -12,13 +12,15 @@
 //!   channels, and the query completes at the slowest shard plus a host
 //!   [`GatherCost`](super::policy::GatherCost) merge.
 
-use recnmp_backend::{PlacementPlan, RunReport, SlsBackend, SlsTrace, TableUsage};
+use recnmp_backend::{
+    PlacementPlan, RunReport, SlsBackend, SlsTrace, TableUsage, TieredPlacementPlan,
+};
 use recnmp_types::units::{completions_to_qps, cycles_to_us};
-use recnmp_types::{Cycle, SimError};
+use recnmp_types::{ByteSize, ConfigError, Cycle, SimError, TableId};
 use serde::{Deserialize, Serialize};
 
 use super::arrivals::{ArrivalProcess, QueryShape, QueryStream};
-use super::policy::{Coalescing, DispatchPolicy, ServingMode, ShardedDispatch};
+use super::policy::{Coalescing, DispatchPolicy, GatherCost, ServingMode, TieredDispatch};
 
 /// One serving run: an offered load, a query shape, and a scheduling
 /// discipline.
@@ -264,14 +266,18 @@ pub(super) fn serve_arrivals(
             // The placement plan is built once per run from the query
             // stream's table profile; every job then consults it.
             let usage = TableUsage::from_traces(queries);
-            let plan =
-                PlacementPlan::build(servers, sharded.channel_capacity, &usage, sharded.placement)
-                    .map_err(SimError::Config)?;
+            let plan = PlacementPlan::build(
+                servers,
+                sharded.channel_capacity.map(ByteSize::get),
+                &usage,
+                sharded.placement,
+            )
+            .map_err(SimError::Config)?;
             for job in &jobs {
                 serve_scattered(
                     backend,
                     &plan,
-                    &sharded,
+                    sharded.gather,
                     job,
                     queries,
                     &mut free_at,
@@ -279,6 +285,17 @@ pub(super) fn serve_arrivals(
                     &mut merged,
                 )?;
             }
+        }
+        ServingMode::Tiered(tiered) => {
+            serve_tiered(
+                backend,
+                tiered,
+                &jobs,
+                queries,
+                &mut free_at,
+                &mut completions,
+                &mut merged,
+            )?;
         }
     }
 
@@ -313,7 +330,7 @@ pub(super) fn serve_arrivals(
 fn serve_scattered(
     backend: &mut dyn SlsBackend,
     plan: &PlacementPlan,
-    sharded: &ShardedDispatch,
+    gather: GatherCost,
     job: &Job,
     queries: &[SlsTrace],
     free_at: &mut [Cycle],
@@ -351,9 +368,126 @@ fn serve_scattered(
     }
     debug_assert_eq!(scattered, lookups, "scatter must conserve lookups");
 
-    let complete = slowest + sharded.gather.base + sharded.gather.per_shard * fanout;
+    let complete = slowest + gather.base + gather.per_shard * fanout;
     for &q in &job.members {
         completions[q] = complete;
+    }
+    Ok(())
+}
+
+/// Serves every job tier-aware: a [`TieredPlacementPlan`] assigns tables
+/// to DRAM channels and SSD units of the combined server space, each job
+/// scatters through the plan's flat placement exactly like sharded mode,
+/// and a query spanning tiers completes at its slowest tier plus the
+/// host gather cost.
+///
+/// Without promotion epochs the plan is built once from the stream's
+/// full table profile. With [`EpochPromotion`](super::policy::EpochPromotion)
+/// configured, the scheduler instead starts from a *cold* plan (every
+/// table weighted equally — the profile is unknown at t=0), accumulates
+/// observed per-table lookups, and calls
+/// [`TieredPlacementPlan::epoch_rebalance`] at every epoch boundary; the
+/// units on either end of a migration (a moved table's old and new
+/// replicas) stall by the modeled migration cost before serving resumes.
+fn serve_tiered(
+    backend: &mut dyn SlsBackend,
+    tiered: TieredDispatch,
+    jobs: &[Job],
+    queries: &[SlsTrace],
+    free_at: &mut [Cycle],
+    completions: &mut [Cycle],
+    merged: &mut RunReport,
+) -> Result<(), SimError> {
+    if tiered.tiers.units() != free_at.len() {
+        return Err(SimError::Config(ConfigError::new(
+            "tiers",
+            format!(
+                "spec describes {} unit(s) but the backend exposes {} server(s)",
+                tiered.tiers.units(),
+                free_at.len()
+            ),
+        )));
+    }
+    let usage = TableUsage::from_traces(queries);
+
+    let Some(epochs) = tiered.promotion else {
+        let plan = TieredPlacementPlan::build(tiered.tiers, &usage, tiered.policy)
+            .map_err(SimError::Config)?;
+        for job in jobs {
+            serve_scattered(
+                backend,
+                plan.flat(),
+                tiered.gather,
+                job,
+                queries,
+                free_at,
+                completions,
+                merged,
+            )?;
+        }
+        return Ok(());
+    };
+
+    // Cold start: the scheduler has not seen traffic yet, so every table
+    // weighs the same and the initial tier split is profile-blind.
+    let cold: Vec<TableUsage> = usage
+        .iter()
+        .map(|u| TableUsage::new(u.table, u.bytes, 1))
+        .collect();
+    let mut plan =
+        TieredPlacementPlan::build(tiered.tiers, &cold, tiered.policy).map_err(SimError::Config)?;
+    let mut observed: std::collections::BTreeMap<TableId, u64> = std::collections::BTreeMap::new();
+    for (i, job) in jobs.iter().enumerate() {
+        if i > 0 && epochs.epoch_queries > 0 && i % epochs.epoch_queries == 0 {
+            let obs: Vec<TableUsage> = usage
+                .iter()
+                .map(|u| {
+                    TableUsage::new(
+                        u.table,
+                        u.bytes,
+                        observed.get(&u.table).copied().unwrap_or(0),
+                    )
+                })
+                .collect();
+            let (next, mig) = plan
+                .epoch_rebalance(&obs, epochs.policy)
+                .map_err(SimError::Config)?;
+            if mig.stall_cycles > 0 {
+                // Both ends of each migration are busy copying: a moved
+                // table's old replicas stream it out, its new replicas
+                // stream it in. Unaffected units keep serving.
+                let mut stalled = vec![false; free_at.len()];
+                for &t in mig.promoted.iter().chain(&mig.demoted) {
+                    for p in [&plan, &next] {
+                        for &u in p.flat().replicas(t) {
+                            stalled[u] = true;
+                        }
+                    }
+                }
+                for (u, hit) in stalled.into_iter().enumerate() {
+                    if hit {
+                        free_at[u] = free_at[u].max(job.dispatch) + mig.stall_cycles;
+                    }
+                }
+            }
+            plan = next;
+            observed.clear();
+        }
+        for &q in &job.members {
+            for tb in &queries[q].batches {
+                *observed.entry(tb.table()).or_insert(0) += tb.lookups();
+            }
+        }
+        serve_scattered(
+            backend,
+            plan.flat(),
+            tiered.gather,
+            job,
+            queries,
+            free_at,
+            completions,
+            merged,
+        )?;
     }
     Ok(())
 }
@@ -410,6 +544,7 @@ fn merge_queries(queries: &[SlsTrace], members: &[usize]) -> SlsTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::serving::policy::ShardedDispatch;
     use recnmp_baselines::HostBaseline;
 
     fn quick_cfg(qps: f64, queries: usize, policy: DispatchPolicy) -> ServingConfig {
@@ -517,7 +652,7 @@ mod tests {
         use recnmp_backend::PlacementPolicy;
         let mut cfg = quick_cfg(100_000.0, 4, DispatchPolicy::FifoSingleQueue);
         let mut dispatch = ShardedDispatch::new(PlacementPolicy::CapacityGreedy);
-        dispatch.channel_capacity = Some(1); // nothing fits
+        dispatch.channel_capacity = Some(ByteSize::bytes(1)); // nothing fits
         cfg.mode = ServingMode::Sharded(dispatch);
         let mut host = HostBaseline::new(1, 2).unwrap();
         assert!(matches!(serve(&mut host, &cfg), Err(SimError::Config(_))));

@@ -10,11 +10,11 @@
 //!   swept at fractions of the *sharded-hash baseline's* saturation rate,
 //!   so knee QPS and p99-at-fixed-load compare policies like for like.
 
-use recnmp_backend::{PlacementPolicy, SlsBackend};
-use recnmp_types::SimError;
+use recnmp_backend::{PlacementPolicy, SlsBackend, TierSpec, TieredPolicy};
+use recnmp_types::{ByteSize, SimError};
 
 use super::arrivals::{ArrivalProcess, QueryShape, QueryStream};
-use super::policy::{DispatchPolicy, GatherCost, ServingMode, ShardedDispatch};
+use super::policy::{DispatchPolicy, GatherCost, ServingMode, ShardedDispatch, TieredDispatch};
 use super::scheduler::{serve, serve_arrivals, LatencySummary, ServingConfig};
 
 /// A factory producing fresh (cold) backends, so every sweep point starts
@@ -101,12 +101,12 @@ pub fn saturation_qps(
 /// The serving mode a saturation probe should use for a sweep under
 /// `mode`: queued sweeps probe with the work-conserving FIFO reference
 /// (so all dispatch policies of one backend share an anchor), while
-/// sharded sweeps probe with their own placement (capacity depends on
-/// it).
+/// sharded and tiered sweeps probe with their own placement (capacity
+/// depends on it).
 fn probe_mode(mode: ServingMode) -> ServingMode {
     match mode {
         ServingMode::Queued(_) => ServingMode::Queued(DispatchPolicy::FifoSingleQueue),
-        sharded @ ServingMode::Sharded(_) => sharded,
+        placed @ (ServingMode::Sharded(_) | ServingMode::Tiered(_)) => placed,
     }
 }
 
@@ -270,14 +270,26 @@ pub fn reference_cluster4() -> Box<dyn SlsBackend> {
     Box::new(recnmp::RecNmpCluster::new(reference_cluster_config()).expect("reference cluster"))
 }
 
-/// Per-channel DRAM capacity of the reference cluster, in bytes — the
-/// capacity model placement sweeps pack against. Derived from the same
-/// config as [`reference_cluster4`], so the bound tracks the geometry.
-pub fn reference_channel_capacity() -> u64 {
-    reference_cluster_config()
-        .channel
-        .geometry()
-        .capacity_bytes()
+/// Per-channel DRAM capacity of the reference cluster — the capacity
+/// model placement sweeps pack against. Derived from the same config as
+/// [`reference_cluster4`], so the bound tracks the geometry.
+pub fn reference_channel_capacity() -> ByteSize {
+    ByteSize::bytes(
+        reference_cluster_config()
+            .channel
+            .geometry()
+            .capacity_bytes(),
+    )
+}
+
+/// The reference tiered system for `spec`'s geometry: one Table-I RecNMP
+/// channel per DRAM unit plus default-config SSD units — the factory the
+/// tiering sweeps and the capacity experiment share.
+pub fn reference_tiered(spec: TierSpec) -> Box<dyn SlsBackend> {
+    Box::new(
+        recnmp_storage::TieredCluster::reference(spec.dram_channels, spec.ssd_units)
+            .expect("reference tiered cluster"),
+    )
 }
 
 /// Sweeps every (backend × mode) pair, each at fractions of its own
@@ -327,7 +339,7 @@ pub fn placement_sweep(
     make_backend: &mut BackendFactory<'_>,
     policies: &[PlacementPolicy],
     gather: GatherCost,
-    channel_capacity: Option<u64>,
+    channel_capacity: Option<ByteSize>,
     spec: &SweepSpec,
 ) -> Result<Vec<SweepCurve>, SimError> {
     let sharded = |placement| {
@@ -352,6 +364,58 @@ pub fn placement_sweep(
             qps_sweep_at(
                 make_backend,
                 sharded(policy),
+                spec.process,
+                spec.shape,
+                saturation,
+                &offered,
+                spec.queries,
+                spec.seed,
+            )
+        })
+        .collect()
+}
+
+/// Sweeps one tiered backend under every tiering `policy`, all at the
+/// same absolute offered loads: fractions of the **frequency-tiered**
+/// plan's saturation rate. Frequency-tiered anchors because it is the
+/// policy with a meaningful knee when the footprint exceeds DRAM — hash
+/// saturates wherever its SSD-resident hot tables drag it, and pinning
+/// the load axis to the informed policy shows exactly how far short the
+/// uninformed one falls at each shared operating point.
+///
+/// # Errors
+///
+/// Returns the first failing sweep's error.
+pub fn tiered_sweep(
+    make_backend: &mut BackendFactory<'_>,
+    policies: &[TieredPolicy],
+    gather: GatherCost,
+    tiers: TierSpec,
+    spec: &SweepSpec,
+) -> Result<Vec<SweepCurve>, SimError> {
+    let tiered = |policy| {
+        ServingMode::Tiered(TieredDispatch {
+            policy,
+            gather,
+            tiers,
+            promotion: None,
+        })
+    };
+    let anchor = tiered(TieredPolicy::FrequencyTiered { replicate_hot: 0 });
+    let saturation = saturation_qps(
+        make_backend,
+        anchor,
+        spec.shape,
+        spec.probe_queries,
+        spec.seed,
+    )?;
+    let offered: Vec<f64> = spec.utilizations.iter().map(|&u| u * saturation).collect();
+    policies
+        .iter()
+        .map(|&policy| {
+            qps_sweep_at(
+                make_backend,
+                tiered(policy),
                 spec.process,
                 spec.shape,
                 saturation,

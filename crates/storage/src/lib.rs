@@ -1,0 +1,27 @@
+//! The SSD-class storage tier: a near-data SLS backend and the tiered
+//! cluster that pairs it with DRAM-NMP channels.
+//!
+//! RecNMP assumes every embedding table fits in channel DRAM; production
+//! models do not (multi-TB footprints, ROADMAP item 3). Following RecSSD
+//! (PAPERS.md), an SSD with an in-storage SLS reduction unit can serve
+//! the cold tail directly from flash: the host submits index lists, the
+//! device reads the touched pages, pools vectors in controller DRAM, and
+//! returns only the pooled sums over the link — so flash bandwidth is
+//! spent on pages, not on shipping raw vectors to the host.
+//!
+//! * [`SsdNmpBackend`] — one SSD unit as an [`SlsBackend`]: flash
+//!   channel/die parallelism, page-granular reads, a device-DRAM page
+//!   buffer with deterministic LRU, an in-storage reduction unit, and a
+//!   host link ([`SsdNmpConfig`] holds the geometry and latencies);
+//! * [`TieredCluster`] — DRAM-NMP channels and SSD units behind one
+//!   combined [`SlsBackend`] server space (DRAM channels first, SSD
+//!   units after), the execution target of
+//!   `TieredPlacementPlan`-directed serving.
+
+pub mod ssd;
+pub mod tiered_cluster;
+
+pub use ssd::{SsdNmpBackend, SsdNmpConfig};
+pub use tiered_cluster::TieredCluster;
+
+pub use recnmp_backend::SlsBackend;

@@ -1,0 +1,190 @@
+//! DRAM-NMP channels plus SSD units behind one dispatch surface.
+
+use recnmp::{RecNmpCluster, RecNmpClusterConfig};
+use recnmp_backend::{RunReport, ShardingPolicy, SlsBackend, SlsTrace};
+use recnmp_types::{ConfigError, SimError};
+
+use crate::ssd::{SsdNmpBackend, SsdNmpConfig};
+
+/// The two-tier execution system: a [`RecNmpCluster`] of DRAM channels
+/// and a set of [`SsdNmpBackend`] units, exposed as one [`SlsBackend`]
+/// whose server space concatenates both tiers — DRAM channels are
+/// servers `0..dram_servers()`, SSD units follow.
+///
+/// The numbering matches `TierSpec`'s combined unit space in
+/// `recnmp_backend::placement::tiered`, so a `TieredPlacementPlan`'s
+/// unit picks are directly dispatchable via
+/// [`try_run_on`](SlsBackend::try_run_on).
+///
+/// # Examples
+///
+/// ```
+/// use recnmp_backend::SlsBackend;
+/// use recnmp_storage::TieredCluster;
+///
+/// let cluster = TieredCluster::reference(4, 2).unwrap();
+/// assert_eq!(cluster.server_count(), 6);
+/// assert_eq!(cluster.dram_servers(), 4);
+/// ```
+#[derive(Debug)]
+pub struct TieredCluster {
+    name: String,
+    dram: RecNmpCluster,
+    ssds: Vec<SsdNmpBackend>,
+}
+
+impl TieredCluster {
+    /// Builds the tiered system from an existing DRAM cluster and SSD
+    /// units.
+    pub fn new(dram: RecNmpCluster, ssds: Vec<SsdNmpBackend>) -> Self {
+        Self {
+            name: format!("tiered[{}+{}]", dram.channels(), ssds.len()),
+            dram,
+            ssds,
+        }
+    }
+
+    /// Builds the reference geometry: `dram_channels` Table-I RecNMP
+    /// channels (1 DIMM x 2 ranks each) plus `ssd_units` default-config
+    /// SSD units.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid geometry.
+    pub fn reference(dram_channels: usize, ssd_units: usize) -> Result<Self, ConfigError> {
+        let config = RecNmpClusterConfig::builder()
+            .channels(dram_channels)
+            .dimms(1)
+            .ranks_per_dimm(2)
+            .build()?;
+        let dram = RecNmpCluster::new(config)?;
+        let ssds = (0..ssd_units)
+            .map(|_| SsdNmpBackend::new(SsdNmpConfig::default()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::new(dram, ssds))
+    }
+
+    /// Servers belonging to the DRAM tier (`0..dram_servers()`).
+    pub fn dram_servers(&self) -> usize {
+        self.dram.server_count()
+    }
+
+    /// Number of SSD units.
+    pub fn ssd_units(&self) -> usize {
+        self.ssds.len()
+    }
+
+    /// The DRAM tier.
+    pub fn dram(&self) -> &RecNmpCluster {
+        &self.dram
+    }
+
+    /// One SSD unit.
+    pub fn ssd(&self, i: usize) -> &SsdNmpBackend {
+        &self.ssds[i]
+    }
+}
+
+impl SlsBackend for TieredCluster {
+    /// `"tiered[D+S]"` for D DRAM channels and S SSD units.
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Shards `trace` by table hash across the *combined* server space
+    /// and runs every shard on its server — the placement-unaware
+    /// fallback. Tier-aware serving dispatches per unit through
+    /// [`try_run_on`](SlsBackend::try_run_on) instead.
+    fn try_run(&mut self, trace: &SlsTrace) -> Result<RunReport, SimError> {
+        let shards = trace.shard(self.server_count(), ShardingPolicy::HashByTable);
+        let mut merged = RunReport::for_system(self.name.clone());
+        for (server, shard) in shards.iter().enumerate() {
+            if shard.batches.is_empty() {
+                continue;
+            }
+            merged.absorb_parallel(self.try_run_on(server, shard)?);
+        }
+        merged.system = self.name.clone();
+        Ok(merged)
+    }
+
+    fn server_count(&self) -> usize {
+        self.dram.server_count() + self.ssds.len()
+    }
+
+    /// Runs `trace` entirely on one unit of either tier: DRAM channels
+    /// first, then SSD units.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `server >= self.server_count()`.
+    fn try_run_on(&mut self, server: usize, trace: &SlsTrace) -> Result<RunReport, SimError> {
+        let d = self.dram.server_count();
+        if server < d {
+            self.dram.try_run_on(server, trace)
+        } else {
+            assert!(
+                server - d < self.ssds.len(),
+                "server {server} out of range for {} server(s)",
+                self.server_count()
+            );
+            self.ssds[server - d].try_run(trace)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recnmp_trace::{EmbeddingTableSpec, IndexDistribution, SlsBatch, TraceGenerator};
+    use recnmp_types::{PhysAddr, TableId};
+
+    fn trace(tables: u32, seed: u64) -> SlsTrace {
+        let spec = EmbeddingTableSpec::new(1 << 18, 128);
+        let batches: Vec<SlsBatch> = (0..tables)
+            .map(|t| {
+                TraceGenerator::new(
+                    TableId::new(t),
+                    spec,
+                    IndexDistribution::Uniform,
+                    seed + t as u64,
+                )
+                .batch(2, 8)
+            })
+            .collect();
+        SlsTrace::from_batches(&batches, &mut |t, row| {
+            PhysAddr::new(((t as u64) << 32) | (row * 128))
+        })
+    }
+
+    #[test]
+    fn combined_server_space_conserves_lookups() {
+        let t = trace(6, 13);
+        let mut cluster = TieredCluster::reference(4, 2).unwrap();
+        let r = cluster.run(&t);
+        assert_eq!(r.insts, t.total_lookups());
+        assert_eq!(cluster.server_count(), 6);
+    }
+
+    #[test]
+    fn per_server_dispatch_reaches_both_tiers() {
+        let t = trace(1, 21);
+        let mut cluster = TieredCluster::reference(2, 1).unwrap();
+        let on_dram = cluster.try_run_on(0, &t).unwrap();
+        let on_ssd = cluster.try_run_on(2, &t).unwrap();
+        assert_eq!(on_dram.insts, t.total_lookups());
+        assert_eq!(on_ssd.insts, t.total_lookups());
+        assert_eq!(on_ssd.system, "ssd-nmp");
+        // The cold SSD tier is far slower than a DRAM channel — that gap
+        // is the entire premise of tiered placement.
+        assert!(on_ssd.total_cycles > 4 * on_dram.total_cycles);
+    }
+
+    #[test]
+    fn tiered_runs_are_deterministic() {
+        let t = trace(6, 5);
+        let mut a = TieredCluster::reference(4, 2).unwrap();
+        let mut b = TieredCluster::reference(4, 2).unwrap();
+        assert_eq!(a.run(&t), b.run(&t));
+    }
+}

@@ -3,12 +3,18 @@
 //! # Examples
 //!
 //! ```
-//! use recnmp_types::units::{human_bytes, GIB, KIB};
+//! use recnmp_types::units::{human_bytes, ByteSize, GIB, KIB};
 //!
 //! assert_eq!(human_bytes(64), "64 B");
 //! assert_eq!(human_bytes(128 * KIB), "128.0 KiB");
 //! assert_eq!(human_bytes(64 * GIB), "64.0 GiB");
+//!
+//! // Capacity configuration reads in the unit it is thought in.
+//! assert_eq!(ByteSize::gib(16).get(), 16 * GIB);
+//! assert_eq!(ByteSize::mib(64).to_string(), "64.0 MiB");
 //! ```
+
+use serde::{Deserialize, Serialize};
 
 /// One kibibyte (1024 bytes).
 pub const KIB: u64 = 1024;
@@ -74,6 +80,63 @@ pub fn bandwidth_gbs(bytes: u64, cycles: u64) -> f64 {
     bytes as f64 / (cycles as f64 * DDR4_2400_CYCLE_SECS) / 1e9
 }
 
+/// A byte capacity with unit-bearing constructors and human-readable
+/// display — what capacity *configuration* (per-channel DRAM bounds,
+/// storage-tier sizes, device buffers) is expressed in, instead of raw
+/// `u64` byte counts whose unit lives in a comment.
+///
+/// In JSON reports a capacity is emitted as the plain byte count
+/// ([`get`](Self::get)), so adopting it changes no report format.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// An exact byte count.
+    pub const fn bytes(n: u64) -> Self {
+        Self(n)
+    }
+
+    /// `n` kibibytes.
+    pub const fn kib(n: u64) -> Self {
+        Self(n * KIB)
+    }
+
+    /// `n` mebibytes.
+    pub const fn mib(n: u64) -> Self {
+        Self(n * MIB)
+    }
+
+    /// `n` gibibytes.
+    pub const fn gib(n: u64) -> Self {
+        Self(n * GIB)
+    }
+
+    /// The size in bytes.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for ByteSize {
+    fn from(bytes: u64) -> Self {
+        Self(bytes)
+    }
+}
+
+impl From<ByteSize> for u64 {
+    fn from(s: ByteSize) -> Self {
+        s.0
+    }
+}
+
+impl std::fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&human_bytes(self.0))
+    }
+}
+
 /// Formats a byte count with a binary-unit suffix.
 pub fn human_bytes(bytes: u64) -> String {
     if bytes >= GIB {
@@ -134,6 +197,17 @@ mod tests {
     #[should_panic(expected = "offered QPS must be positive")]
     fn qps_must_be_positive() {
         qps_to_interarrival_cycles(0.0);
+    }
+
+    #[test]
+    fn byte_size_constructors_and_display() {
+        assert_eq!(ByteSize::kib(8).get(), 8 * KIB);
+        assert_eq!(ByteSize::mib(3).get(), 3 * MIB);
+        assert_eq!(ByteSize::gib(2).get(), 2 * GIB);
+        assert_eq!(ByteSize::bytes(777).get(), 777);
+        assert_eq!(ByteSize::gib(2).to_string(), "2.0 GiB");
+        assert_eq!(u64::from(ByteSize::from(4096u64)), 4096);
+        assert!(ByteSize::mib(1) < ByteSize::gib(1));
     }
 
     #[test]

@@ -168,6 +168,126 @@ fn sharded_serving_is_byte_identical_and_lookup_conserving() {
     }
 }
 
+/// The tiered geometry used by the serving conformance tests: 16 tables
+/// of 128 MB over 4 DRAM channels + 2 SSD units, with the DRAM tier
+/// sized to `1/ratio` of the 2.048 GB footprint.
+fn tiers_at(ratio: u64) -> recnmp_backend::TierSpec {
+    let footprint = 16 * 128_000_000u64;
+    recnmp_backend::TierSpec {
+        dram_channels: 4,
+        dram_channel_capacity: recnmp_types::ByteSize::bytes(footprint / (ratio * 4)),
+        ssd_units: 2,
+        ssd_unit_capacity: recnmp_types::ByteSize::gib(4),
+    }
+}
+
+/// The capacity workload: 4-of-16 table sampling under strided Zipf-1.5
+/// weights, the same shape `fig_capacity` sweeps.
+fn tiered_shape() -> QueryShape {
+    QueryShape::new(16, 2, 4)
+        .with_table_skew(1.5)
+        .with_skew_rotation(5)
+        .with_table_sampling(4)
+}
+
+fn tiered_cfg(mode: ServingMode) -> ServingConfig {
+    ServingConfig {
+        process: ArrivalProcess::Poisson,
+        qps: 5_000.0,
+        queries: 24,
+        shape: tiered_shape(),
+        mode,
+        coalescing: None,
+        seed: 0xdead_beef,
+    }
+}
+
+#[test]
+fn tiered_serving_is_byte_identical_and_lookup_conserving() {
+    use recnmp_backend::{MigrationCost, PromotionPolicy, TieredPolicy};
+    use recnmp_sim::serving::{reference_tiered, EpochPromotion, TieredDispatch};
+
+    let tiers = tiers_at(4);
+    let mut promote = TieredDispatch::new(TieredPolicy::Hash, tiers);
+    promote.promotion = Some(EpochPromotion {
+        epoch_queries: 8,
+        policy: PromotionPolicy {
+            hysteresis_pct: 20,
+            migration: MigrationCost::new(10_000, 1),
+        },
+    });
+    let modes = [
+        ServingMode::tiered(TieredPolicy::Hash, tiers),
+        ServingMode::tiered(TieredPolicy::FrequencyTiered { replicate_hot: 0 }, tiers),
+        ServingMode::Tiered(promote),
+    ];
+    for mode in modes {
+        let c = tiered_cfg(mode);
+        let mut a = reference_tiered(tiers);
+        let mut b = reference_tiered(tiers);
+        let ra = serve(a.as_mut(), &c).unwrap();
+        let rb = serve(b.as_mut(), &c).unwrap();
+        // Byte-identical reruns for a fixed seed, epoch rebalances and
+        // migration stalls included.
+        assert_eq!(ra.arrivals, rb.arrivals, "{} arrivals", mode.name());
+        assert_eq!(
+            ra.completions,
+            rb.completions,
+            "{} completions",
+            mode.name()
+        );
+        assert_eq!(ra.latencies, rb.latencies, "{} latencies", mode.name());
+        assert_eq!(ra.report, rb.report, "{} merged report", mode.name());
+        // Lookup conservation across tiers: the DRAM and SSD shards
+        // together serve exactly the stream's lookups — spilling a table
+        // loses and duplicates nothing.
+        assert_eq!(
+            ra.report.insts,
+            c.shape.lookups_per_query() * c.queries as u64,
+            "{} lost lookups",
+            mode.name()
+        );
+        assert!(ra
+            .completions
+            .iter()
+            .zip(&ra.arrivals)
+            .all(|(done, arr)| done > arr));
+    }
+}
+
+#[test]
+fn frequency_tiered_sustains_more_than_hash_when_spilled() {
+    use recnmp_backend::TieredPolicy;
+    use recnmp_sim::serving::reference_tiered;
+
+    // At 2x DRAM footprint half the model must live on SSD. The
+    // frequency split keeps the hot head in DRAM, so it sustains a
+    // strictly higher probed saturation rate than the frequency-blind
+    // hash split on the same hardware and workload.
+    let tiers = tiers_at(2);
+    let shape = tiered_shape();
+    let mut factory = || reference_tiered(tiers);
+    let sat = |factory: &mut dyn FnMut() -> Box<dyn SlsBackend>, policy| {
+        saturation_qps(
+            factory,
+            ServingMode::tiered(policy, tiers),
+            shape,
+            8,
+            0xdead_beef,
+        )
+        .unwrap()
+    };
+    let hash = sat(&mut factory, TieredPolicy::Hash);
+    let freq = sat(
+        &mut factory,
+        TieredPolicy::FrequencyTiered { replicate_hot: 0 },
+    );
+    assert!(
+        freq > hash,
+        "frequency-tiered must sustain more than hash past 1x: {freq} vs {hash}"
+    );
+}
+
 #[test]
 fn coalescing_trades_wait_for_fewer_jobs() {
     let base = cfg(DispatchPolicy::FifoSingleQueue);

@@ -4,10 +4,15 @@
 //! PRs, next to `BENCH_throughput.json`'s simulator-speed trajectory.
 //!
 //! ```text
-//! cargo run -p recnmp-bench --release --bin serve_sweep -- [--smoke] [--placement] [--out PATH]
+//! cargo run -p recnmp-bench --release --bin serve_sweep -- \
+//!     [--smoke] [--placement] [--tiering] [--workers N] [--out PATH]
 //! ```
 //!
 //! * `--smoke` shrinks queries/points for CI (seconds instead of minutes).
+//! * `--workers N` pins the execution-engine pool size (default: the
+//!   `RECNMP_WORKERS` environment variable, else `available_parallelism`);
+//!   sweep load points parallelize across the pool with byte-identical
+//!   curves at any count.
 //! * `--placement` run the placement comparison instead: sharded
 //!   scatter/gather serving on the 4-channel cluster under hash /
 //!   capacity-greedy / frequency-balanced placement with skewed
@@ -182,14 +187,30 @@ fn main() {
             "--smoke" => smoke = true,
             "--placement" => placement = true,
             "--tiering" => tiering = true,
+            "--workers" => {
+                let n = args
+                    .next()
+                    .expect("--workers requires a count")
+                    .parse()
+                    .expect("--workers requires a positive integer");
+                recnmp_exec::set_global_workers(n)
+                    .unwrap_or_else(|e| panic!("pinning pool size: {e}"));
+            }
             "--out" => out = Some(args.next().expect("--out requires a path")),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: serve_sweep [--smoke] [--placement] [--tiering] [--out PATH]");
+                eprintln!(
+                    "usage: serve_sweep [--smoke] [--placement] [--tiering] \
+                     [--workers N] [--out PATH]"
+                );
                 std::process::exit(2);
             }
         }
     }
+    println!(
+        "execution engine: {} pool worker(s)",
+        recnmp_exec::current().workers()
+    );
     let base_shape = if smoke {
         QueryShape::new(2, 2, 8)
     } else {

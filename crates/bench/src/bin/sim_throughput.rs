@@ -1,14 +1,18 @@
 //! Simulator-throughput benchmark: simulated lookups per wall-clock
-//! second for every execution backend, plus the threaded-cluster scaling
-//! ratio. Emits `BENCH_throughput.json` so successive PRs have a
-//! performance trajectory to defend.
+//! second for every execution backend, the pooled-cluster scaling ratio,
+//! and the channel-count sweep that proves the thread-per-channel
+//! ceiling is gone. Emits `BENCH_throughput.json` so successive PRs have
+//! a performance trajectory to defend.
 //!
 //! ```text
 //! cargo run -p recnmp-bench --release --bin sim_throughput -- \
-//!     [--smoke] [--out PATH] [--baseline PATH]
+//!     [--smoke] [--workers N] [--out PATH] [--baseline PATH]
 //! ```
 //!
 //! * `--smoke`    shrinks the workload for CI (seconds instead of minutes).
+//! * `--workers`  pins the execution-engine pool size (default: the
+//!   `RECNMP_WORKERS` environment variable, else `available_parallelism`),
+//!   so CI and local runs measure a known parallelism.
 //! * `--out`      output path (default `BENCH_throughput.json`).
 //! * `--baseline` compares the fresh `lookups_per_second` of every
 //!   backend against the committed JSON at PATH and exits non-zero on a
@@ -16,11 +20,17 @@
 //!   simulator-performance trajectory from silently sliding back.
 //!
 //! Measured systems: the host DRAM baseline, TensorDIMM, single-channel
-//! RecNMP, and a 4-channel `RecNmpCluster` (one simulation thread per
-//! channel). The cluster is compared against a 1-channel cluster serving
-//! the same *per-channel* workload, so the reported speedup isolates the
-//! threading win; on a single-core machine it degrades to ~1x, which the
-//! JSON records alongside `threads_available`.
+//! RecNMP, and a 4-channel `RecNmpCluster` (per-channel tasks on the
+//! `recnmp-exec` worker pool). The cluster is compared against a
+//! 1-channel cluster serving the same *per-channel* workload, so the
+//! reported speedup isolates the pool-parallelism win; with a
+//! single-worker pool the ratio would only measure scheduling overhead,
+//! so it is recorded as unmeasured (`null`) instead.
+//!
+//! The schema /3 `channel_sweep` section runs 4-, 64-, and 256-channel
+//! clusters with equal per-channel work on the same fixed-size pool:
+//! simulated channels scale two orders of magnitude while OS threads
+//! stay pinned at `workers`.
 
 use std::time::Instant;
 
@@ -218,6 +228,11 @@ fn cluster(channels: usize) -> RecNmpCluster {
     RecNmpCluster::new(config).expect("valid cluster")
 }
 
+/// Channel counts of the scaling sweep: the old thread-per-channel
+/// design capped out near the low end; the pool runs the high end on
+/// the same fixed thread budget.
+const CHANNEL_SWEEP: [usize; 3] = [4, 64, 256];
+
 fn main() {
     let mut smoke = false;
     let mut out = String::from("BENCH_throughput.json");
@@ -226,13 +241,24 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--workers" => {
+                let n = args
+                    .next()
+                    .expect("--workers requires a count")
+                    .parse()
+                    .expect("--workers requires a positive integer");
+                recnmp_exec::set_global_workers(n)
+                    .unwrap_or_else(|e| panic!("pinning pool size: {e}"));
+            }
             "--out" => out = args.next().expect("--out requires a path"),
             "--baseline" => {
                 baseline_path = Some(args.next().expect("--baseline requires a path"));
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: sim_throughput [--smoke] [--out PATH] [--baseline PATH]");
+                eprintln!(
+                    "usage: sim_throughput [--smoke] [--workers N] [--out PATH] [--baseline PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -240,14 +266,17 @@ fn main() {
     let (tables, batch, pooling) = if smoke { (4, 4, 32) } else { (16, 16, 80) };
     let trace = workload(tables, batch, pooling, 7);
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = recnmp_exec::current().workers();
 
     println!(
-        "sim_throughput ({}): {} tables x batch {} x pooling {} = {} lookups, {} thread(s)",
+        "sim_throughput ({}): {} tables x batch {} x pooling {} = {} lookups, \
+         {} pool worker(s), {} hardware thread(s)",
         if smoke { "smoke" } else { "full" },
         tables,
         batch,
         pooling,
         trace.total_lookups(),
+        workers,
         threads
     );
 
@@ -260,13 +289,14 @@ fn main() {
     results.push(measure("recnmp", &mut nmp, &trace));
 
     // Cluster scaling: equal work *per channel*, so wall-clock ratio
-    // isolates the threading win (up to 4x on >=4 cores). On a single
-    // core the ratio measures scheduler overhead, not threading, so it
-    // is reported as unmeasured rather than recorded as a bogus figure.
+    // isolates the pool-parallelism win (up to 4x with >=4 workers).
+    // With a single-worker pool the ratio measures scheduler overhead,
+    // not parallelism, so it is reported as unmeasured rather than
+    // recorded as a bogus figure.
     let quad_trace = workload(4 * tables, batch, pooling, 7);
     let single = measure("recnmp-cluster[1]", &mut cluster(1), &trace);
     let quad = measure("recnmp-cluster[4]", &mut cluster(4), &quad_trace);
-    let speedup = if threads > 1 && single.wall_seconds > 0.0 {
+    let speedup = if workers > 1 && single.wall_seconds > 0.0 {
         Some(quad.lookups_per_second() / single.lookups_per_second())
     } else {
         None
@@ -284,17 +314,41 @@ fn main() {
     }
     match speedup {
         Some(s) => {
-            println!("  cluster[4] vs cluster[1] sim-throughput: {s:.2}x (threads: {threads})");
-            if threads >= 4 && !smoke && s < 2.0 {
+            println!("  cluster[4] vs cluster[1] sim-throughput: {s:.2}x (workers: {workers})");
+            if workers >= 4 && threads >= 4 && !smoke && s < 2.0 {
                 eprintln!(
-                    "WARNING: expected >=2x cluster speedup with {threads} threads, got {s:.2}x"
+                    "WARNING: expected >=2x cluster speedup with {workers} workers, got {s:.2}x"
                 );
             }
         }
         None => println!(
             "  cluster[4] vs cluster[1] sim-throughput: not measured \
-             (threads: {threads}; threading cannot speed up a 1-core run)"
+             (workers: {workers}; a single-worker pool cannot speed itself up)"
         ),
+    }
+
+    // Channel-count sweep: one table's worth of work per channel (round
+    // robin places exactly one batch on each), so per-channel load is
+    // constant while the simulated topology grows 4 -> 256. The pool
+    // keeps OS threads pinned at `workers` throughout — the section
+    // that used to be impossible under thread-per-channel spawning.
+    let mut sweep = Vec::new();
+    for &channels in &CHANNEL_SWEEP {
+        let sweep_trace = workload(channels as u32, batch, pooling, 7);
+        let m = measure(
+            &format!("recnmp-cluster[{channels}]"),
+            &mut cluster(channels),
+            &sweep_trace,
+        );
+        println!(
+            "  channel_sweep[{:>3}] {:>8} lookups  {:>9.3} s  {:>12.0} lookups/s  ({} worker(s))",
+            channels,
+            m.lookups,
+            m.wall_seconds,
+            m.lookups_per_second(),
+            workers
+        );
+        sweep.push((channels, m));
     }
 
     let backend_json: Vec<String> = results
@@ -302,19 +356,38 @@ fn main() {
         .chain([&single, &quad])
         .map(Measurement::to_json)
         .collect();
-    // `throughput_speedup_vs_single` is null when only one hardware
-    // thread is available: the ratio would measure scheduler overhead,
-    // not the threading win, and a ~1x reading would read as a
-    // regression.
+    // `throughput_speedup_vs_single` is null only when the pool has a
+    // single worker (the default on single-core machines): the ratio
+    // would measure scheduler overhead, not the parallelism win, and a
+    // ~1x reading would read as a regression.
     let speedup_json = speedup.map_or("null".to_string(), |s| format!("{s:.3}"));
+    // The sweep entries deliberately use a `channels` key, not `name`,
+    // so the baseline parser's backend scan never mistakes them for
+    // backend rows.
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|(channels, m)| {
+            format!(
+                "{{\"channels\": {}, \"lookups\": {}, \"sim_cycles\": {}, \
+                 \"wall_seconds\": {:.6}, \"lookups_per_second\": {:.1}}}",
+                channels,
+                m.lookups,
+                m.sim_cycles,
+                m.wall_seconds,
+                m.lookups_per_second()
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"schema\": \"recnmp-sim-throughput/2\",\n  \"mode\": \"{}\",\n  \
-         \"engine\": \"event-driven\",\n  \"threads_available\": {},\n  \
+        "{{\n  \"schema\": \"recnmp-sim-throughput/3\",\n  \"mode\": \"{}\",\n  \
+         \"engine\": \"event-driven\",\n  \"workers\": {},\n  \"threads_available\": {},\n  \
          \"workload\": {{\"tables\": {}, \"batch\": {}, \"pooling\": {}, \"lookups\": {}}},\n  \
          \"backends\": [\n    {}\n  ],\n  \
          \"cluster_scaling\": {{\"channels\": 4, \"per_channel_lookups\": {}, \
-         \"measured\": {}, \"throughput_speedup_vs_single\": {}}}\n}}\n",
+         \"measured\": {}, \"throughput_speedup_vs_single\": {}}},\n  \
+         \"channel_sweep\": [\n    {}\n  ]\n}}\n",
         if smoke { "smoke" } else { "full" },
+        workers,
         threads,
         tables,
         batch,
@@ -323,7 +396,8 @@ fn main() {
         backend_json.join(",\n    "),
         trace.total_lookups(),
         speedup.is_some(),
-        speedup_json
+        speedup_json,
+        sweep_json.join(",\n    ")
     );
     std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("wrote {out}");

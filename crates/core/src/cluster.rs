@@ -7,10 +7,12 @@
 //! a [`ShardingPolicy`] and merges the per-channel [`RunReport`]s into
 //! one (counters add, wall-clock is the slowest channel).
 //!
-//! Because the channels share no state, the cluster simulates them on one
-//! OS thread each (`std::thread::scope`): simulator wall-clock scales with
-//! available cores while reports stay deterministic — shards are merged in
-//! channel order, never completion order.
+//! Because the channels share no state, the cluster simulates them as
+//! independent tasks on the deterministic worker pool (`recnmp-exec`):
+//! simulator wall-clock scales with the pool's worker count while thread
+//! usage stays fixed — a 256-channel cluster never spawns 256 threads —
+//! and reports stay deterministic, because shards are merged in channel
+//! order, never completion order.
 //!
 //! The cluster is itself an [`SlsBackend`], so the experiment harness
 //! compares it against the single-channel systems without special cases.
@@ -303,6 +305,14 @@ impl RecNmpCluster {
     pub fn channel(&self, i: usize) -> &RecNmpSystem {
         &self.channels[i]
     }
+
+    /// Mutable access to all channels at once, so a composing system
+    /// (the tiered cluster) can fan independent per-channel work out as
+    /// parallel pool tasks instead of serializing behind one `&mut
+    /// RecNmpCluster` borrow.
+    pub fn channels_mut(&mut self) -> &mut [RecNmpSystem] {
+        &mut self.channels
+    }
 }
 
 impl SlsBackend for RecNmpCluster {
@@ -314,35 +324,32 @@ impl SlsBackend for RecNmpCluster {
 
     /// Shards `trace` across the channels — through the installed
     /// [`PlacementPlan`] when one is set, else under the stateless
-    /// [`ShardingPolicy`] — runs every shard (**one OS thread per
-    /// channel**, since the channels are independent hardware running in
-    /// parallel) and merges the per-channel reports: counters add,
-    /// per-unit instruction counts concatenate (channel-major), and
-    /// `total_cycles` is the slowest channel.
+    /// [`ShardingPolicy`] — runs every shard as **one task on the
+    /// deterministic worker pool** (the channels are independent
+    /// hardware running in parallel, but thread usage is bounded by the
+    /// pool's worker count, not the channel count) and merges the
+    /// per-channel reports: counters add, per-unit instruction counts
+    /// concatenate (channel-major), and `total_cycles` is the slowest
+    /// channel.
     ///
-    /// The merge order is the fixed channel order regardless of thread
+    /// The merge order is the fixed channel order regardless of task
     /// completion order, so reports are deterministic and identical to a
-    /// serial channel-by-channel run.
+    /// serial channel-by-channel run at any worker count.
     fn try_run(&mut self, trace: &SlsTrace) -> Result<RunReport, SimError> {
         let shards = match &self.placement {
             Some(plan) => trace.shard_with_plan(plan),
             None => trace.shard(self.channels.len(), self.sharding),
         };
-        let results: Vec<Result<RunReport, SimError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .channels
-                .iter_mut()
-                .zip(shards)
-                .map(|(channel, shard)| scope.spawn(move || channel.try_run(&shard)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("channel simulation thread panicked"))
-                .collect()
-        });
+        let tasks: Vec<_> = self
+            .channels
+            .iter_mut()
+            .zip(shards)
+            .map(|(channel, shard)| move || channel.try_run(&shard))
+            .collect();
+        let reports = recnmp_exec::current().run_vec(tasks)?;
         let mut merged = RunReport::for_system(self.name.clone());
-        for report in results {
-            merged.absorb_parallel(report?);
+        for report in reports {
+            merged.absorb_parallel(report);
         }
         Ok(merged)
     }

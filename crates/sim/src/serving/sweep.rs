@@ -115,11 +115,16 @@ fn probe_mode(mode: ServingMode) -> ServingMode {
 /// `utilization` is `offered / saturation`).
 ///
 /// The load points are independent simulations over fresh backends, so
-/// they run on one OS thread each (`std::thread::scope`) and the curve
-/// is assembled in point order — results are byte-identical to a serial
-/// sweep, only wall-clock changes. Backends are created on the calling
-/// thread, in point order, so stateful factories observe the same
-/// creation sequence as before.
+/// each runs as one task on the deterministic worker pool
+/// (`recnmp-exec`) and the curve is assembled in point order — results
+/// are byte-identical to a serial sweep at any worker count, only
+/// wall-clock changes. Backends are created on the calling thread, in
+/// point order, so stateful factories observe the same creation
+/// sequence as before; a point whose backend is itself a cluster fans
+/// its per-channel tasks into the *same* pool (the engine lets waiting
+/// tasks help), so a sweep over a many-channel cluster never
+/// oversubscribes the machine the way nested `thread::scope` spawns
+/// did.
 ///
 /// # Errors
 ///
@@ -152,20 +157,14 @@ pub fn qps_sweep_at(
             (make_backend(), cfg)
         })
         .collect();
-    let results: Vec<Result<_, SimError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter_mut()
-            .map(|(backend, cfg)| scope.spawn(|| serve(backend.as_mut(), cfg)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep-point simulation thread panicked"))
-            .collect()
-    });
+    let tasks: Vec<_> = jobs
+        .iter_mut()
+        .map(|(backend, cfg)| move || serve(backend.as_mut(), cfg))
+        .collect();
+    let reports = recnmp_exec::current().run_vec(tasks)?;
     let mut points = Vec::with_capacity(offered.len());
     let mut system = String::new();
-    for (&qps, result) in offered.iter().zip(results) {
-        let report = result?;
+    for (&qps, report) in offered.iter().zip(reports) {
         system = report.system.clone();
         points.push(SweepPoint {
             offered_qps: qps,

@@ -92,17 +92,38 @@ impl SlsBackend for TieredCluster {
     }
 
     /// Shards `trace` by table hash across the *combined* server space
-    /// and runs every shard on its server — the placement-unaware
-    /// fallback. Tier-aware serving dispatches per unit through
+    /// and runs every non-empty shard as one task on the deterministic
+    /// worker pool — DRAM channels and SSD units are independent
+    /// hardware, so both tiers simulate in parallel under the pool's
+    /// fixed thread budget. Reports merge in server order regardless of
+    /// completion order, byte-identical to the old serial per-server
+    /// loop. Tier-aware serving dispatches per unit through
     /// [`try_run_on`](SlsBackend::try_run_on) instead.
     fn try_run(&mut self, trace: &SlsTrace) -> Result<RunReport, SimError> {
-        let shards = trace.shard(self.server_count(), ShardingPolicy::HashByTable);
-        let mut merged = RunReport::for_system(self.name.clone());
-        for (server, shard) in shards.iter().enumerate() {
-            if shard.batches.is_empty() {
-                continue;
+        let mut shards = trace
+            .shard(self.server_count(), ShardingPolicy::HashByTable)
+            .into_iter();
+        // Pair every unit of both tiers with its shard, dropping empty
+        // shards (their units contribute nothing to the merged report).
+        let mut jobs: Vec<(&mut dyn SlsBackend, SlsTrace)> = Vec::new();
+        for (channel, shard) in self.dram.channels_mut().iter_mut().zip(shards.by_ref()) {
+            if !shard.batches.is_empty() {
+                jobs.push((channel, shard));
             }
-            merged.absorb_parallel(self.try_run_on(server, shard)?);
+        }
+        for (ssd, shard) in self.ssds.iter_mut().zip(shards) {
+            if !shard.batches.is_empty() {
+                jobs.push((ssd, shard));
+            }
+        }
+        let tasks: Vec<_> = jobs
+            .iter_mut()
+            .map(|(unit, shard)| move || unit.try_run(shard))
+            .collect();
+        let reports = recnmp_exec::current().run_vec(tasks)?;
+        let mut merged = RunReport::for_system(self.name.clone());
+        for report in reports {
+            merged.absorb_parallel(report);
         }
         merged.system = self.name.clone();
         Ok(merged)

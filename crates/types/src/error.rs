@@ -74,6 +74,19 @@ pub enum SimError {
     },
     /// An invalid configuration surfaced while preparing a run.
     Config(ConfigError),
+    /// A simulation task panicked inside the execution engine.
+    ///
+    /// The deterministic worker pool (`recnmp-exec`) catches panics at
+    /// the task boundary and surfaces them as an error instead of
+    /// unwinding a worker thread — a poisoned channel or sweep point
+    /// becomes a reportable failure, never a hang or a dead pool.
+    TaskPanicked {
+        /// Submission-order index of the task inside its batch.
+        task: usize,
+        /// The panic payload, when it was a string (the common
+        /// `panic!`/`assert!` case); a placeholder otherwise.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -84,6 +97,9 @@ impl fmt::Display for SimError {
                 "simulation stalled at cycle {cycle} with {pending} request(s) pending"
             ),
             Self::Config(e) => write!(f, "{e}"),
+            Self::TaskPanicked { task, message } => {
+                write!(f, "simulation task {task} panicked: {message}")
+            }
         }
     }
 }
@@ -91,7 +107,7 @@ impl fmt::Display for SimError {
 impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            Self::Stalled { .. } => None,
+            Self::Stalled { .. } | Self::TaskPanicked { .. } => None,
             Self::Config(e) => Some(e),
         }
     }
@@ -119,6 +135,16 @@ mod tests {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<ConfigError>();
         assert_err::<SimError>();
+    }
+
+    #[test]
+    fn task_panicked_carries_index_and_payload() {
+        let e = SimError::TaskPanicked {
+            task: 3,
+            message: "boom".to_string(),
+        };
+        assert_eq!(e.to_string(), "simulation task 3 panicked: boom");
+        assert!(Error::source(&e).is_none());
     }
 
     #[test]

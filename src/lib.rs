@@ -9,6 +9,7 @@ pub use recnmp_backend;
 pub use recnmp_baselines;
 pub use recnmp_cache;
 pub use recnmp_dram;
+pub use recnmp_exec;
 pub use recnmp_model;
 pub use recnmp_sim;
 pub use recnmp_trace;

@@ -56,6 +56,7 @@ pub mod placement;
 pub mod report;
 pub mod trace;
 
+pub use placement::fleet::FleetPlacementPlan;
 pub use placement::tiered::{
     MigrationCost, MigrationReport, PromotionPolicy, StorageTier, TierSpec, TieredPlacementPlan,
     TieredPolicy,
@@ -146,5 +147,39 @@ pub trait SlsBackend: Send {
             self.server_count()
         );
         self.try_run(trace)
+    }
+
+    /// Serves several shards, each entirely on its own server, and
+    /// returns one report per shard in input order — the node handle a
+    /// fleet router uses to hand a whole node its per-channel work in
+    /// one call.
+    ///
+    /// Shards must target strictly increasing server indices (each
+    /// server appears at most once). The default runs them serially via
+    /// [`try_run_on`](Self::try_run_on); multi-channel backends override
+    /// this to fan the shards out as parallel tasks on the deterministic
+    /// worker pool, so a fleet can nest node-level and channel-level
+    /// parallelism without oversubscribing threads. Overrides must
+    /// return reports identical to the serial default (the servers are
+    /// independent hardware, so this costs nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing shard's error (in shard order) under
+    /// the same conditions as [`try_run`](Self::try_run).
+    ///
+    /// # Panics
+    ///
+    /// Panics when shard server indices are not strictly increasing or
+    /// out of range.
+    fn try_run_shards(&mut self, shards: &[(usize, SlsTrace)]) -> Result<Vec<RunReport>, SimError> {
+        assert!(
+            shards.windows(2).all(|w| w[0].0 < w[1].0),
+            "shards must target strictly increasing servers"
+        );
+        shards
+            .iter()
+            .map(|(server, shard)| self.try_run_on(*server, shard))
+            .collect()
     }
 }

@@ -52,6 +52,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::trace::SlsTrace;
 
+pub mod fleet;
 pub mod tiered;
 
 /// The placement-relevant profile of one embedding table: how big it is

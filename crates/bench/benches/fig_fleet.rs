@@ -1,0 +1,43 @@
+//! Criterion benchmark for the `fig_fleet` experiment (knee-QPS scaling
+//! of a multi-node fleet under sharded vs replicated placement).
+//!
+//! The full experiment sweeps five node counts under two placement
+//! flavors; this benchmark times one representative 4-node replicated
+//! serving run so `cargo bench` stays fast. Use `repro fig_fleet --full`
+//! to regenerate the complete figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recnmp_sim::serving::fleet::{serve_fleet, Fleet, FleetConfig, FleetDispatch};
+use recnmp_sim::serving::{ArrivalProcess, QueryShape};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_fleet");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    // The experiment's quick-scale shape at 4 nodes with the two hottest
+    // tables replicated fleet-wide: the configuration the scaling claim
+    // rests on.
+    let shape = QueryShape::new(12, 2, 6)
+        .with_table_skew(1.2)
+        .with_table_sampling(3);
+    let cfg = FleetConfig {
+        process: ArrivalProcess::Poisson,
+        qps: 8_000.0,
+        queries: 48,
+        shape,
+        dispatch: FleetDispatch::replicated(2),
+        seed: 7,
+    };
+    group.bench_function("kernel", |b| {
+        b.iter(|| {
+            let mut fleet = Fleet::reference(4);
+            let report = serve_fleet(&mut fleet, &cfg).expect("fleet serving run");
+            criterion::black_box(report)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! cargo run -p recnmp-bench --release --bin serve_sweep -- \
-//!     [--smoke] [--placement] [--tiering] [--workers N] [--out PATH]
+//!     [--smoke] [--placement] [--tiering] [--fleet] [--workers N] \
+//!     [--out PATH] [--baseline PATH | --baseline-from-git]
 //! ```
 //!
 //! * `--smoke` shrinks queries/points for CI (seconds instead of minutes).
@@ -22,28 +23,42 @@
 //!   scatter/gather serving over 4 DRAM channels + 2 SSD-class units
 //!   under hash vs frequency-tiered placement, with the footprint/DRAM
 //!   ratio swept 0.5x–8x (default out `BENCH_tiering.json`).
+//! * `--fleet` run the fleet-scaling sweep instead: 1→N reference
+//!   4-channel nodes behind the front-end router, pure sharding vs
+//!   hot-table replication at each node count (default out
+//!   `BENCH_fleet.json`). The run always re-derives the 1-node fleet and
+//!   the equivalent bare-cluster sharded curve and diffs them for exact
+//!   equality (`"node1_equals_cluster"`), failing the run on any
+//!   divergence — the router layer must cost nothing at one node.
 //! * `--out` output path.
+//! * `--baseline PATH` (fleet only) compares each fresh (nodes,
+//!   placement) knee QPS against the committed `BENCH_fleet.json` at
+//!   PATH and exits non-zero on a >30% regression.
+//! * `--baseline-from-git` (fleet only) like `--baseline`, but reads the
+//!   committed file from `git show HEAD:<out>` — local runs and CI share
+//!   one code path, no stash-a-copy step.
 //!
 //! All paths drive the shared sweep library
-//! (`recnmp_sim::serving::{sweep_matrix, placement_sweep, tiered_sweep}`),
-//! the same entry points the experiment harness uses — the binary only
-//! renders JSON.
+//! (`recnmp_sim::serving::{sweep_matrix, placement_sweep, tiered_sweep,
+//! fleet_sweep}`), the same entry points the experiment harness uses —
+//! the binary only renders JSON.
 
 use recnmp_backend::PlacementPolicy;
 use recnmp_baselines::{HostBaseline, TensorDimm};
 use recnmp_model::RecModelKind;
+use recnmp_sim::serving::fleet::{fleet_sweep, Fleet, FleetCurve, FleetDispatch};
 use recnmp_sim::serving::{
-    placement_sweep, reference_channel_capacity, reference_cluster4, reference_tiered,
-    sweep_matrix, tiered_sweep, ArrivalProcess, DispatchPolicy, GatherCost, NamedFactories,
-    QueryShape, ServingMode, SweepCurve, SweepSpec, TierSpec, TieredPolicy,
+    placement_sweep, qps_sweep_at, reference_channel_capacity, reference_cluster4,
+    reference_tiered, sweep_matrix, tiered_sweep, ArrivalProcess, DispatchPolicy, GatherCost,
+    NamedFactories, QueryShape, ServingMode, ShardedDispatch, SweepCurve, SweepPoint, SweepSpec,
+    TierSpec, TieredPolicy,
 };
 use recnmp_types::ByteSize;
 
 const SEED: u64 = 0x5e12_2026;
 
-fn curve_json(system: &str, curve: &SweepCurve) -> String {
-    let points: Vec<String> = curve
-        .points
+fn points_json(points: &[SweepPoint]) -> String {
+    let rendered: Vec<String> = points
         .iter()
         .map(|p| {
             let (p50, p95, p99) = p.summary.percentiles_us();
@@ -63,18 +78,40 @@ fn curve_json(system: &str, curve: &SweepCurve) -> String {
             )
         })
         .collect();
-    let knee = match curve.knee() {
+    rendered.join(",\n        ")
+}
+
+fn knee_json(knee: Option<&SweepPoint>) -> String {
+    match knee {
         Some(p) => format!("{:.1}", p.offered_qps),
         None => "null".to_string(),
-    };
+    }
+}
+
+fn curve_json(system: &str, curve: &SweepCurve) -> String {
     format!(
         "{{\"system\": \"{}\", \"policy\": \"{}\", \"saturation_qps\": {:.1}, \
          \"knee_qps\": {},\n      \"points\": [\n        {}\n      ]}}",
         system,
         curve.mode.name(),
         curve.saturation_qps,
-        knee,
-        points.join(",\n        ")
+        knee_json(curve.knee()),
+        points_json(&curve.points)
+    )
+}
+
+fn fleet_curve_json(curve: &FleetCurve) -> String {
+    format!(
+        "{{\"system\": \"{}\", \"nodes\": {}, \"placement\": \"{}\", \"router\": \"{}\", \
+         \"saturation_qps\": {:.1}, \"knee_qps\": {},\n      \
+         \"points\": [\n        {}\n      ]}}",
+        curve.system,
+        curve.nodes,
+        curve.placement,
+        curve.router,
+        curve.saturation_qps,
+        knee_json(curve.knee()),
+        points_json(&curve.points)
     )
 }
 
@@ -176,17 +213,153 @@ fn tiering_report_json(smoke: bool, spec: &SweepSpec, curves: &[(String, SweepCu
     )
 }
 
+/// The fleet report: curves labeled by (nodes, placement, router), plus
+/// the always-run node-1-vs-bare-cluster equality verdict.
+fn fleet_report_json(
+    smoke: bool,
+    shape: QueryShape,
+    queries_per_node: usize,
+    node1_equals_cluster: bool,
+    curves: &[FleetCurve],
+) -> String {
+    let rendered: Vec<String> = curves.iter().map(fleet_curve_json).collect();
+    format!(
+        "{{\n  \"schema\": \"recnmp-fleet/1\",\n  \"mode\": \"{}\",\n  \
+         \"arrival_process\": \"poisson\",\n  \"seed\": {SEED},\n  \
+         \"shape\": {{\"tables\": {}, \"batch\": {}, \"pooling\": {}, \
+         \"table_skew\": {:.2}, \"sample_tables\": {}, \"lookups_per_query\": {}}},\n  \
+         \"queries_per_node\": {queries_per_node},\n  \
+         \"node1_equals_cluster\": {node1_equals_cluster},\n  \"curves\": [\n    {}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        shape.tables,
+        shape.batch,
+        shape.pooling,
+        shape.table_skew,
+        shape.sample_tables,
+        shape.lookups_per_query(),
+        rendered.join(",\n    ")
+    )
+}
+
+/// One (nodes, placement) knee of a committed `BENCH_fleet.json`.
+struct FleetBaselineEntry {
+    nodes: usize,
+    placement: String,
+    knee_qps: f64,
+}
+
+/// Scans one string field inside the current JSON object (bounded at the
+/// first `}`, which in a fleet curve closes the first *point*, well past
+/// the scalar header fields).
+fn scan_string(object: &str, field: &str) -> Option<String> {
+    let key = format!("\"{field}\": \"");
+    let at = object.find(&key)?;
+    let tail = &object[at + key.len()..];
+    tail.find('"').map(|end| tail[..end].to_string())
+}
+
+/// Scans one numeric field inside the current JSON object.
+fn scan_number(object: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\": ");
+    let at = object.find(&key)?;
+    let tail = &object[at + key.len()..];
+    let num: String = tail
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// Extracts the mode and per-curve knees from a committed
+/// `BENCH_fleet.json` without a JSON dependency: scans for the fields
+/// [`fleet_report_json`] emits. Curves whose committed knee is `null`
+/// (nothing sustained) are skipped — there is no rate to regress from.
+fn parse_fleet_baseline(json: &str) -> (String, Vec<FleetBaselineEntry>) {
+    let mode = scan_string(json, "mode").unwrap_or_default();
+    let mut entries = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("\"nodes\": ") {
+        rest = &rest[at..];
+        let object = &rest[..rest.find('}').unwrap_or(rest.len())];
+        if let (Some(nodes), Some(placement), Some(knee)) = (
+            scan_number(object, "nodes"),
+            scan_string(object, "placement"),
+            scan_number(object, "knee_qps"),
+        ) {
+            entries.push(FleetBaselineEntry {
+                nodes: nodes as usize,
+                placement,
+                knee_qps: knee,
+            });
+        }
+        rest = &rest[9..];
+    }
+    (mode, entries)
+}
+
+/// Compares fresh fleet knees against the committed baseline; returns
+/// failure messages. Every committed (nodes, placement) knee must still
+/// be measured, and none may regress more than 30%.
+fn check_fleet_baseline(baseline: &[FleetBaselineEntry], fresh: &[FleetCurve]) -> Vec<String> {
+    const MAX_REGRESSION: f64 = 0.30;
+    let mut failures = Vec::new();
+    for b in baseline {
+        let Some(curve) = fresh
+            .iter()
+            .find(|c| c.nodes == b.nodes && c.placement == b.placement)
+        else {
+            failures.push(format!(
+                "{} @ {} node(s): in the committed baseline but no longer swept \
+                 (regenerate the baseline deliberately)",
+                b.placement, b.nodes
+            ));
+            continue;
+        };
+        let now = curve.knee().map_or(0.0, |p| p.offered_qps);
+        if now < b.knee_qps * (1.0 - MAX_REGRESSION) {
+            failures.push(format!(
+                "{} @ {} node(s): knee {:.0} qps vs committed {:.0} ({:+.1}%)",
+                b.placement,
+                b.nodes,
+                now,
+                b.knee_qps,
+                (now / b.knee_qps - 1.0) * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+/// Reads the committed copy of `path` from `git show HEAD:./path` — the
+/// shared baseline source for local runs and CI.
+fn git_show_head(path: &str) -> String {
+    let output = std::process::Command::new("git")
+        .args(["show", &format!("HEAD:./{path}")])
+        .output()
+        .unwrap_or_else(|e| panic!("running git show for {path}: {e}"));
+    assert!(
+        output.status.success(),
+        "git show HEAD:./{path} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).unwrap_or_else(|e| panic!("HEAD:./{path} is not UTF-8: {e}"))
+}
+
 fn main() {
     let mut smoke = false;
     let mut placement = false;
     let mut tiering = false;
+    let mut fleet = false;
     let mut out: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut baseline_from_git = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--placement" => placement = true,
             "--tiering" => tiering = true,
+            "--fleet" => fleet = true,
             "--workers" => {
                 let n = args
                     .next()
@@ -197,15 +370,23 @@ fn main() {
                     .unwrap_or_else(|e| panic!("pinning pool size: {e}"));
             }
             "--out" => out = Some(args.next().expect("--out requires a path")),
+            "--baseline" => {
+                baseline_path = Some(args.next().expect("--baseline requires a path"));
+            }
+            "--baseline-from-git" => baseline_from_git = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: serve_sweep [--smoke] [--placement] [--tiering] \
-                     [--workers N] [--out PATH]"
+                    "usage: serve_sweep [--smoke] [--placement] [--tiering] [--fleet] \
+                     [--workers N] [--out PATH] [--baseline PATH | --baseline-from-git]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if (baseline_path.is_some() || baseline_from_git) && !fleet {
+        eprintln!("--baseline/--baseline-from-git gate the fleet sweep: add --fleet");
+        std::process::exit(2);
     }
     println!(
         "execution engine: {} pool worker(s)",
@@ -223,7 +404,109 @@ fn main() {
         vec![0.2, 0.4, 0.6, 0.8, 1.0, 1.2]
     };
 
-    let (json, out_path) = if tiering {
+    // The fleet path keeps its curves for the post-write baseline gate.
+    let mut fleet_outcome: Option<(Vec<FleetCurve>, bool)> = None;
+    let (json, out_path) = if fleet {
+        // The full-scale shape must carry enough distinct tables to keep
+        // all 64 channels of the 16-node fleet busy (128 single-copy
+        // tables over 64 channels), and must replicate enough of the
+        // Zipf head that no single-copy table's channel caps the fleet.
+        let (shape, hot_tables) = if smoke {
+            (
+                QueryShape::new(12, 2, 6)
+                    .with_table_skew(1.2)
+                    .with_table_sampling(3),
+                2,
+            )
+        } else {
+            (
+                QueryShape::new(128, 4, 8)
+                    .with_table_skew(1.2)
+                    .with_table_sampling(4),
+                8,
+            )
+        };
+        let node_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8, 16] };
+        let (queries_per_node, probe_per_node) = if smoke { (24, 10) } else { (48, 16) };
+        let fleet_utilizations: Vec<f64> = if smoke {
+            vec![0.4, 0.8, 1.2]
+        } else {
+            vec![0.3, 0.5, 0.7, 0.9, 1.1, 1.3]
+        };
+        let dispatches = [
+            FleetDispatch::replicated(hot_tables),
+            FleetDispatch::sharded(),
+        ];
+        println!(
+            "serve_sweep fleet ({}): {} tables (skew {:.1}, sample {}) x batch {} = \
+             {} lookups/query, {queries_per_node}x nodes queries/point, \
+             {} node counts x {} load points",
+            if smoke { "smoke" } else { "full" },
+            shape.tables,
+            shape.table_skew,
+            shape.sample_tables,
+            shape.batch,
+            shape.lookups_per_query(),
+            node_counts.len(),
+            fleet_utilizations.len()
+        );
+        let mut curves: Vec<FleetCurve> = Vec::new();
+        let mut node1_equal = false;
+        for &nodes in node_counts {
+            let spec = SweepSpec {
+                process: ArrivalProcess::Poisson,
+                shape,
+                utilizations: fleet_utilizations.clone(),
+                queries: queries_per_node * nodes,
+                probe_queries: probe_per_node * nodes,
+                seed: SEED,
+            };
+            let mut make = move || Fleet::reference(nodes);
+            let swept = fleet_sweep(&mut make, &dispatches, &spec)
+                .unwrap_or_else(|e| panic!("fleet sweep at {nodes} node(s) failed: {e}"));
+            if nodes == 1 {
+                // The router-costs-nothing invariant: the 1-node fleet's
+                // sharded curve must exactly equal the bare cluster
+                // under the same sharded dispatch, anchor and loads.
+                let sharded = &swept[1];
+                let offered: Vec<f64> = sharded.points.iter().map(|p| p.offered_qps).collect();
+                let mode = ServingMode::Sharded(ShardedDispatch {
+                    placement: dispatches[1].within_policy,
+                    gather: dispatches[1].gather,
+                    channel_capacity: dispatches[1].channel_capacity,
+                });
+                let cluster_curve = qps_sweep_at(
+                    &mut reference_cluster4,
+                    mode,
+                    spec.process,
+                    spec.shape,
+                    sharded.saturation_qps,
+                    &offered,
+                    spec.queries,
+                    spec.seed,
+                )
+                .unwrap_or_else(|e| panic!("bare-cluster equality sweep failed: {e}"));
+                node1_equal = sharded.points == cluster_curve.points;
+                println!(
+                    "  node-1 fleet vs bare cluster: {}",
+                    if node1_equal { "identical" } else { "DIVERGED" }
+                );
+            }
+            for c in &swept {
+                let knee = c
+                    .knee()
+                    .map_or("none".to_string(), |p| format!("{:.0} qps", p.offered_qps));
+                println!(
+                    "  {:<28} {:<22} saturation {:>12.0} qps  knee {}",
+                    c.system, c.placement, c.saturation_qps, knee
+                );
+            }
+            curves.extend(swept);
+        }
+        let json = fleet_report_json(smoke, shape, queries_per_node, node1_equal, &curves);
+        fleet_outcome = Some((curves, node1_equal));
+        (json, out.unwrap_or_else(|| "BENCH_fleet.json".to_string()))
+    } else if tiering {
         // The capacity workload of `fig_capacity`: each query samples 4
         // of 16 tables under Zipf-1.5 weights with the hot ranks strided
         // across the id space (stride 5, coprime to 16).
@@ -376,4 +659,46 @@ fn main() {
 
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("wrote {out_path}");
+
+    let Some((fleet_curves, node1_equal)) = fleet_outcome else {
+        return;
+    };
+    if !node1_equal {
+        eprintln!(
+            "node-1 fleet diverged from the bare cluster: the router layer must be \
+             free at one node (see {out_path} for both curves' operating points)"
+        );
+        std::process::exit(1);
+    }
+    let committed = match (baseline_path, baseline_from_git) {
+        (Some(path), _) => Some((
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}")),
+            path,
+        )),
+        (None, true) => Some((git_show_head(&out_path), format!("HEAD:./{out_path}"))),
+        (None, false) => None,
+    };
+    if let Some((json, source)) = committed {
+        let (mode, entries) = parse_fleet_baseline(&json);
+        assert!(!entries.is_empty(), "no fleet knees found in {source}");
+        let fresh_mode = if smoke { "smoke" } else { "full" };
+        if mode != fresh_mode {
+            eprintln!(
+                "baseline {source} was measured in {mode:?} mode but this run is \
+                 {fresh_mode:?}; knees differ across workload sizes, so the \
+                 comparison would be meaningless"
+            );
+            std::process::exit(1);
+        }
+        let failures = check_fleet_baseline(&entries, &fleet_curves);
+        if failures.is_empty() {
+            println!("baseline check vs {source}: ok (>30% knee regression gate)");
+        } else {
+            eprintln!("fleet knee QPS regressed >30% vs {source}:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

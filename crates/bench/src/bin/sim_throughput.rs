@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run -p recnmp-bench --release --bin sim_throughput -- \
-//!     [--smoke] [--workers N] [--out PATH] [--baseline PATH]
+//!     [--smoke] [--workers N] [--out PATH] [--baseline PATH | --baseline-from-git]
 //! ```
 //!
 //! * `--smoke`    shrinks the workload for CI (seconds instead of minutes).
@@ -18,6 +18,9 @@
 //!   backend against the committed JSON at PATH and exits non-zero on a
 //!   regression beyond 30% — the CI gate that keeps the
 //!   simulator-performance trajectory from silently sliding back.
+//! * `--baseline-from-git` like `--baseline`, but reads the committed
+//!   file from `git show HEAD:<out>` before this run overwrites it —
+//!   local runs and CI share one code path, no stash-a-copy step.
 //!
 //! Measured systems: the host DRAM baseline, TensorDIMM, single-channel
 //! RecNMP, and a 4-channel `RecNmpCluster` (per-channel tasks on the
@@ -233,10 +236,27 @@ fn cluster(channels: usize) -> RecNmpCluster {
 /// the same fixed thread budget.
 const CHANNEL_SWEEP: [usize; 3] = [4, 64, 256];
 
+/// Reads the committed copy of `path` from `git show HEAD:./path` — the
+/// shared baseline source for local runs and CI, read *before* this run
+/// overwrites the file.
+fn git_show_head(path: &str) -> String {
+    let output = std::process::Command::new("git")
+        .args(["show", &format!("HEAD:./{path}")])
+        .output()
+        .unwrap_or_else(|e| panic!("running git show for {path}: {e}"));
+    assert!(
+        output.status.success(),
+        "git show HEAD:./{path} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).unwrap_or_else(|e| panic!("HEAD:./{path} is not UTF-8: {e}"))
+}
+
 fn main() {
     let mut smoke = false;
     let mut out = String::from("BENCH_throughput.json");
     let mut baseline_path: Option<String> = None;
+    let mut baseline_from_git = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -254,15 +274,27 @@ fn main() {
             "--baseline" => {
                 baseline_path = Some(args.next().expect("--baseline requires a path"));
             }
+            "--baseline-from-git" => baseline_from_git = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: sim_throughput [--smoke] [--workers N] [--out PATH] [--baseline PATH]"
+                    "usage: sim_throughput [--smoke] [--workers N] [--out PATH] \
+                     [--baseline PATH | --baseline-from-git]"
                 );
                 std::process::exit(2);
             }
         }
     }
+    // The committed baseline must be captured before the fresh run
+    // overwrites `out`.
+    let committed_baseline: Option<(String, String)> = match (&baseline_path, baseline_from_git) {
+        (Some(path), _) => Some((
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}")),
+            path.clone(),
+        )),
+        (None, true) => Some((git_show_head(&out), format!("HEAD:./{out}"))),
+        (None, false) => None,
+    };
     let (tables, batch, pooling) = if smoke { (4, 4, 32) } else { (16, 16, 80) };
     let trace = workload(tables, batch, pooling, 7);
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -402,18 +434,16 @@ fn main() {
     std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("wrote {out}");
 
-    if let Some(path) = baseline_path {
-        let committed =
-            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    if let Some((committed, source)) = committed_baseline {
         let baseline = parse_baseline(&committed);
         assert!(
             !baseline.backends.is_empty(),
-            "no backend measurements found in {path}"
+            "no backend measurements found in {source}"
         );
         let mode = if smoke { "smoke" } else { "full" };
         if baseline.mode != mode {
             eprintln!(
-                "baseline {path} was measured in {:?} mode but this run is {mode:?}; \
+                "baseline {source} was measured in {:?} mode but this run is {mode:?}; \
                  per-lookup costs differ across workload sizes, so the comparison \
                  would be meaningless",
                 baseline.mode
@@ -423,9 +453,9 @@ fn main() {
         let fresh: Vec<&Measurement> = results.iter().chain([&single, &quad]).collect();
         let failures = check_baseline(&baseline.backends, &fresh);
         if failures.is_empty() {
-            println!("baseline check vs {path}: ok (>30% regression gate)");
+            println!("baseline check vs {source}: ok (>30% regression gate)");
         } else {
-            eprintln!("simulator throughput regressed >30% vs {path}:");
+            eprintln!("simulator throughput regressed >30% vs {source}:");
             for f in &failures {
                 eprintln!("  {f}");
             }

@@ -375,6 +375,36 @@ impl SlsBackend for RecNmpCluster {
         );
         self.channels[server].try_run(trace)
     }
+
+    /// Runs each shard on its channel as one task on the deterministic
+    /// worker pool — the channels are independent hardware — and returns
+    /// the reports in shard order, byte-identical to the serial default
+    /// at any worker count. A fleet serving layer calls this once per
+    /// node per job, nesting node-level fan-out over channel-level
+    /// fan-out (waiting submitters help run their own batch, so nesting
+    /// never deadlocks the pool).
+    fn try_run_shards(&mut self, shards: &[(usize, SlsTrace)]) -> Result<Vec<RunReport>, SimError> {
+        assert!(
+            shards.windows(2).all(|w| w[0].0 < w[1].0),
+            "shards must target strictly increasing channels"
+        );
+        let mut slots: Vec<Option<&SlsTrace>> = vec![None; self.channels.len()];
+        for (c, shard) in shards {
+            assert!(
+                *c < self.channels.len(),
+                "server {c} out of range for {} channel(s)",
+                self.channels.len()
+            );
+            slots[*c] = Some(shard);
+        }
+        let tasks: Vec<_> = self
+            .channels
+            .iter_mut()
+            .zip(&slots)
+            .filter_map(|(channel, slot)| slot.map(|shard| move || channel.try_run(shard)))
+            .collect();
+        recnmp_exec::current().run_vec(tasks)
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 
 mod characterization;
 mod endtoend;
+mod fleet;
 mod nmp;
 mod serving;
 mod storage;
@@ -79,7 +80,7 @@ impl fmt::Display for ExperimentResult {
 /// All experiment ids, in paper order (fig19 and fig_capacity are this
 /// reproduction's own extensions, numbered past the paper's last
 /// figure).
-pub const IDS: [&str; 17] = [
+pub const IDS: [&str; 18] = [
     "fig01_footprint",
     "fig01_roofline_lift",
     "fig04_breakdown",
@@ -95,6 +96,7 @@ pub const IDS: [&str; 17] = [
     "fig18_tail_latency",
     "fig19_placement",
     "fig_capacity",
+    "fig_fleet",
     "tab01_config",
     "tab02_overhead",
 ];
@@ -117,6 +119,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentResult> {
         "fig18_tail_latency" => serving::fig18_tail_latency(scale),
         "fig19_placement" => serving::fig19_placement(scale),
         "fig_capacity" => storage::fig_capacity(scale),
+        "fig_fleet" => fleet::fig_fleet(scale),
         "tab01_config" => tables::tab01_config(),
         "tab02_overhead" => tables::tab02_overhead(),
         _ => return None,

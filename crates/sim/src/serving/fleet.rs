@@ -1,0 +1,898 @@
+//! Fleet-scale serving: N RecNMP nodes behind a front-end router.
+//!
+//! One RecNMP node saturates at the capacity of its channels; production
+//! recommendation traffic is served by a *fleet* of such nodes behind a
+//! router. This module scales the single-node serving model up one
+//! level:
+//!
+//! * a [`Fleet`] owns N node backends (each a multi-channel cluster or a
+//!   tiered DRAM+SSD system — anything implementing
+//!   [`SlsBackend`](recnmp_backend::SlsBackend));
+//! * a [`FleetPlacementPlan`] places tables twice — tables → nodes (with
+//!   cross-node replication of the hottest tables), then tables →
+//!   channels within each node;
+//! * a [`RouterPolicy`] picks, per batch, which node replica serves it
+//!   (stateless hash-affinity rotation, least-outstanding-lookups, or
+//!   placement-aware scatter onto the node whose owning channels are
+//!   least backlogged);
+//! * a [`NetworkCost`] charges the inter-node hop: a query whose batches
+//!   span nodes completes at its slowest node (each node pays the usual
+//!   per-node [`GatherCost`]) plus a base-plus-per-byte network gather
+//!   over the pooled result vectors shipped back to the router. A
+//!   single-node fleet pays **no** network cost (the router is
+//!   co-located), which makes a 1-node fleet numerically identical to
+//!   the bare cluster under sharded serving — the invariant the
+//!   `serve_sweep --fleet` smoke and `fleet_determinism` tests pin.
+//!
+//! Execution nests the two parallelism levels on the shared
+//! deterministic worker pool: each query spawns one task per involved
+//! node, and each node task fans its per-channel shards out as nested
+//! tasks ([`SlsBackend::try_run_shards`]); the pool's own-batch helping
+//! keeps the thread budget fixed, and results merge in (node, channel)
+//! order, so fleet runs are byte-identical at any worker count.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use recnmp_sim::fleet::{serve_fleet, Fleet, FleetConfig, FleetDispatch};
+//! use recnmp_sim::serving::{ArrivalProcess, QueryShape};
+//!
+//! let mut fleet = Fleet::reference(2);
+//! let cfg = FleetConfig {
+//!     process: ArrivalProcess::Poisson,
+//!     qps: 50_000.0,
+//!     queries: 64,
+//!     shape: QueryShape::new(8, 2, 8).with_table_sampling(4),
+//!     dispatch: FleetDispatch::replicated(2),
+//!     seed: 7,
+//! };
+//! let report = serve_fleet(&mut fleet, &cfg).unwrap();
+//! assert_eq!(report.latencies.len(), 64);
+//! ```
+
+use recnmp_backend::{
+    FleetPlacementPlan, PlacementPolicy, RunReport, SlsBackend, SlsTrace, TableUsage,
+};
+use recnmp_types::units::completions_to_qps;
+use recnmp_types::{ByteSize, ConfigError, Cycle, SimError};
+use serde::{Deserialize, Serialize};
+
+use super::arrivals::{ArrivalProcess, QueryShape, QueryStream};
+use super::policy::GatherCost;
+use super::sweep::{reference_cluster4, SweepPoint, SweepSpec};
+
+/// A factory producing fresh (cold) fleets, so every sweep point starts
+/// from identical hardware state.
+pub type FleetFactory<'a> = dyn FnMut() -> Fleet + 'a;
+
+/// N node backends behind one router: the serving fleet.
+///
+/// Every node must expose the same
+/// [`server_count`](SlsBackend::server_count) — the fleet's placement
+/// plan assumes a uniform channels-per-node geometry.
+pub struct Fleet {
+    name: String,
+    channels_per_node: usize,
+    nodes: Vec<Box<dyn SlsBackend>>,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("name", &self.name)
+            .field("channels_per_node", &self.channels_per_node)
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Builds a fleet from node backends.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when `nodes` is empty or the nodes
+    /// disagree on server count.
+    pub fn new(nodes: Vec<Box<dyn SlsBackend>>) -> Result<Self, ConfigError> {
+        let Some(first) = nodes.first() else {
+            return Err(ConfigError::new("fleet", "need at least one node"));
+        };
+        let channels_per_node = first.server_count();
+        if let Some(odd) = nodes.iter().find(|n| n.server_count() != channels_per_node) {
+            return Err(ConfigError::new(
+                "fleet",
+                format!(
+                    "nodes disagree on geometry: {} exposes {} server(s), {} exposes {}",
+                    first.name(),
+                    channels_per_node,
+                    odd.name(),
+                    odd.server_count()
+                ),
+            ));
+        }
+        let name = format!("fleet[{} x {}]", nodes.len(), first.name());
+        Ok(Self {
+            name,
+            channels_per_node,
+            nodes,
+        })
+    }
+
+    /// The reference fleet: `nodes` copies of the 4-channel reference
+    /// serving cluster
+    /// ([`reference_cluster4`](super::sweep::reference_cluster4)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` is zero.
+    pub fn reference(nodes: usize) -> Self {
+        Self::new((0..nodes).map(|_| reference_cluster4()).collect()).expect("reference fleet")
+    }
+
+    /// `"fleet[N x node-name]"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Channels (dispatchable servers) per node.
+    pub fn channels_per_node(&self) -> usize {
+        self.channels_per_node
+    }
+}
+
+/// How the front-end router picks a node replica for each batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterPolicy {
+    /// Stateless: a batch of table `t` in query `i` goes to node replica
+    /// `i mod replicas(t)` — replicated tables rotate through their node
+    /// set, unreplicated tables always hit their single home.
+    HashAffinity,
+    /// Size-aware join-shortest-queue at node granularity: the replica
+    /// with the fewest outstanding lookups at dispatch time (ties to the
+    /// lowest node index).
+    LeastOutstanding,
+    /// Placement-aware scatter: the replica whose *owning channels* for
+    /// this table free earliest — the router peeks one level deeper than
+    /// [`LeastOutstanding`](Self::LeastOutstanding) and targets channel
+    /// backlog rather than node backlog.
+    PlacementScatter,
+}
+
+impl RouterPolicy {
+    /// Every policy, in comparison order.
+    pub const ALL: [RouterPolicy; 3] = [
+        RouterPolicy::HashAffinity,
+        RouterPolicy::LeastOutstanding,
+        RouterPolicy::PlacementScatter,
+    ];
+
+    /// A short stable label.
+    pub fn name(self) -> &'static str {
+        match self {
+            RouterPolicy::HashAffinity => "hash-affinity",
+            RouterPolicy::LeastOutstanding => "least-outstanding",
+            RouterPolicy::PlacementScatter => "placement-scatter",
+        }
+    }
+}
+
+/// The modeled cost of shipping pooled results from the nodes back to
+/// the router: `base + per_byte * result_bytes` cycles per query, where
+/// `result_bytes` sums the pooled output vectors
+/// ([`SlsBatch::output_bytes`](recnmp_trace::SlsBatch::output_bytes)) of
+/// every batch the query scattered off-router. Charged once per query —
+/// node transfers overlap on independent links, so the gather is
+/// dominated by the aggregate bytes plus one base latency.
+///
+/// A single-node fleet pays nothing: the router is co-located with its
+/// only node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkCost {
+    /// Fixed per-query network latency (one rack round trip).
+    pub base: Cycle,
+    /// Cycles per pooled result byte shipped node → router.
+    pub per_byte: Cycle,
+}
+
+impl NetworkCost {
+    /// Builds a cost model.
+    pub fn new(base: Cycle, per_byte: Cycle) -> Self {
+        Self { base, per_byte }
+    }
+
+    /// The default intra-rack model: a fixed round-trip plus a per-byte
+    /// charge an order of magnitude above the on-host
+    /// [`GatherCost`](super::policy::GatherCost) — crossing the network
+    /// must cost visibly more than staying on the node, or the model
+    /// would never penalize scattering a query fleet-wide.
+    pub fn rack_default() -> Self {
+        Self::new(1_200, 1)
+    }
+
+    /// Total network cycles for one query shipping `result_bytes` back.
+    pub fn cost_of(self, result_bytes: u64) -> Cycle {
+        self.base + self.per_byte * result_bytes
+    }
+}
+
+/// How a fleet turns queries into node work: the router, the two
+/// placement levels, and the gather costs at both levels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetDispatch {
+    /// Node pick per batch.
+    pub router: RouterPolicy,
+    /// Level-1 placement: tables → nodes.
+    pub node_policy: PlacementPolicy,
+    /// Level-2 placement: tables → channels within each node.
+    pub within_policy: PlacementPolicy,
+    /// Per-node scatter/gather merge cost (same role as in sharded
+    /// single-node serving).
+    pub gather: GatherCost,
+    /// Inter-node result gather cost.
+    pub network: NetworkCost,
+    /// Optional per-channel capacity bound both placement levels pack
+    /// against.
+    pub channel_capacity: Option<ByteSize>,
+}
+
+impl FleetDispatch {
+    /// Pure sharding: every table lives on exactly one node
+    /// (frequency-balanced, no replication) — the scaling baseline.
+    pub fn sharded() -> Self {
+        Self {
+            router: RouterPolicy::HashAffinity,
+            node_policy: PlacementPolicy::FrequencyBalanced { replicate: 0 },
+            within_policy: PlacementPolicy::FrequencyBalanced { replicate: 0 },
+            gather: GatherCost::host_default(),
+            network: NetworkCost::rack_default(),
+            channel_capacity: None,
+        }
+    }
+
+    /// Hot-table replication: the `hot` hottest tables are replicated
+    /// onto every node (level 1) so top-load traffic has more than one
+    /// home. Router and within-node placement match
+    /// [`sharded`](Self::sharded), so curves isolate the replication
+    /// effect.
+    pub fn replicated(hot: usize) -> Self {
+        Self {
+            node_policy: PlacementPolicy::FrequencyBalanced { replicate: hot },
+            ..Self::sharded()
+        }
+    }
+
+    /// A short stable label for the node-placement flavor
+    /// (`"fleet-sharded"`, `"fleet-replicated(2)"`, ...).
+    pub fn label(&self) -> String {
+        match self.node_policy {
+            PlacementPolicy::FrequencyBalanced { replicate: 0 } => "fleet-sharded".to_string(),
+            PlacementPolicy::FrequencyBalanced { replicate } => {
+                format!("fleet-replicated({replicate})")
+            }
+            PlacementPolicy::Hash => "fleet-hash".to_string(),
+            PlacementPolicy::CapacityGreedy => "fleet-capacity".to_string(),
+        }
+    }
+}
+
+/// One fleet serving run: an offered load, a query shape, and a fleet
+/// dispatch discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Arrival process of the open-loop generator.
+    pub process: ArrivalProcess,
+    /// Offered query rate (queries per second of simulated time).
+    pub qps: f64,
+    /// Queries to offer.
+    pub queries: usize,
+    /// SLS work per query.
+    pub shape: QueryShape,
+    /// Router, placement and gather model.
+    pub dispatch: FleetDispatch,
+    /// Seed for both the arrival schedule and the query index streams.
+    pub seed: u64,
+}
+
+/// The outcome of one fleet serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Fleet label the run was served by.
+    pub system: String,
+    /// Router the run was dispatched under.
+    pub router: RouterPolicy,
+    /// Offered query rate.
+    pub offered_qps: f64,
+    /// Arrival cycle of each query, in arrival order.
+    pub arrivals: Vec<Cycle>,
+    /// Completion cycle of each query, in arrival order.
+    pub completions: Vec<Cycle>,
+    /// Enqueue→completion latency of each query, in arrival order.
+    pub latencies: Vec<Cycle>,
+    /// Queries that touched each node (a query spanning k nodes counts
+    /// once on each).
+    pub node_queries: Vec<u64>,
+    /// Tables the node-level plan replicated across nodes.
+    pub replicated_tables: usize,
+    /// Counters merged over every node shard, with `query_completions`
+    /// carrying the per-query timestamps and `total_cycles` the
+    /// makespan.
+    pub report: RunReport,
+}
+
+impl FleetReport {
+    /// Cycle at which the last query completed.
+    pub fn makespan(&self) -> Cycle {
+        self.completions.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Completion throughput (queries per simulated second), windowed
+    /// over first→last completion exactly like
+    /// [`ServingReport::achieved_qps`](super::scheduler::ServingReport::achieved_qps).
+    pub fn achieved_qps(&self) -> f64 {
+        let n = self.completions.len() as u64;
+        let first = self.completions.iter().copied().min().unwrap_or(0);
+        let last = self.makespan();
+        if n >= 2 && last > first {
+            completions_to_qps(n - 1, last - first)
+        } else {
+            completions_to_qps(n, last)
+        }
+    }
+
+    /// The latency distribution.
+    pub fn summary(&self) -> super::scheduler::LatencySummary {
+        super::scheduler::LatencySummary::from_latencies(&self.latencies)
+    }
+}
+
+/// Serves `cfg.queries` open-loop queries on `fleet` and accounts
+/// per-query latency in simulated time.
+///
+/// Arrival schedule and query streams derive from `cfg.seed` exactly as
+/// in single-node [`serve`](super::scheduler::serve), so a 1-node fleet
+/// replays the same workload as the bare cluster.
+///
+/// # Errors
+///
+/// Returns [`SimError::Stalled`] if any node's cycle-level run stalls,
+/// or [`SimError::Config`] when placement cannot fit the workload's
+/// tables at either level.
+pub fn serve_fleet(fleet: &mut Fleet, cfg: &FleetConfig) -> Result<FleetReport, SimError> {
+    let mut arrival_rng = recnmp_types::rng::DetRng::seed(cfg.seed ^ 0xa5a5_5a5a_0f0f_f0f0);
+    let arrivals = cfg
+        .process
+        .arrival_times(cfg.qps, cfg.queries, &mut arrival_rng);
+    let queries = QueryStream::new(cfg.shape, cfg.seed).take_queries(cfg.queries);
+    serve_fleet_arrivals(fleet, cfg, &arrivals, &queries)
+}
+
+/// One node's scattered work: per-channel shards sorted by channel.
+type Shards = Vec<(usize, SlsTrace)>;
+
+/// The fleet scheduler core, shared by [`serve_fleet`] and the
+/// saturation probe: routes each query's batches to nodes, scatters
+/// within each node, simulates the touched nodes in parallel, and
+/// accounts completion times.
+pub(super) fn serve_fleet_arrivals(
+    fleet: &mut Fleet,
+    cfg: &FleetConfig,
+    arrivals: &[Cycle],
+    queries: &[SlsTrace],
+) -> Result<FleetReport, SimError> {
+    assert_eq!(arrivals.len(), queries.len(), "one arrival per query");
+    let nodes = fleet.nodes.len();
+    let channels = fleet.channels_per_node;
+    let dispatch = cfg.dispatch;
+
+    // Both placement levels are built once per run from the query
+    // stream's table profile; every query then consults them.
+    let usage = TableUsage::from_traces(queries);
+    let plan = FleetPlacementPlan::build(
+        nodes,
+        channels,
+        dispatch.channel_capacity.map(ByteSize::get),
+        &usage,
+        dispatch.node_policy,
+        dispatch.within_policy,
+    )
+    .map_err(SimError::Config)?;
+
+    // Earliest cycle each (node, channel) is free.
+    let mut free_at: Vec<Vec<Cycle>> = vec![vec![0; channels]; nodes];
+    // For LeastOutstanding: (completion, lookups) of work in flight per
+    // node — the same size-aware bookkeeping the single-node scheduler
+    // keeps per channel, lifted to node granularity.
+    let mut in_flight: Vec<Vec<(Cycle, u64)>> = vec![Vec::new(); nodes];
+    let mut completions = vec![0 as Cycle; queries.len()];
+    let mut node_queries = vec![0u64; nodes];
+    let mut merged = RunReport::for_system(fleet.name.clone());
+
+    for (q_idx, query) in queries.iter().enumerate() {
+        let dispatch_at = arrivals[q_idx];
+
+        // Level 1: route each batch to one node replica of its table.
+        let mut per_node_batches: Vec<SlsTrace> = vec![SlsTrace::default(); nodes];
+        for batch in query.batches.iter().cloned() {
+            let table = batch.table();
+            let reps = plan.node_replicas(table);
+            let node = match dispatch.router {
+                RouterPolicy::HashAffinity => *reps
+                    .get(q_idx % reps.len().max(1))
+                    .unwrap_or_else(|| panic!("table {table} missing from fleet plan")),
+                RouterPolicy::LeastOutstanding => *reps
+                    .iter()
+                    .min_by_key(|&&n| {
+                        // Dispatch times are non-decreasing, so drained
+                        // work can never count again.
+                        in_flight[n].retain(|(done, _)| *done > dispatch_at);
+                        let backlog: u64 = in_flight[n].iter().map(|(_, l)| l).sum();
+                        (backlog, n)
+                    })
+                    .unwrap_or_else(|| panic!("table {table} missing from fleet plan")),
+                RouterPolicy::PlacementScatter => *reps
+                    .iter()
+                    .min_by_key(|&&n| {
+                        let earliest = plan
+                            .per_node(n)
+                            .replicas(table)
+                            .iter()
+                            .map(|&c| free_at[n][c])
+                            .min()
+                            .unwrap_or(Cycle::MAX);
+                        (earliest, n)
+                    })
+                    .unwrap_or_else(|| panic!("table {table} missing from fleet plan")),
+            };
+            per_node_batches[node].batches.push(batch);
+        }
+
+        // Level 2: within each touched node, assign batches to the
+        // least-backlogged owning channel — byte-for-byte the
+        // single-node sharded scatter.
+        let lookups = query.total_lookups();
+        let mut scattered = 0u64;
+        // (node, per-channel shards sorted by channel, result bytes).
+        let mut node_jobs: Vec<(usize, Shards, u64)> = Vec::new();
+        for (n, node_trace) in per_node_batches.into_iter().enumerate() {
+            if node_trace.batches.is_empty() {
+                continue;
+            }
+            node_queries[n] += 1;
+            let mut by_channel: Vec<SlsTrace> = vec![SlsTrace::default(); channels];
+            let mut result_bytes = 0u64;
+            for batch in node_trace.batches {
+                let table = batch.table();
+                let replicas = plan.per_node(n).replicas(table);
+                let &channel = replicas
+                    .iter()
+                    .min_by_key(|&&c| (free_at[n][c], c))
+                    .unwrap_or_else(|| panic!("table {table} missing from node {n} plan"));
+                result_bytes += batch.batch.output_bytes();
+                by_channel[channel].batches.push(batch);
+            }
+            let shards: Shards = by_channel
+                .into_iter()
+                .enumerate()
+                .filter(|(_, s)| !s.batches.is_empty())
+                .collect();
+            node_jobs.push((n, shards, result_bytes));
+        }
+
+        // Simulate every touched node as one pool task; each node fans
+        // its shards out as nested tasks (try_run_shards), and reports
+        // come back in submission order regardless of completion order.
+        let reports: Vec<Vec<RunReport>> = {
+            let mut pending = node_jobs.iter().peekable();
+            let mut paired: Vec<(&mut dyn SlsBackend, &Shards)> = Vec::new();
+            for (n, node) in fleet.nodes.iter_mut().enumerate() {
+                if pending.peek().is_some_and(|(jn, _, _)| *jn == n) {
+                    let (_, shards, _) = pending.next().unwrap();
+                    paired.push((node.as_mut(), shards));
+                }
+            }
+            let tasks: Vec<_> = paired
+                .into_iter()
+                .map(|(node, shards)| move || node.try_run_shards(shards))
+                .collect();
+            recnmp_exec::current().run_vec(tasks)?
+        };
+
+        // Queueing arithmetic, serially in (node, channel) order: each
+        // shard queues on its channel, each node completes at its
+        // slowest shard plus the per-node gather, and the query
+        // completes at its slowest node plus the network gather (waived
+        // when the router is co-located with a single node).
+        let mut slowest_node = dispatch_at;
+        let mut total_result_bytes = 0u64;
+        for ((n, shards, result_bytes), node_reports) in node_jobs.iter().zip(reports) {
+            let mut node_slowest = dispatch_at;
+            let mut fanout: Cycle = 0;
+            let mut node_lookups = 0u64;
+            for ((channel, shard), report) in shards.iter().zip(node_reports) {
+                scattered += shard.total_lookups();
+                node_lookups += shard.total_lookups();
+                let start = dispatch_at.max(free_at[*n][*channel]);
+                let complete = start + report.total_cycles;
+                free_at[*n][*channel] = complete;
+                node_slowest = node_slowest.max(complete);
+                fanout += 1;
+                merged.absorb_parallel(report);
+            }
+            let node_complete =
+                node_slowest + dispatch.gather.base + dispatch.gather.per_shard * fanout;
+            if dispatch.router == RouterPolicy::LeastOutstanding {
+                in_flight[*n].push((node_complete, node_lookups));
+            }
+            slowest_node = slowest_node.max(node_complete);
+            total_result_bytes += result_bytes;
+        }
+        debug_assert_eq!(scattered, lookups, "fleet scatter must conserve lookups");
+
+        completions[q_idx] = if nodes > 1 {
+            slowest_node + dispatch.network.cost_of(total_result_bytes)
+        } else {
+            slowest_node
+        };
+    }
+
+    let latencies: Vec<Cycle> = completions
+        .iter()
+        .zip(arrivals)
+        .map(|(&done, &arr)| done - arr)
+        .collect();
+    merged.total_cycles = completions.iter().copied().max().unwrap_or(0);
+    merged.query_completions = completions.clone();
+
+    Ok(FleetReport {
+        system: fleet.name.clone(),
+        router: dispatch.router,
+        offered_qps: cfg.qps,
+        arrivals: arrivals.to_vec(),
+        completions,
+        latencies,
+        node_queries,
+        replicated_tables: plan.replicated_tables(),
+        report: merged,
+    })
+}
+
+/// One fleet throughput–latency curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetCurve {
+    /// Fleet label.
+    pub system: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Dispatch label (`"fleet-sharded"`, `"fleet-replicated(2)"`, ...).
+    pub placement: String,
+    /// Router label.
+    pub router: &'static str,
+    /// Reference saturation throughput the utilization fractions anchor
+    /// to.
+    pub saturation_qps: f64,
+    /// Measured points, in ascending offered-QPS order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl FleetCurve {
+    /// The saturation knee: the highest offered load the fleet still
+    /// sustained (achieved ≥ 90% of offered). `None` when even the
+    /// lightest point was unsustainable.
+    pub fn knee(&self) -> Option<&SweepPoint> {
+        self.points.iter().rev().find(|p| p.sustained())
+    }
+}
+
+/// Probes the back-to-back service capacity of a fresh fleet under
+/// `dispatch`: all `queries` queries arrive at cycle 0 and the
+/// completion throughput of the resulting busy period is the saturation
+/// rate.
+///
+/// # Errors
+///
+/// Returns [`SimError::Stalled`] if a cycle-level run stalls, or
+/// [`SimError::Config`] when placement fails.
+pub fn fleet_saturation(
+    make_fleet: &mut FleetFactory<'_>,
+    dispatch: FleetDispatch,
+    shape: QueryShape,
+    queries: usize,
+    seed: u64,
+) -> Result<f64, SimError> {
+    let mut fleet = make_fleet();
+    let cfg = FleetConfig {
+        process: ArrivalProcess::Uniform,
+        qps: 1.0, // unused: arrivals are pinned to cycle 0 below
+        queries,
+        shape,
+        dispatch,
+        seed,
+    };
+    let arrivals = vec![0; queries];
+    let trace_queries = QueryStream::new(shape, seed).take_queries(queries);
+    let report = serve_fleet_arrivals(&mut fleet, &cfg, &arrivals, &trace_queries)?;
+    Ok(report.achieved_qps())
+}
+
+/// Measures one fleet throughput–latency curve at explicit offered
+/// loads, anchored to a caller-provided `saturation` rate.
+///
+/// Load points are independent simulations over fresh fleets, each one
+/// task on the deterministic worker pool; a point's fleet then nests
+/// its own node and channel tasks into the same pool, so the whole
+/// sweep runs under one fixed thread budget and the curve is
+/// byte-identical to a serial sweep at any worker count.
+///
+/// # Errors
+///
+/// Returns [`SimError::Stalled`] if any cycle-level run stalls, or
+/// [`SimError::Config`] when placement fails.
+#[allow(clippy::too_many_arguments)]
+pub fn fleet_sweep_at(
+    make_fleet: &mut FleetFactory<'_>,
+    dispatch: FleetDispatch,
+    process: ArrivalProcess,
+    shape: QueryShape,
+    saturation: f64,
+    offered: &[f64],
+    queries: usize,
+    seed: u64,
+) -> Result<FleetCurve, SimError> {
+    let mut jobs: Vec<(Fleet, FleetConfig)> = offered
+        .iter()
+        .map(|&qps| {
+            assert!(qps > 0.0, "offered loads must be positive");
+            let cfg = FleetConfig {
+                process,
+                qps,
+                queries,
+                shape,
+                dispatch,
+                seed,
+            };
+            (make_fleet(), cfg)
+        })
+        .collect();
+    let tasks: Vec<_> = jobs
+        .iter_mut()
+        .map(|(fleet, cfg)| move || serve_fleet(fleet, cfg))
+        .collect();
+    let reports = recnmp_exec::current().run_vec(tasks)?;
+    let mut points = Vec::with_capacity(offered.len());
+    let mut system = String::new();
+    let mut nodes = 0;
+    for (&qps, report) in offered.iter().zip(reports) {
+        system = report.system.clone();
+        nodes = report.node_queries.len();
+        points.push(SweepPoint {
+            offered_qps: qps,
+            utilization: qps / saturation,
+            achieved_qps: report.achieved_qps(),
+            summary: report.summary(),
+        });
+    }
+    Ok(FleetCurve {
+        system,
+        nodes,
+        placement: dispatch.label(),
+        router: dispatch.router.name(),
+        saturation_qps: saturation,
+        points,
+    })
+}
+
+/// Sweeps one fleet under every dispatch in `dispatches`, all at the
+/// same absolute offered loads: fractions of the **first** dispatch's
+/// saturation rate. Callers put the informed configuration (hot-table
+/// replication) first so its knee lands inside the sweep by
+/// construction and every alternative is measured at the same operating
+/// points — the same anchoring convention as
+/// [`tiered_sweep`](super::sweep::tiered_sweep).
+///
+/// # Errors
+///
+/// Returns the first failing sweep's error.
+pub fn fleet_sweep(
+    make_fleet: &mut FleetFactory<'_>,
+    dispatches: &[FleetDispatch],
+    spec: &SweepSpec,
+) -> Result<Vec<FleetCurve>, SimError> {
+    let anchor = dispatches.first().expect("at least one dispatch");
+    let saturation = fleet_saturation(
+        make_fleet,
+        *anchor,
+        spec.shape,
+        spec.probe_queries,
+        spec.seed,
+    )?;
+    let offered: Vec<f64> = spec.utilizations.iter().map(|&u| u * saturation).collect();
+    dispatches
+        .iter()
+        .map(|&dispatch| {
+            fleet_sweep_at(
+                make_fleet,
+                dispatch,
+                spec.process,
+                spec.shape,
+                saturation,
+                &offered,
+                spec.queries,
+                spec.seed,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serving::policy::{ServingMode, ShardedDispatch};
+    use crate::serving::scheduler::serve;
+    use crate::serving::ServingConfig;
+
+    fn quick_shape() -> QueryShape {
+        QueryShape::new(8, 2, 6)
+            .with_table_skew(1.0)
+            .with_table_sampling(3)
+    }
+
+    fn quick_cfg(nodes_hint: f64, queries: usize, dispatch: FleetDispatch) -> FleetConfig {
+        FleetConfig {
+            process: ArrivalProcess::Poisson,
+            qps: 40_000.0 * nodes_hint,
+            queries,
+            shape: quick_shape(),
+            dispatch,
+            seed: 23,
+        }
+    }
+
+    #[test]
+    fn fleet_rejects_degenerate_geometry() {
+        assert!(Fleet::new(vec![]).is_err());
+        let mixed: Vec<Box<dyn SlsBackend>> = vec![
+            reference_cluster4(),
+            Box::new(recnmp_baselines::HostBaseline::new(1, 2).unwrap()),
+        ];
+        assert!(Fleet::new(mixed).is_err());
+        let fleet = Fleet::reference(2);
+        assert_eq!(fleet.nodes(), 2);
+        assert_eq!(fleet.channels_per_node(), 4);
+        assert_eq!(fleet.name(), "fleet[2 x recnmp-cluster[4]]");
+    }
+
+    #[test]
+    fn fleet_serving_conserves_lookups_across_nodes() {
+        let cfg = quick_cfg(2.0, 10, FleetDispatch::replicated(1));
+        let mut fleet = Fleet::reference(2);
+        let report = serve_fleet(&mut fleet, &cfg).unwrap();
+        let expected: u64 = QueryStream::new(cfg.shape, cfg.seed)
+            .take_queries(cfg.queries)
+            .iter()
+            .map(SlsTrace::total_lookups)
+            .sum();
+        assert_eq!(report.report.insts, expected);
+        assert_eq!(report.latencies.len(), 10);
+        // Replication spread at least one table fleet-wide and both
+        // nodes served traffic.
+        assert!(report.replicated_tables >= 1);
+        assert!(report.node_queries.iter().all(|&q| q > 0));
+    }
+
+    #[test]
+    fn single_node_fleet_matches_bare_cluster() {
+        // The keystone invariant: a 1-node fleet is numerically the bare
+        // cluster under sharded serving — same arrivals, same placement,
+        // same channel queues, no network charge.
+        let dispatch = FleetDispatch::sharded();
+        let fleet_cfg = quick_cfg(1.0, 12, dispatch);
+        let mut fleet = Fleet::reference(1);
+        let fleet_report = serve_fleet(&mut fleet, &fleet_cfg).unwrap();
+
+        let mut cluster = reference_cluster4();
+        let cluster_cfg = ServingConfig {
+            process: fleet_cfg.process,
+            qps: fleet_cfg.qps,
+            queries: fleet_cfg.queries,
+            shape: fleet_cfg.shape,
+            mode: ServingMode::Sharded(ShardedDispatch {
+                placement: dispatch.within_policy,
+                gather: dispatch.gather,
+                channel_capacity: dispatch.channel_capacity,
+            }),
+            coalescing: None,
+            seed: fleet_cfg.seed,
+        };
+        let cluster_report = serve(cluster.as_mut(), &cluster_cfg).unwrap();
+
+        assert_eq!(fleet_report.arrivals, cluster_report.arrivals);
+        assert_eq!(fleet_report.completions, cluster_report.completions);
+        assert_eq!(fleet_report.latencies, cluster_report.latencies);
+        assert_eq!(fleet_report.report.insts, cluster_report.report.insts);
+        assert_eq!(
+            fleet_report.report.total_cycles,
+            cluster_report.report.total_cycles
+        );
+    }
+
+    #[test]
+    fn every_router_serves_and_conserves() {
+        for router in RouterPolicy::ALL {
+            let dispatch = FleetDispatch {
+                router,
+                ..FleetDispatch::replicated(1)
+            };
+            let cfg = quick_cfg(2.0, 8, dispatch);
+            let mut fleet = Fleet::reference(2);
+            let report = serve_fleet(&mut fleet, &cfg).unwrap();
+            let expected: u64 = QueryStream::new(cfg.shape, cfg.seed)
+                .take_queries(cfg.queries)
+                .iter()
+                .map(SlsTrace::total_lookups)
+                .sum();
+            assert_eq!(report.report.insts, expected, "router {}", router.name());
+            assert_eq!(report.router, router);
+        }
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let cfg = quick_cfg(2.0, 8, FleetDispatch::replicated(1));
+        let mut a = Fleet::reference(2);
+        let mut b = Fleet::reference(2);
+        assert_eq!(
+            serve_fleet(&mut a, &cfg).unwrap(),
+            serve_fleet(&mut b, &cfg).unwrap()
+        );
+    }
+
+    #[test]
+    fn multi_node_queries_pay_the_network_gather() {
+        // Same workload, same per-node arithmetic: a 2-node fleet with
+        // zero network cost must strictly undercut one with the rack
+        // default on every completion that left the router's rack slot.
+        let mut free = quick_cfg(2.0, 8, FleetDispatch::sharded());
+        free.dispatch.network = NetworkCost::new(0, 0);
+        let charged = quick_cfg(2.0, 8, FleetDispatch::sharded());
+        let mut a = Fleet::reference(2);
+        let mut b = Fleet::reference(2);
+        let r_free = serve_fleet(&mut a, &free).unwrap();
+        let r_charged = serve_fleet(&mut b, &charged).unwrap();
+        for (f, c) in r_free.latencies.iter().zip(&r_charged.latencies) {
+            assert!(f + charged.dispatch.network.base <= *c + 1);
+            assert!(f < c);
+        }
+    }
+
+    #[test]
+    fn fleet_sweep_anchors_every_dispatch_to_the_first() {
+        let spec = SweepSpec {
+            process: ArrivalProcess::Uniform,
+            shape: quick_shape(),
+            utilizations: vec![0.5, 1.2],
+            queries: 6,
+            probe_queries: 6,
+            seed: 23,
+        };
+        let mut make = || Fleet::reference(2);
+        let curves = fleet_sweep(
+            &mut make,
+            &[FleetDispatch::replicated(1), FleetDispatch::sharded()],
+            &spec,
+        )
+        .unwrap();
+        assert_eq!(curves.len(), 2);
+        assert_eq!(curves[0].placement, "fleet-replicated(1)");
+        assert_eq!(curves[1].placement, "fleet-sharded");
+        assert_eq!(curves[0].saturation_qps, curves[1].saturation_qps);
+        for (a, b) in curves[0].points.iter().zip(&curves[1].points) {
+            assert_eq!(a.offered_qps, b.offered_qps);
+        }
+        assert_eq!(curves[0].nodes, 2);
+    }
+}

@@ -27,6 +27,12 @@
 //!   ([`ServingReport`], [`LatencySummary`] with p50/p95/p99/mean/max).
 //!   In sharded mode a query completes at the max of its shard
 //!   completions plus the gather cost;
+//! * [`fleet`] — rack-scale serving: a [`Fleet`] of N node backends
+//!   behind a front-end router ([`RouterPolicy`]), a two-level
+//!   [`FleetPlacementPlan`](recnmp_backend::FleetPlacementPlan) with
+//!   cross-node hot-table replication, per-node scatter/gather and an
+//!   inter-node [`NetworkCost`] on the result bytes shipped back to the
+//!   router ([`serve_fleet`], [`fleet_sweep`]);
 //! * [`sweep`] — throughput–latency curves over a QPS sweep
 //!   ([`qps_sweep`]), anchored at a probed saturation rate
 //!   ([`saturation_qps`]) with the knee identified
@@ -57,11 +63,16 @@
 //! ```
 
 pub mod arrivals;
+pub mod fleet;
 pub mod policy;
 pub mod scheduler;
 pub mod sweep;
 
 pub use arrivals::{ArrivalProcess, QueryShape, QueryStream};
+pub use fleet::{
+    fleet_saturation, fleet_sweep, fleet_sweep_at, serve_fleet, Fleet, FleetConfig, FleetCurve,
+    FleetDispatch, FleetFactory, FleetReport, NetworkCost, RouterPolicy,
+};
 pub use policy::{
     Coalescing, DispatchPolicy, EpochPromotion, GatherCost, ServingMode, ShardedDispatch,
     TieredDispatch,

@@ -152,6 +152,33 @@ impl SlsBackend for TieredCluster {
             self.ssds[server - d].try_run(trace)
         }
     }
+
+    /// Runs each shard on its unit (DRAM channel or SSD) as one pool
+    /// task, reports in shard order — the fleet node handle for tiered
+    /// nodes, identical to the serial default at any worker count.
+    fn try_run_shards(&mut self, shards: &[(usize, SlsTrace)]) -> Result<Vec<RunReport>, SimError> {
+        assert!(
+            shards.windows(2).all(|w| w[0].0 < w[1].0),
+            "shards must target strictly increasing units"
+        );
+        let units = self.server_count();
+        let mut slots: Vec<Option<&SlsTrace>> = vec![None; units];
+        for (u, shard) in shards {
+            assert!(*u < units, "server {u} out of range for {units} server(s)");
+            slots[*u] = Some(shard);
+        }
+        let backends = self
+            .dram
+            .channels_mut()
+            .iter_mut()
+            .map(|c| c as &mut dyn SlsBackend)
+            .chain(self.ssds.iter_mut().map(|s| s as &mut dyn SlsBackend));
+        let tasks: Vec<_> = backends
+            .zip(&slots)
+            .filter_map(|(unit, slot)| slot.map(|shard| move || unit.try_run(shard)))
+            .collect();
+        recnmp_exec::current().run_vec(tasks)
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,12 @@ id_type!(
     DimmId,
     "dimm"
 );
+id_type!(
+    /// Identifies one RecNMP node (a whole multi-channel cluster) within
+    /// a serving fleet.
+    NodeId,
+    "node"
+);
 
 /// Identifies a memory request or NMP instruction in flight.
 ///
@@ -111,6 +117,7 @@ mod tests {
         assert_eq!(RankId::new(0).to_string(), "rank0");
         assert_eq!(ModelId::new(7).to_string(), "M7");
         assert_eq!(DimmId::new(1).to_string(), "dimm1");
+        assert_eq!(NodeId::new(2).to_string(), "node2");
         assert_eq!(RequestId::new(9).to_string(), "req9");
     }
 

@@ -29,7 +29,7 @@ pub mod units;
 
 pub use addr::PhysAddr;
 pub use error::{ConfigError, SimError};
-pub use ids::{DimmId, ModelId, RankId, RequestId, TableId};
+pub use ids::{DimmId, ModelId, NodeId, RankId, RequestId, TableId};
 pub use units::ByteSize;
 
 /// A simulator clock cycle count.

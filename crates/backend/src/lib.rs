@@ -61,11 +61,11 @@ pub use placement::tiered::{
     MigrationCost, MigrationReport, PromotionPolicy, StorageTier, TierSpec, TieredPlacementPlan,
     TieredPolicy,
 };
-pub use placement::{PlacementPlan, PlacementPolicy, TableUsage};
+pub use placement::{apply_absorption, PlacementPlan, PlacementPolicy, TableUsage};
 pub use report::RunReport;
 pub use trace::{ShardingPolicy, SlsTrace, TraceBatch};
 
-use recnmp_types::SimError;
+use recnmp_types::{Cycle, PhysAddr, SimError};
 
 /// An SLS execution system: anything that can serve a physical SLS trace
 /// and report what that cost.
@@ -182,4 +182,36 @@ pub trait SlsBackend: Send {
             .map(|(server, shard)| self.try_run_on(*server, shard))
             .collect()
     }
+
+    /// Stages predicted-hot vectors into server `server`'s memory-side
+    /// caches during an idle gap — the inter-query prefetch hook
+    /// (ProactivePIM-style). `addrs` lists candidate vector base
+    /// addresses hottest-first, each covering `vector_bytes` bytes;
+    /// `budget_cycles` is the idle headroom the scheduler observed before
+    /// the next arrival, which the backend converts into a vector count
+    /// at its own fill cost so prefetch traffic always yields to demand
+    /// work. Returns how many vectors were **newly** staged
+    /// (already-resident candidates cost budget but don't count).
+    ///
+    /// The default does nothing and returns 0 — backends without
+    /// memory-side caches are simply prefetch-blind. Staging must not
+    /// perturb demand hit/miss statistics (use the stats-clean fill
+    /// path), and must be deterministic in `(server, addrs, budget)`.
+    fn prefetch_on(
+        &mut self,
+        server: usize,
+        addrs: &[PhysAddr],
+        vector_bytes: u32,
+        budget_cycles: Cycle,
+    ) -> u64 {
+        let _ = (server, addrs, vector_bytes, budget_cycles);
+        0
+    }
+
+    /// Drops all warm memory-side cache state (contents and counters),
+    /// returning every server's caches to cold. Sweep drivers call this
+    /// when a backend must start a load point cold so points stay
+    /// independent and byte-identical at any worker count. The default is
+    /// a no-op for cache-less backends.
+    fn reset_caches(&mut self) {}
 }

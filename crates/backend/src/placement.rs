@@ -101,6 +101,58 @@ impl TableUsage {
     }
 }
 
+/// Subtracts expected host-cache-absorbed traffic from a usage profile,
+/// yielding the *residual* per-table accesses that will actually reach
+/// the channels. `absorbed` pairs tables with the lookup counts a
+/// host-side hot-embedding cache is expected to serve (typically from a
+/// dry-run of the cache over the query stream); tables not listed absorb
+/// nothing. This is what makes placement cache-aware: balancing residual
+/// load keeps a table's *post-cache* traffic and its shard co-resident
+/// instead of over-weighting hot tables whose heat the host cache
+/// already soaks up (RecFlash-style frequency mapping, net of caching).
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] when an absorbed entry names a table absent
+/// from `tables`, when a table appears twice in `absorbed`, or when an
+/// absorbed count exceeds the table's observed accesses — absorption can
+/// never exceed what was offered.
+pub fn apply_absorption(
+    tables: &[TableUsage],
+    absorbed: &[(TableId, u64)],
+) -> Result<Vec<TableUsage>, ConfigError> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut residual = tables.to_vec();
+    for &(table, count) in absorbed {
+        if !seen.insert(table) {
+            return Err(ConfigError::new(
+                "placement",
+                format!("table {table} listed twice in absorbed traffic"),
+            ));
+        }
+        let u = residual
+            .iter_mut()
+            .find(|u| u.table == table)
+            .ok_or_else(|| {
+                ConfigError::new(
+                    "placement",
+                    format!("absorbed traffic names unprofiled table {table}"),
+                )
+            })?;
+        if count > u.accesses {
+            return Err(ConfigError::new(
+                "placement",
+                format!(
+                    "table {table} absorbs {count} lookups but only {} were observed",
+                    u.accesses
+                ),
+            ));
+        }
+        u.accesses -= count;
+    }
+    Ok(residual)
+}
+
 /// How tables are assigned to channels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum PlacementPolicy {
@@ -261,6 +313,27 @@ impl PlacementPlan {
         }
         plan.entries.sort_by_key(|(t, _)| *t);
         Ok(plan)
+    }
+
+    /// Builds a cache-aware plan: like [`build`](Self::build), but load
+    /// balancing weighs each table by its *residual* accesses after the
+    /// expected host-cache absorption (see [`apply_absorption`]).
+    /// Footprints and capacity bounds are unchanged — the cache absorbs
+    /// traffic, not bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] under the conditions of
+    /// [`build`](Self::build) and [`apply_absorption`].
+    pub fn build_with_absorption(
+        channels: usize,
+        capacity: Option<u64>,
+        tables: &[TableUsage],
+        absorbed: &[(TableId, u64)],
+        policy: PlacementPolicy,
+    ) -> Result<Self, ConfigError> {
+        let residual = apply_absorption(tables, absorbed)?;
+        Self::build(channels, capacity, &residual, policy)
     }
 
     /// Whether `bytes` more fit on channel `c` under the capacity bound.
@@ -483,6 +556,54 @@ mod tests {
         let stacked = usage(&[(0, 10, 60), (2, 10, 40)]);
         let skew = PlacementPlan::build(2, None, &stacked, PlacementPolicy::Hash).unwrap();
         assert_eq!(skew.load_imbalance(), 2.0);
+    }
+
+    #[test]
+    fn absorption_rebalances_residual_load() {
+        // Table 0 looks hottest (100 accesses) but the host cache absorbs
+        // 95 of them; residual-aware placement treats table 1 as the hot
+        // one and pairs 0 with it instead of giving 0 its own channel.
+        let u = usage(&[(0, 10, 100), (1, 10, 50), (2, 10, 20), (3, 10, 10)]);
+        let absorbed = [(TableId::new(0), 95)];
+        let plan = PlacementPlan::build_with_absorption(
+            2,
+            None,
+            &u,
+            &absorbed,
+            PlacementPolicy::FrequencyBalanced { replicate: 0 },
+        )
+        .unwrap();
+        // Residual: 5, 50, 20, 10 → 50 alone, then 20+10+5 on the other.
+        assert_eq!(plan.load_on(0) + plan.load_on(1), 85.0);
+        assert_eq!(plan.replicas(TableId::new(1)).len(), 1);
+        let blind = PlacementPlan::build(
+            2,
+            None,
+            &u,
+            PlacementPolicy::FrequencyBalanced { replicate: 0 },
+        )
+        .unwrap();
+        // The blind plan isolates table 0; the aware plan does not.
+        assert_ne!(
+            plan.replicas(TableId::new(0)),
+            blind.replicas(TableId::new(0))
+        );
+    }
+
+    #[test]
+    fn absorption_validates_its_inputs() {
+        let u = usage(&[(0, 10, 100)]);
+        // More absorbed than observed.
+        assert!(apply_absorption(&u, &[(TableId::new(0), 101)]).is_err());
+        // Unknown table.
+        assert!(apply_absorption(&u, &[(TableId::new(9), 1)]).is_err());
+        // Duplicate absorbed entry.
+        assert!(apply_absorption(&u, &[(TableId::new(0), 1), (TableId::new(0), 1)]).is_err());
+        // Exact absorption of everything is legal: the table goes cold.
+        let residual = apply_absorption(&u, &[(TableId::new(0), 100)]).unwrap();
+        assert_eq!(residual[0].accesses, 0);
+        // Empty absorption is the identity.
+        assert_eq!(apply_absorption(&u, &[]).unwrap(), u);
     }
 
     #[test]

@@ -128,6 +128,39 @@ impl FleetPlacementPlan {
         })
     }
 
+    /// Builds a cache-aware two-level plan: like [`build`](Self::build),
+    /// but both levels balance each table's *residual* accesses after the
+    /// expected host-cache absorption (see
+    /// [`apply_absorption`](super::apply_absorption)) — node replication
+    /// and channel load both follow the traffic that will actually cross
+    /// the fleet once hot rows are served at the hosts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] under the conditions of
+    /// [`build`](Self::build) and
+    /// [`apply_absorption`](super::apply_absorption).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_absorption(
+        nodes: usize,
+        channels_per_node: usize,
+        channel_capacity: Option<u64>,
+        tables: &[TableUsage],
+        absorbed: &[(TableId, u64)],
+        node_policy: PlacementPolicy,
+        within_policy: PlacementPolicy,
+    ) -> Result<Self, ConfigError> {
+        let residual = super::apply_absorption(tables, absorbed)?;
+        Self::build(
+            nodes,
+            channels_per_node,
+            channel_capacity,
+            &residual,
+            node_policy,
+            within_policy,
+        )
+    }
+
     /// Number of nodes the plan places onto.
     pub fn nodes(&self) -> usize {
         self.per_node.len()
@@ -276,6 +309,36 @@ mod tests {
         // holds 200 bytes total but only 100 per channel.
         let fat = usage(&[(0, 150, 10)]);
         assert!(FleetPlacementPlan::build(1, 2, Some(100), &fat, FREQ0, FREQ0).is_err());
+    }
+
+    #[test]
+    fn absorption_flows_through_both_levels() {
+        // Table 0 dominates raw counts but is almost fully host-cached;
+        // the residual-aware node plan balances on what remains.
+        let u = usage(&[(0, 10, 900), (1, 10, 100), (2, 10, 80), (3, 10, 60)]);
+        let absorbed = [(TableId::new(0), 880)];
+        let aware =
+            FleetPlacementPlan::build_with_absorption(2, 2, None, &u, &absorbed, FREQ0, FREQ0)
+                .unwrap();
+        // Residual loads: 20, 100, 80, 60 → level-1 accounting sums to
+        // the residual total on both nodes combined.
+        let total: f64 = (0..2).map(|n| aware.node_plan().load_on(n)).sum();
+        assert_eq!(total, 260.0);
+        // The blind plan isolates table 0 on its own node; the aware one
+        // pairs it with hotter residual tables.
+        let blind = FleetPlacementPlan::build(2, 2, None, &u, FREQ0, FREQ0).unwrap();
+        assert!(blind.node_plan().load_imbalance() > aware.node_plan().load_imbalance());
+        // Over-absorption is rejected.
+        assert!(FleetPlacementPlan::build_with_absorption(
+            2,
+            2,
+            None,
+            &u,
+            &[(TableId::new(0), 901)],
+            FREQ0,
+            FREQ0
+        )
+        .is_err());
     }
 
     #[test]

@@ -347,6 +347,27 @@ impl TieredPlacementPlan {
         Ok(Self { spec, policy, flat })
     }
 
+    /// Builds a cache-aware tiered plan: like [`build`](Self::build), but
+    /// the hot/cold split is decided on each table's *residual* accesses
+    /// after the expected host-cache absorption (see
+    /// [`apply_absorption`](super::apply_absorption)) — a table whose
+    /// heat the host cache soaks up no longer claims DRAM it won't use.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] under the conditions of
+    /// [`build`](Self::build) and
+    /// [`apply_absorption`](super::apply_absorption).
+    pub fn build_with_absorption(
+        spec: TierSpec,
+        tables: &[TableUsage],
+        absorbed: &[(TableId, u64)],
+        policy: TieredPolicy,
+    ) -> Result<Self, ConfigError> {
+        let residual = super::apply_absorption(tables, absorbed)?;
+        Self::build(spec, &residual, policy)
+    }
+
     /// The capacity geometry the plan was built for.
     pub fn spec(&self) -> TierSpec {
         self.spec
@@ -644,6 +665,44 @@ mod tests {
         assert_eq!(reps, &[0, 1]);
         assert!(reps.iter().all(|&c| spec.tier_of(c) == StorageTier::Dram));
         assert_eq!(plan.tier_of_table(TableId::new(0)), Some(StorageTier::Dram));
+    }
+
+    #[test]
+    fn absorption_moves_cached_hot_table_off_dram() {
+        // Table 2 looks hottest but the host cache absorbs nearly all of
+        // it; the residual-aware split keeps the truly hot post-cache
+        // tables (1 and 3) in DRAM and lets 2 spill.
+        let u = usage(&[(0, 100, 5), (1, 100, 200), (2, 100, 900), (3, 100, 300)]);
+        let policy = TieredPolicy::FrequencyTiered { replicate_hot: 0 };
+        let blind = TieredPlacementPlan::build(spec2x1(100), &u, policy).unwrap();
+        assert_eq!(
+            blind.tier_of_table(TableId::new(2)),
+            Some(StorageTier::Dram)
+        );
+        let aware = TieredPlacementPlan::build_with_absorption(
+            spec2x1(100),
+            &u,
+            &[(TableId::new(2), 890)],
+            policy,
+        )
+        .unwrap();
+        assert_eq!(
+            aware.tier_of_table(TableId::new(1)),
+            Some(StorageTier::Dram)
+        );
+        assert_eq!(
+            aware.tier_of_table(TableId::new(3)),
+            Some(StorageTier::Dram)
+        );
+        assert_eq!(aware.tier_of_table(TableId::new(2)), Some(StorageTier::Ssd));
+        // Over-absorption is rejected here too.
+        assert!(TieredPlacementPlan::build_with_absorption(
+            spec2x1(100),
+            &u,
+            &[(TableId::new(2), 901)],
+            policy,
+        )
+        .is_err());
     }
 
     #[test]

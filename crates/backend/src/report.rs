@@ -59,6 +59,21 @@ pub struct RunReport {
     /// order, when this report aggregates a query-serving run. Empty for
     /// plain trace replays, which have no notion of per-query arrivals.
     pub query_completions: Vec<Cycle>,
+    /// Lookups served by the host-side hot-embedding cache — absorbed
+    /// before any channel saw them (zero outside cached serving runs).
+    /// Same per-run delta semantics as every other counter here.
+    pub host_hits: u64,
+    /// Lookups that missed the host cache and were dispatched to the
+    /// backend. Conservation under cached serving:
+    /// `host_hits + host_misses` equals the offered lookups.
+    pub host_misses: u64,
+    /// Embedding bytes the host cache absorbed (`host_hits` × the
+    /// workload's vector size) — traffic the channels never carried.
+    pub host_absorbed_bytes: u64,
+    /// Vectors newly staged into per-channel RankCaches by the
+    /// inter-query prefetcher during idle gaps (zero when prefetch is
+    /// off or the backend has no rank caches).
+    pub prefetch_fills: u64,
 }
 
 impl RunReport {
@@ -123,6 +138,21 @@ impl RunReport {
         self.alu_adds += other.alu_adds;
         self.alu_mults += other.alu_mults;
         self.query_completions.extend(other.query_completions);
+        self.host_hits += other.host_hits;
+        self.host_misses += other.host_misses;
+        self.host_absorbed_bytes += other.host_absorbed_bytes;
+        self.prefetch_fills += other.prefetch_fills;
+    }
+
+    /// Host-cache hit rate over the offered lookups; zero when no lookups
+    /// passed through a host cache.
+    pub fn host_hit_rate(&self) -> f64 {
+        let offered = self.host_hits + self.host_misses;
+        if offered == 0 {
+            0.0
+        } else {
+            self.host_hits as f64 / offered as f64
+        }
     }
 }
 
@@ -248,6 +278,32 @@ mod tests {
         assert_eq!(a.dram_bursts, 80);
         assert_eq!(a.rank_insts, vec![10, 15, 15]);
         assert_eq!(a.query_completions, vec![90, 250]);
+    }
+
+    #[test]
+    fn host_cache_counters_sum_and_rate() {
+        let mut a = RunReport {
+            host_hits: 3,
+            host_misses: 5,
+            host_absorbed_bytes: 384,
+            prefetch_fills: 2,
+            ..RunReport::default()
+        };
+        let b = RunReport {
+            host_hits: 1,
+            host_misses: 3,
+            host_absorbed_bytes: 128,
+            prefetch_fills: 4,
+            ..RunReport::default()
+        };
+        a.absorb_parallel(b);
+        assert_eq!(
+            (a.host_hits, a.host_misses, a.host_absorbed_bytes),
+            (4, 8, 512)
+        );
+        assert_eq!(a.prefetch_fills, 6);
+        assert!((a.host_hit_rate() - 4.0 / 12.0).abs() < 1e-12);
+        assert_eq!(RunReport::default().host_hit_rate(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Property-based tests for cache-aware placement
+//! ([`PlacementPlan::build_with_absorption`]): the residual-load build
+//! used when a host-side hot-embedding cache absorbs part of the
+//! profiled traffic before placement.
+//!
+//! Invariants:
+//!
+//! * residual load conservation — the placed load equals offered minus
+//!   absorbed accesses;
+//! * absorption never unplaces a table, shrinks bytes, or loosens the
+//!   per-channel capacity bound;
+//! * over-absorption (more than observed), duplicate entries, and
+//!   unprofiled tables are rejected.
+
+use proptest::prelude::*;
+use recnmp_backend::{PlacementPlan, PlacementPolicy, TableUsage};
+use recnmp_types::TableId;
+
+/// A random usage set: table `i` with the given bytes/accesses.
+fn usage_strategy() -> impl Strategy<Value = Vec<TableUsage>> {
+    prop::collection::vec((1u64..200, 0u64..1000), 1..12).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (bytes, accesses))| TableUsage::new(TableId::new(i as u32), bytes, accesses))
+            .collect()
+    })
+}
+
+fn policy_strategy() -> impl Strategy<Value = PlacementPolicy> {
+    prop_oneof![
+        Just(PlacementPolicy::Hash),
+        Just(PlacementPolicy::CapacityGreedy),
+        Just(PlacementPolicy::FrequencyBalanced { replicate: 0 }),
+        Just(PlacementPolicy::FrequencyBalanced { replicate: 1 }),
+    ]
+}
+
+/// Absorbs a per-table fraction (num/64) of each table's observed
+/// accesses — always a legal absorption set.
+fn absorb_fraction(usage: &[TableUsage], num: u64) -> Vec<(TableId, u64)> {
+    usage
+        .iter()
+        .map(|u| (u.table, u.accesses * num / 64))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn residual_load_is_offered_minus_absorbed(
+        usage in usage_strategy(),
+        channels in 1usize..6,
+        policy in policy_strategy(),
+        num in 0u64..65,
+    ) {
+        let absorbed = absorb_fraction(&usage, num);
+        let plan =
+            PlacementPlan::build_with_absorption(channels, None, &usage, &absorbed, policy)
+                .unwrap();
+        let placed: f64 = (0..channels).map(|c| plan.load_on(c)).sum();
+        let offered: u64 = usage.iter().map(|u| u.accesses).sum();
+        let hits: u64 = absorbed.iter().map(|&(_, n)| n).sum();
+        prop_assert!(hits <= offered, "absorbed {hits} > observed {offered}");
+        prop_assert!(
+            (placed - (offered - hits) as f64).abs() < 1e-6,
+            "placed {placed} != offered {offered} - absorbed {hits}"
+        );
+    }
+
+    #[test]
+    fn absorption_keeps_every_table_placed_with_full_bytes(
+        usage in usage_strategy(),
+        channels in 1usize..6,
+        policy in policy_strategy(),
+        num in 0u64..65,
+    ) {
+        let absorbed = absorb_fraction(&usage, num);
+        let plan =
+            PlacementPlan::build_with_absorption(channels, None, &usage, &absorbed, policy)
+                .unwrap();
+        prop_assert_eq!(plan.tables(), usage.len());
+        // The cache absorbs lookups, not rows: every table still needs
+        // its full bytes resident on each replica channel.
+        let mut expect = vec![0u64; channels];
+        for u in &usage {
+            let reps = plan.replicas(u.table);
+            prop_assert!(!reps.is_empty(), "table {} unplaced", u.table);
+            prop_assert!(reps.iter().all(|&c| c < channels));
+            for &c in reps {
+                expect[c] += u.bytes;
+            }
+        }
+        for (c, &bytes) in expect.iter().enumerate() {
+            prop_assert_eq!(plan.bytes_on(c), bytes);
+        }
+    }
+
+    #[test]
+    fn capacity_bound_survives_absorption(
+        usage in usage_strategy(),
+        channels in 1usize..6,
+        policy in policy_strategy(),
+        num in 0u64..65,
+        capacity in 50u64..2000,
+    ) {
+        let absorbed = absorb_fraction(&usage, num);
+        if let Ok(plan) = PlacementPlan::build_with_absorption(
+            channels,
+            Some(capacity),
+            &usage,
+            &absorbed,
+            policy,
+        ) {
+            for c in 0..channels {
+                prop_assert!(
+                    plan.bytes_on(c) <= capacity,
+                    "channel {} holds {} > capacity {}",
+                    c,
+                    plan.bytes_on(c),
+                    capacity
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn over_absorption_is_rejected(
+        usage in usage_strategy(),
+        channels in 1usize..6,
+        policy in policy_strategy(),
+    ) {
+        let victim = &usage[0];
+        let absorbed = vec![(victim.table, victim.accesses + 1)];
+        prop_assert!(PlacementPlan::build_with_absorption(
+            channels, None, &usage, &absorbed, policy
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn duplicate_and_unprofiled_tables_are_rejected(
+        usage in usage_strategy(),
+        channels in 1usize..6,
+        policy in policy_strategy(),
+    ) {
+        let dup = vec![(usage[0].table, 0), (usage[0].table, 0)];
+        prop_assert!(PlacementPlan::build_with_absorption(
+            channels, None, &usage, &dup, policy
+        )
+        .is_err());
+        let ghost = vec![(TableId::new(usage.len() as u32 + 7), 0)];
+        prop_assert!(PlacementPlan::build_with_absorption(
+            channels, None, &usage, &ghost, policy
+        )
+        .is_err());
+    }
+}

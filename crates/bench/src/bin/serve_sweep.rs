@@ -30,13 +30,21 @@
 //!   the equivalent bare-cluster sharded curve and diffs them for exact
 //!   equality (`"node1_equals_cluster"`), failing the run on any
 //!   divergence — the router layer must cost nothing at one node.
+//! * `--caching` run the cache-aware serving comparison instead: sharded
+//!   scatter/gather on the RecNMP-opt 4-channel cluster with a host-side
+//!   hot-embedding cache swept over capacity × placement policy, plus
+//!   inter-query RankCache prefetch on the cache-less baseline (default
+//!   out `BENCH_caching.json`). The run always re-derives the co-design
+//!   verdict — the 1 MiB cache over residual-load frequency placement
+//!   must knee later or tail lower than the cache-less frequency
+//!   baseline at the same offered loads — and fails on a loss.
 //! * `--out` output path.
-//! * `--baseline PATH` (fleet only) compares each fresh (nodes,
-//!   placement) knee QPS against the committed `BENCH_fleet.json` at
-//!   PATH and exits non-zero on a >30% regression.
-//! * `--baseline-from-git` (fleet only) like `--baseline`, but reads the
-//!   committed file from `git show HEAD:<out>` — local runs and CI share
-//!   one code path, no stash-a-copy step.
+//! * `--baseline PATH` (fleet and caching) compares each fresh curve's
+//!   knee QPS against the committed report at PATH and exits non-zero
+//!   on a >30% regression.
+//! * `--baseline-from-git` (fleet and caching) like `--baseline`, but
+//!   reads the committed file from `git show HEAD:<out>` — local runs
+//!   and CI share one code path, no stash-a-copy step.
 //!
 //! All paths drive the shared sweep library
 //! (`recnmp_sim::serving::{sweep_matrix, placement_sweep, tiered_sweep,
@@ -48,12 +56,13 @@ use recnmp_baselines::{HostBaseline, TensorDimm};
 use recnmp_model::RecModelKind;
 use recnmp_sim::serving::fleet::{fleet_sweep, Fleet, FleetCurve, FleetDispatch};
 use recnmp_sim::serving::{
-    placement_sweep, qps_sweep_at, reference_channel_capacity, reference_cluster4,
-    reference_tiered, sweep_matrix, tiered_sweep, ArrivalProcess, DispatchPolicy, GatherCost,
-    NamedFactories, QueryShape, ServingMode, ShardedDispatch, SweepCurve, SweepPoint, SweepSpec,
-    TierSpec, TieredPolicy,
+    caching_sweep, placement_sweep, qps_sweep_at, reference_caching_arms,
+    reference_channel_capacity, reference_cluster4, reference_cluster4_optimized, reference_tiered,
+    sweep_matrix, tiered_sweep, ArrivalProcess, DispatchPolicy, GatherCost, NamedFactories,
+    QueryShape, ServingMode, ShardedDispatch, SweepCurve, SweepPoint, SweepSpec, TierSpec,
+    TieredPolicy,
 };
-use recnmp_types::ByteSize;
+use recnmp_types::{ByteSize, Cycle};
 
 const SEED: u64 = 0x5e12_2026;
 
@@ -330,6 +339,174 @@ fn check_fleet_baseline(baseline: &[FleetBaselineEntry], fresh: &[FleetCurve]) -
     failures
 }
 
+/// One cache-aware serving curve in JSON: like [`curve_json`] but keyed
+/// by the arm label as well — two `cached-frequency` capacities share a
+/// mode name, so the label is the stable identity baselines check
+/// against.
+fn caching_curve_json(arm: &str, curve: &SweepCurve) -> String {
+    format!(
+        "{{\"system\": \"recnmp-opt-cluster[4]\", \"arm\": \"{}\", \"policy\": \"{}\", \
+         \"saturation_qps\": {:.1}, \"knee_qps\": {},\n      \"points\": [\n        {}\n      ]}}",
+        arm,
+        curve.mode.name(),
+        curve.saturation_qps,
+        knee_json(curve.knee()),
+        points_json(&curve.points)
+    )
+}
+
+/// The co-design verdict of a caching run: the largest co-designed arm
+/// against the cache-less frequency baseline at the shared loads.
+struct CachingVerdict {
+    arm_knee: f64,
+    baseline_knee: f64,
+    arm_top_p99: Cycle,
+    baseline_top_p99: Cycle,
+}
+
+impl CachingVerdict {
+    const ARM: &'static str = "cached-frequency@1MiB";
+    const BASELINE: &'static str = "sharded-frequency";
+
+    fn from_curves(curves: &[(String, SweepCurve)]) -> Self {
+        let find = |label: &str| {
+            &curves
+                .iter()
+                .find(|(l, _)| l == label)
+                .unwrap_or_else(|| panic!("caching arms missing {label}"))
+                .1
+        };
+        let knee = |c: &SweepCurve| c.knee().map_or(0.0, |p| p.offered_qps);
+        let top_p99 = |c: &SweepCurve| c.points.last().expect("swept points").summary.p99;
+        let (arm, baseline) = (find(Self::ARM), find(Self::BASELINE));
+        Self {
+            arm_knee: knee(arm),
+            baseline_knee: knee(baseline),
+            arm_top_p99: top_p99(arm),
+            baseline_top_p99: top_p99(baseline),
+        }
+    }
+
+    /// The cache earns its capacity by moving the knee or the tail.
+    fn wins(&self) -> bool {
+        self.arm_knee > self.baseline_knee || self.arm_top_p99 < self.baseline_top_p99
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"arm\": \"{}\", \"baseline\": \"{}\", \"arm_knee_qps\": {:.1}, \
+             \"baseline_knee_qps\": {:.1}, \"arm_top_p99_cycles\": {}, \
+             \"baseline_top_p99_cycles\": {}, \"wins\": {}}}",
+            Self::ARM,
+            Self::BASELINE,
+            self.arm_knee,
+            self.baseline_knee,
+            self.arm_top_p99,
+            self.baseline_top_p99,
+            self.wins()
+        )
+    }
+}
+
+/// The caching report: curves keyed by arm label plus the always-run
+/// co-design verdict.
+fn caching_report_json(
+    smoke: bool,
+    spec: &SweepSpec,
+    verdict: &CachingVerdict,
+    curves: &[(String, SweepCurve)],
+) -> String {
+    let shape = spec.shape;
+    let rendered: Vec<String> = curves
+        .iter()
+        .map(|(arm, c)| caching_curve_json(arm, c))
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"recnmp-caching/1\",\n  \"mode\": \"{}\",\n  \
+         \"arrival_process\": \"{}\",\n  \"seed\": {},\n  \
+         \"shape\": {{\"tables\": {}, \"batch\": {}, \"pooling\": {}, \
+         \"table_skew\": {:.2}, \"row_skew\": {:.2}, \"lookups_per_query\": {}}},\n  \
+         \"queries_per_point\": {},\n  \"co_design\": {},\n  \"curves\": [\n    {}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        spec.process.name(),
+        spec.seed,
+        shape.tables,
+        shape.batch,
+        shape.pooling,
+        shape.table_skew,
+        shape.row_skew,
+        shape.lookups_per_query(),
+        spec.queries,
+        verdict.json(),
+        rendered.join(",\n    ")
+    )
+}
+
+/// One arm's knee of a committed `BENCH_caching.json`.
+struct CachingBaselineEntry {
+    arm: String,
+    knee_qps: f64,
+}
+
+/// Extracts the mode and per-arm knees from a committed
+/// `BENCH_caching.json`, scanning the fields [`caching_report_json`]
+/// emits (same no-dependency scheme as [`parse_fleet_baseline`]; the
+/// `co_design` object carries no `"arm": ` key-with-following-object, so
+/// only curve objects match). Arms whose committed knee is `null` are
+/// skipped.
+fn parse_caching_baseline(json: &str) -> (String, Vec<CachingBaselineEntry>) {
+    let mode = scan_string(json, "mode").unwrap_or_default();
+    let mut entries = Vec::new();
+    // Skip past the verdict object: curves follow the `"curves"` key.
+    let mut rest = json.split("\"curves\"").nth(1).unwrap_or("");
+    while let Some(at) = rest.find("\"arm\": ") {
+        rest = &rest[at..];
+        let object = &rest[..rest.find('}').unwrap_or(rest.len())];
+        if let (Some(arm), Some(knee)) =
+            (scan_string(object, "arm"), scan_number(object, "knee_qps"))
+        {
+            entries.push(CachingBaselineEntry {
+                arm,
+                knee_qps: knee,
+            });
+        }
+        rest = &rest[7..];
+    }
+    (mode, entries)
+}
+
+/// Compares fresh caching knees against the committed baseline; returns
+/// failure messages. Every committed arm must still be measured, and
+/// none may regress more than 30%.
+fn check_caching_baseline(
+    baseline: &[CachingBaselineEntry],
+    fresh: &[(String, SweepCurve)],
+) -> Vec<String> {
+    const MAX_REGRESSION: f64 = 0.30;
+    let mut failures = Vec::new();
+    for b in baseline {
+        let Some((_, curve)) = fresh.iter().find(|(arm, _)| *arm == b.arm) else {
+            failures.push(format!(
+                "{}: in the committed baseline but no longer swept \
+                 (regenerate the baseline deliberately)",
+                b.arm
+            ));
+            continue;
+        };
+        let now = curve.knee().map_or(0.0, |p| p.offered_qps);
+        if now < b.knee_qps * (1.0 - MAX_REGRESSION) {
+            failures.push(format!(
+                "{}: knee {:.0} qps vs committed {:.0} ({:+.1}%)",
+                b.arm,
+                now,
+                b.knee_qps,
+                (now / b.knee_qps - 1.0) * 100.0
+            ));
+        }
+    }
+    failures
+}
+
 /// Reads the committed copy of `path` from `git show HEAD:./path` — the
 /// shared baseline source for local runs and CI.
 fn git_show_head(path: &str) -> String {
@@ -350,6 +527,7 @@ fn main() {
     let mut placement = false;
     let mut tiering = false;
     let mut fleet = false;
+    let mut caching = false;
     let mut out: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut baseline_from_git = false;
@@ -360,6 +538,7 @@ fn main() {
             "--placement" => placement = true,
             "--tiering" => tiering = true,
             "--fleet" => fleet = true,
+            "--caching" => caching = true,
             "--workers" => {
                 let n = args
                     .next()
@@ -378,14 +557,18 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: serve_sweep [--smoke] [--placement] [--tiering] [--fleet] \
-                     [--workers N] [--out PATH] [--baseline PATH | --baseline-from-git]"
+                     [--caching] [--workers N] [--out PATH] \
+                     [--baseline PATH | --baseline-from-git]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    if (baseline_path.is_some() || baseline_from_git) && !fleet {
-        eprintln!("--baseline/--baseline-from-git gate the fleet sweep: add --fleet");
+    if (baseline_path.is_some() || baseline_from_git) && !(fleet || caching) {
+        eprintln!(
+            "--baseline/--baseline-from-git gate the fleet and caching sweeps: \
+             add --fleet or --caching"
+        );
         std::process::exit(2);
     }
     println!(
@@ -404,9 +587,74 @@ fn main() {
         vec![0.2, 0.4, 0.6, 0.8, 1.0, 1.2]
     };
 
-    // The fleet path keeps its curves for the post-write baseline gate.
+    // The fleet and caching paths keep their curves for the post-write
+    // verdict and baseline gates.
     let mut fleet_outcome: Option<(Vec<FleetCurve>, bool)> = None;
-    let (json, out_path) = if fleet {
+    let mut caching_outcome: Option<(Vec<(String, SweepCurve)>, bool)> = None;
+    let (json, out_path) = if caching {
+        // The cache-aware arms on the RecNMP-opt cluster: the row streams
+        // are hotter than the reference workload (Zipf 1.2) so a bounded
+        // host cache sees real repeat traffic — the same shapes as the
+        // `fig_cache_serving` experiment at the matching scale.
+        let shape = if smoke {
+            QueryShape::reference_skewed().with_row_skew(1.2)
+        } else {
+            QueryShape::for_model(RecModelKind::Rm1Small, 4)
+                .with_table_skew(1.5)
+                .with_row_skew(1.2)
+        };
+        let spec = SweepSpec {
+            process: ArrivalProcess::Poisson,
+            shape,
+            utilizations,
+            queries,
+            probe_queries: probe,
+            seed: SEED,
+        };
+        let arms = reference_caching_arms();
+        println!(
+            "serve_sweep caching ({}): {} tables (skew {:.1}, row skew {:.1}) x batch {} = \
+             {} lookups/query, {} queries/point, {} arms x {} load points",
+            if smoke { "smoke" } else { "full" },
+            shape.tables,
+            shape.table_skew,
+            shape.row_skew,
+            shape.batch,
+            shape.lookups_per_query(),
+            spec.queries,
+            arms.len(),
+            spec.utilizations.len()
+        );
+        let modes: Vec<ServingMode> = arms.iter().map(|(_, m)| *m).collect();
+        let curves = caching_sweep(&mut reference_cluster4_optimized, modes[0], &modes, &spec)
+            .unwrap_or_else(|e| panic!("caching sweep failed: {e}"));
+        let labeled: Vec<(String, SweepCurve)> = arms
+            .into_iter()
+            .map(|(label, _)| label)
+            .zip(curves)
+            .collect();
+        for (label, c) in &labeled {
+            print_curve(label, c);
+        }
+        let verdict = CachingVerdict::from_curves(&labeled);
+        println!(
+            "  co-design: {} knee {:.0} vs {} knee {:.0} qps, top p99 {} vs {} cycles — {}",
+            CachingVerdict::ARM,
+            verdict.arm_knee,
+            CachingVerdict::BASELINE,
+            verdict.baseline_knee,
+            verdict.arm_top_p99,
+            verdict.baseline_top_p99,
+            if verdict.wins() { "wins" } else { "LOSES" }
+        );
+        let json = caching_report_json(smoke, &spec, &verdict, &labeled);
+        let wins = verdict.wins();
+        caching_outcome = Some((labeled, wins));
+        (
+            json,
+            out.unwrap_or_else(|| "BENCH_caching.json".to_string()),
+        )
+    } else if fleet {
         // The full-scale shape must carry enough distinct tables to keep
         // all 64 channels of the 16-node fleet busy (128 single-copy
         // tables over 64 channels), and must replicate enough of the
@@ -474,6 +722,8 @@ fn main() {
                     placement: dispatches[1].within_policy,
                     gather: dispatches[1].gather,
                     channel_capacity: dispatches[1].channel_capacity,
+                    host_cache: None,
+                    prefetch: None,
                 });
                 let cluster_curve = qps_sweep_at(
                     &mut reference_cluster4,
@@ -659,6 +909,50 @@ fn main() {
 
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("wrote {out_path}");
+
+    if let Some((caching_curves, wins)) = caching_outcome {
+        if !wins {
+            eprintln!(
+                "cache/placement co-design lost to the bare frequency baseline: \
+                 {} must lift the knee or cut the top-load p99 vs {} (see {out_path})",
+                CachingVerdict::ARM,
+                CachingVerdict::BASELINE
+            );
+            std::process::exit(1);
+        }
+        let committed = match (baseline_path, baseline_from_git) {
+            (Some(path), _) => Some((
+                std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}")),
+                path,
+            )),
+            (None, true) => Some((git_show_head(&out_path), format!("HEAD:./{out_path}"))),
+            (None, false) => None,
+        };
+        if let Some((json, source)) = committed {
+            let (mode, entries) = parse_caching_baseline(&json);
+            assert!(!entries.is_empty(), "no caching knees found in {source}");
+            let fresh_mode = if smoke { "smoke" } else { "full" };
+            if mode != fresh_mode {
+                eprintln!(
+                    "baseline {source} was measured in {mode:?} mode but this run is \
+                     {fresh_mode:?}; knees differ across workload sizes, so the \
+                     comparison would be meaningless"
+                );
+                std::process::exit(1);
+            }
+            let failures = check_caching_baseline(&entries, &caching_curves);
+            if failures.is_empty() {
+                println!("baseline check vs {source}: ok (>30% knee regression gate)");
+            } else {
+                eprintln!("caching knee QPS regressed >30% vs {source}:");
+                for f in &failures {
+                    eprintln!("  {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     let Some((fleet_curves, node1_equal)) = fleet_outcome else {
         return;

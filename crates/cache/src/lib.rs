@@ -1,16 +1,21 @@
 //! Cache simulators for the RecNMP reproduction.
 //!
-//! Two consumers drive this crate:
+//! Three consumers drive this crate:
 //!
 //! * the **locality characterization** of Section II-F (Figure 7), which
 //!   sweeps capacity (8–64 MiB) and line size (64–512 B) of a 4-way (and
 //!   fully-associative) LRU cache over production-like embedding traces,
-//!   and
 //! * the **RankCache** of Section III (Figures 12 and 15), the small
 //!   memory-side cache inside each rank-NMP module, which adds a software
 //!   *cacheability hint* (the `LocalityBit` of the NMP instruction): hinted
 //!   requests allocate on miss, unhinted requests bypass the cache
-//!   entirely.
+//!   entirely, and
+//! * the **cache-aware serving path** (`recnmp_sim::serving`), which puts
+//!   a [`SetAssocCache`] in front of dispatch as a host-side
+//!   hot-embedding cache (one line per embedding vector, hits absorbed
+//!   before any channel sees them) and stages predicted-hot vectors into
+//!   per-channel RankCaches between queries via the stats-clean prefetch
+//!   path ([`SetAssocCache::fill`] / [`RankCache::prefetch_fill`]).
 //!
 //! # Examples
 //!

@@ -61,6 +61,7 @@ impl RankCacheOutcome {
 pub struct RankCache {
     inner: SetAssocCache,
     bypasses: u64,
+    prefetch_fills: u64,
 }
 
 impl RankCache {
@@ -73,6 +74,7 @@ impl RankCache {
         Ok(Self {
             inner: SetAssocCache::new(config)?,
             bypasses: 0,
+            prefetch_fills: 0,
         })
     }
 
@@ -95,6 +97,25 @@ impl RankCache {
         }
     }
 
+    /// Stages a predicted-hot line without recording a lookup — the
+    /// inter-query prefetch path (ProactivePIM-style): lines installed
+    /// during an idle gap only pay off when a later *hinted* demand
+    /// access finds them, so they must not perturb hit/miss accounting.
+    /// Returns `true` when the line was newly installed.
+    pub fn prefetch_fill(&mut self, addr: u64) -> bool {
+        let fresh = self.inner.fill(addr);
+        if fresh {
+            self.prefetch_fills += 1;
+        }
+        fresh
+    }
+
+    /// Lines newly installed by [`prefetch_fill`](Self::prefetch_fill)
+    /// since the last [`reset`](Self::reset).
+    pub fn prefetch_fills(&self) -> u64 {
+        self.prefetch_fills
+    }
+
     /// Statistics, with bypasses folded in.
     pub fn stats(&self) -> CacheStats {
         let mut s = *self.inner.stats();
@@ -111,6 +132,7 @@ impl RankCache {
     pub fn reset(&mut self) {
         self.inner.reset();
         self.bypasses = 0;
+        self.prefetch_fills = 0;
     }
 
     /// Energy consumed by cache lookups so far, in nanojoules.
@@ -179,5 +201,29 @@ mod tests {
         c.access(0, false);
         c.reset();
         assert_eq!(c.stats().bypasses, 0);
+    }
+
+    #[test]
+    fn prefetch_fill_turns_demand_miss_into_hit() {
+        let mut c = rc();
+        assert!(c.prefetch_fill(0x80));
+        assert!(!c.prefetch_fill(0x80));
+        assert_eq!(c.prefetch_fills(), 1);
+        // The staged line costs no lookups, and the hinted demand access
+        // now hits instead of filling.
+        assert_eq!(c.stats().lookups(), 0);
+        assert_eq!(c.access(0x80, true), RankCacheOutcome::Hit);
+        // Unhinted accesses still bypass: prefetch only helps lines the
+        // locality profiler marked cacheable.
+        assert_eq!(c.access(0x80, false), RankCacheOutcome::Bypass);
+    }
+
+    #[test]
+    fn reset_clears_prefetch_fills() {
+        let mut c = rc();
+        c.prefetch_fill(0);
+        c.reset();
+        assert_eq!(c.prefetch_fills(), 0);
+        assert_eq!(c.access(0, true), RankCacheOutcome::MissFill);
     }
 }

@@ -190,6 +190,51 @@ impl SetAssocCache {
         }
     }
 
+    /// Installs the line of `addr` without recording a hit or miss — the
+    /// prefetch path: a staged line must help a later demand access's hit
+    /// rate, not inflate the lookup counters that rate is computed over.
+    ///
+    /// The filled line gets current recency (it competes in LRU like a
+    /// fresh demand fill) and may evict a victim, which *is* counted —
+    /// displacement is real regardless of who caused it. Returns `true`
+    /// when the line was newly installed, `false` when already resident
+    /// (residency is refreshed either way under LRU).
+    pub fn fill(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let id = self.line_id(addr);
+        let idx = self.set_index(id);
+        let policy = self.config.policy;
+        let ways = self.config.ways;
+        let set = &mut self.lines[idx * ways..][..ways];
+
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == id) {
+            if policy == ReplacementPolicy::Lru {
+                line.stamp = self.clock;
+            }
+            return false;
+        }
+        let victim = match set.iter().position(|l| !l.valid) {
+            Some(i) => i,
+            None => {
+                let (i, _) = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.stamp)
+                    .expect("sets are never empty");
+                i
+            }
+        };
+        if set[victim].valid {
+            self.stats.evictions += 1;
+        }
+        set[victim] = Line {
+            tag: id,
+            stamp: self.clock,
+            valid: true,
+        };
+        true
+    }
+
     /// Runs a whole trace of addresses and returns the hit rate.
     pub fn run_trace<I: IntoIterator<Item = u64>>(&mut self, addrs: I) -> f64 {
         for a in addrs {
@@ -306,6 +351,46 @@ mod tests {
         assert_eq!(c.occupancy(), 0);
         assert_eq!(c.stats().lookups(), 0);
         assert!(!c.contains(0));
+    }
+
+    #[test]
+    fn fill_installs_without_lookup_stats() {
+        let mut c = tiny();
+        assert!(c.fill(0));
+        assert!(!c.fill(32)); // same line: already resident
+        assert_eq!(c.stats().lookups(), 0);
+        assert_eq!(c.stats().misses, 0);
+        // The staged line serves the later demand access as a hit.
+        assert!(c.access(0).is_hit());
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn fill_evictions_are_counted_and_recency_applies() {
+        let mut c = tiny();
+        for i in 0..4u64 {
+            c.access(i * 64);
+        }
+        // Refreshing line 0 via fill makes line 1 the LRU victim.
+        assert!(!c.fill(0));
+        assert!(c.fill(4 * 64));
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.contains(0));
+        assert!(!c.contains(64));
+        // Fills never mark lines as seen: a filled-then-evicted line
+        // that was never demand-accessed still misses as compulsory.
+        for i in 5..9u64 {
+            c.access(i * 64); // flush the filled 4*64 line out
+        }
+        assert!(!c.contains(4 * 64));
+        let out = c.access(4 * 64);
+        assert!(matches!(
+            out,
+            AccessOutcome::Miss {
+                compulsory: true,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -405,6 +405,34 @@ impl SlsBackend for RecNmpCluster {
             .collect();
         recnmp_exec::current().run_vec(tasks)
     }
+
+    /// Forwards the prefetch to channel `server`'s RankCaches (the
+    /// channel is a single-server system, so its server index is 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `server >= self.channels()`.
+    fn prefetch_on(
+        &mut self,
+        server: usize,
+        addrs: &[recnmp_types::PhysAddr],
+        vector_bytes: u32,
+        budget_cycles: recnmp_types::Cycle,
+    ) -> u64 {
+        assert!(
+            server < self.channels.len(),
+            "server {server} out of range for {} channel(s)",
+            self.channels.len()
+        );
+        self.channels[server].prefetch_on(0, addrs, vector_bytes, budget_cycles)
+    }
+
+    /// Returns every channel's RankCaches to cold.
+    fn reset_caches(&mut self) {
+        for channel in &mut self.channels {
+            channel.reset_caches();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -558,6 +586,36 @@ mod tests {
         // dispatch to them starts from a cold channel clock.
         let other = c.try_run_on(0, &trace).unwrap();
         assert_eq!(other.insts, trace.total_lookups());
+    }
+
+    #[test]
+    fn prefetch_and_reset_forward_per_channel() {
+        let config = RecNmpClusterConfig::builder()
+            .channels(2)
+            .dimms(1)
+            .ranks_per_dimm(2)
+            .refresh(false)
+            .optimized(true)
+            .build()
+            .unwrap();
+        let mut c = RecNmpCluster::new(config).unwrap();
+        let trace = workload(1, 8);
+        let addrs: Vec<PhysAddr> = trace.batches[0]
+            .addrs
+            .iter()
+            .flatten()
+            .copied()
+            .take(16)
+            .collect();
+        let staged = c.prefetch_on(1, &addrs, 128, recnmp_types::Cycle::MAX);
+        assert!(staged > 0, "optimized channels have RankCaches to fill");
+        // Channel 0's caches were untouched by the channel-1 prefetch.
+        assert!(c.prefetch_on(0, &addrs, 128, recnmp_types::Cycle::MAX) > 0);
+        // Re-staging on a warm channel finds everything resident...
+        assert_eq!(c.prefetch_on(1, &addrs, 128, recnmp_types::Cycle::MAX), 0);
+        // ...until reset returns every channel to cold.
+        c.reset_caches();
+        assert!(c.prefetch_on(1, &addrs, 128, recnmp_types::Cycle::MAX) > 0);
     }
 
     #[test]

@@ -51,6 +51,12 @@ impl DimmNmp {
         &self.ranks
     }
 
+    /// Mutable access to the rank engines — the prefetch/reset path into
+    /// each rank's RankCache.
+    pub fn ranks_mut(&mut self) -> &mut [RankNmp] {
+        &mut self.ranks
+    }
+
     /// Adder-tree depth: one pipelined element-wise adder stage per level.
     pub fn adder_tree_latency(&self) -> Cycle {
         (self.ranks.len().max(1) as f64).log2().ceil() as Cycle

@@ -219,6 +219,35 @@ impl RankNmp {
         })
     }
 
+    /// Whether this rank carries a RankCache at all.
+    pub fn has_cache(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Stages one `bursts`-burst vector at `daddr` into the RankCache via
+    /// the stats-clean prefetch path — the inter-query prefetch target.
+    /// Returns `true` when at least one line was newly installed; `false`
+    /// when fully resident already or when the rank has no cache.
+    pub fn prefetch_vector(&mut self, daddr: &DramAddr, bursts: u8) -> bool {
+        let Some(cache) = self.cache.as_mut() else {
+            return false;
+        };
+        let line_addr = rank_local_bytes(daddr);
+        let mut fresh = false;
+        for b in 0..bursts.max(1) as u64 {
+            fresh |= cache.prefetch_fill(line_addr + b * 64);
+        }
+        fresh
+    }
+
+    /// Drops the RankCache's contents and counters (no-op without a
+    /// cache) — how a sweep driver returns this rank to cold state.
+    pub fn reset_cache(&mut self) {
+        if let Some(cache) = self.cache.as_mut() {
+            cache.reset();
+        }
+    }
+
     fn count_datapath_ops(&mut self, inst: &NmpInst) {
         // 16 FP32 elements per 64-byte burst.
         let elems = inst.vsize as u64 * 16;
@@ -375,6 +404,35 @@ mod tests {
         // Serial row misses would cost 16 * ~36 cycles; bank-level
         // parallelism must land far below that.
         assert!(res.done_cycle < 16 * 36, "{}", res.done_cycle);
+    }
+
+    #[test]
+    fn prefetched_vector_hits_on_demand() {
+        let mut r = RankNmp::new(RankId::new(0), &config(true)).unwrap();
+        let i = inst(1, 0, 0);
+        assert!(r.has_cache());
+        assert!(r.prefetch_vector(&i.daddr, i.vsize));
+        assert!(!r.prefetch_vector(&i.daddr, i.vsize)); // already staged
+        let res = r.process(1000, &[(1000, i)]).unwrap();
+        // Served from the staged line: no DRAM bursts, cache-hit latency.
+        assert_eq!(r.stats().dram_bursts, 0);
+        assert_eq!(res.done_cycle, 1000 + 1 + 4);
+        assert_eq!(r.cache_stats().hits, 1);
+        assert_eq!(r.cache_stats().misses, 0);
+        r.reset_cache();
+        assert_eq!(r.cache_stats().hits, 0);
+        // Cold again: the same instruction now reads DRAM.
+        r.process(2000, &[(2000, i)]).unwrap();
+        assert_eq!(r.stats().dram_bursts, 1);
+    }
+
+    #[test]
+    fn prefetch_without_cache_is_inert() {
+        let mut r = RankNmp::new(RankId::new(0), &config(false)).unwrap();
+        let i = inst(1, 0, 0);
+        assert!(!r.has_cache());
+        assert!(!r.prefetch_vector(&i.daddr, i.vsize));
+        r.reset_cache(); // no-op, must not panic
     }
 
     #[test]

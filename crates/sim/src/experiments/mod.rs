@@ -77,10 +77,10 @@ impl fmt::Display for ExperimentResult {
     }
 }
 
-/// All experiment ids, in paper order (fig19 and fig_capacity are this
-/// reproduction's own extensions, numbered past the paper's last
-/// figure).
-pub const IDS: [&str; 18] = [
+/// All experiment ids, in paper order (fig19, fig_capacity, fig_fleet
+/// and fig_cache_serving are this reproduction's own extensions,
+/// numbered or named past the paper's last figure).
+pub const IDS: [&str; 19] = [
     "fig01_footprint",
     "fig01_roofline_lift",
     "fig04_breakdown",
@@ -97,6 +97,7 @@ pub const IDS: [&str; 18] = [
     "fig19_placement",
     "fig_capacity",
     "fig_fleet",
+    "fig_cache_serving",
     "tab01_config",
     "tab02_overhead",
 ];
@@ -120,6 +121,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentResult> {
         "fig19_placement" => serving::fig19_placement(scale),
         "fig_capacity" => storage::fig_capacity(scale),
         "fig_fleet" => fleet::fig_fleet(scale),
+        "fig_cache_serving" => serving::fig_cache_serving(scale),
         "tab01_config" => tables::tab01_config(),
         "tab02_overhead" => tables::tab02_overhead(),
         _ => return None,

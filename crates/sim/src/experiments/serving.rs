@@ -9,8 +9,10 @@ use recnmp_model::RecModelKind;
 use super::{ExperimentResult, Scale};
 use crate::render::{f2, TextTable};
 use crate::serving::{
-    placement_sweep, reference_channel_capacity, reference_cluster4, sweep_matrix, ArrivalProcess,
-    DispatchPolicy, GatherCost, NamedFactories, QueryShape, ServingMode, SweepCurve, SweepSpec,
+    caching_sweep, placement_sweep, reference_caching_arms, reference_channel_capacity,
+    reference_cluster4, reference_cluster4_optimized, serve, sweep_matrix, ArrivalProcess,
+    DispatchPolicy, GatherCost, NamedFactories, QueryShape, ServingConfig, ServingMode, SweepCurve,
+    SweepSpec,
 };
 
 const SEED: u64 = 0x5e12;
@@ -160,11 +162,145 @@ pub fn fig19_placement(scale: Scale) -> ExperimentResult {
     result
 }
 
+/// Cache-aware serving (the co-design figure): sharded scatter/gather on
+/// the RecNMP-opt 4-channel cluster with a host-side hot-embedding cache
+/// swept over capacity × placement policy, plus inter-query RankCache
+/// prefetch on the largest co-designed arm. The row streams are hotter
+/// than the reference workload (Zipf 1.2) so a bounded cache sees real
+/// repeat traffic; every arm runs at the same absolute offered loads,
+/// anchored to the cache-less frequency-balanced baseline's saturation.
+pub fn fig_cache_serving(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "fig_cache_serving",
+        "Cache-aware serving: host-cache capacity x placement over the RecNMP-opt cluster",
+    );
+    let shape = match scale {
+        Scale::Quick => QueryShape::reference_skewed().with_row_skew(1.2),
+        Scale::Full => QueryShape::for_model(RecModelKind::Rm1Small, 4)
+            .with_table_skew(1.5)
+            .with_row_skew(1.2),
+    };
+    let spec = SweepSpec {
+        process: ArrivalProcess::Poisson,
+        shape,
+        utilizations: vec![0.4, 0.8, 1.2],
+        queries: scale.scaled(24, 48),
+        probe_queries: scale.scaled(8, 12),
+        seed: SEED,
+    };
+    let arms = reference_caching_arms();
+    let modes: Vec<ServingMode> = arms.iter().map(|(_, m)| *m).collect();
+    let curves = caching_sweep(&mut reference_cluster4_optimized, modes[0], &modes, &spec)
+        .expect("caching sweep");
+
+    let mut table = TextTable::new(
+        format!(
+            "recnmp-opt-cluster[4], sharded scatter/gather with host cache: \
+             table skew {:.1}, row skew {:.1}, {} queries/point",
+            shape.table_skew, shape.row_skew, spec.queries
+        ),
+        &[
+            "arm",
+            "util",
+            "offered qps",
+            "achieved qps",
+            "p50 (us)",
+            "p95 (us)",
+            "p99 (us)",
+            "sustained",
+        ],
+    );
+    for ((label, _), curve) in arms.iter().zip(&curves) {
+        push_labeled_rows(&mut table, label, curve);
+        result.notes.push(knee_note(label, curve));
+    }
+    result.tables.push(table);
+
+    // Locality accounting at the knee-region load: one measured run per
+    // arm at 0.8× the anchor saturation surfaces what each layer
+    // absorbed — host-cache hits, bytes that never reached a channel,
+    // RankCache hits, and vectors the inter-query prefetcher staged.
+    let mut stats = TextTable::new(
+        "locality layers at util 0.8 (one serving run per arm)",
+        &[
+            "arm",
+            "host hits",
+            "host misses",
+            "host hit rate",
+            "absorbed KiB",
+            "rank-cache hits",
+            "prefetch fills",
+        ],
+    );
+    let qps = 0.8 * curves[0].saturation_qps;
+    for (label, mode) in &arms {
+        let mut backend = reference_cluster4_optimized();
+        backend.reset_caches();
+        let cfg = ServingConfig {
+            process: spec.process,
+            qps,
+            queries: spec.queries,
+            shape,
+            mode: *mode,
+            coalescing: None,
+            seed: SEED,
+        };
+        let r = serve(backend.as_mut(), &cfg).expect("stats run").report;
+        let offered = r.host_hits + r.host_misses;
+        let hit_rate = if offered > 0 {
+            format!("{:.1}%", 100.0 * r.host_hits as f64 / offered as f64)
+        } else {
+            "-".to_string()
+        };
+        stats.push_row(vec![
+            label.clone(),
+            r.host_hits.to_string(),
+            r.host_misses.to_string(),
+            hit_rate,
+            format!("{:.1}", r.host_absorbed_bytes as f64 / 1024.0),
+            r.cache.hits.to_string(),
+            r.prefetch_fills.to_string(),
+        ]);
+    }
+    result.tables.push(stats);
+
+    let knee_qps = |c: &SweepCurve| c.knee().map_or(0.0, |p| p.offered_qps);
+    let top_p99 = |c: &SweepCurve| c.points.last().expect("points").summary.p99;
+    let (bare, co_designed) = (&curves[0], &curves[3]);
+    result.notes.push(format!(
+        "co-design verdict: cached-frequency@1MiB vs the cache-less frequency baseline \
+         at fixed loads: knee {:.0} vs {:.0} qps, p99 at the top load {} vs {} cycles — \
+         absorbing hot rows at the host *and* placing tables by the residual traffic \
+         must move the knee or the tail, or the cache is not earning its capacity",
+        knee_qps(co_designed),
+        knee_qps(bare),
+        top_p99(co_designed),
+        top_p99(bare),
+    ));
+    result.notes.push(
+        "Host cache: capacity-bounded LRU over whole vectors of the 4 hottest tables; \
+         an absorbed lookup never reaches a channel (the shard runs less work) and \
+         costs 2 host cycles instead. Placement under a cache packs channels by the \
+         residual (post-absorption) traffic. Prefetch stages the hottest observed \
+         vectors into idle channels' RankCaches between arrivals, bounded by the \
+         idle gap at 4 cycles per 64-byte burst."
+            .into(),
+    );
+    result
+}
+
 pub(super) fn push_curve_rows(table: &mut TextTable, curve: &SweepCurve) {
+    push_labeled_rows(table, curve.mode.name(), curve);
+}
+
+/// Like [`push_curve_rows`] but with an explicit first-column label —
+/// the caching arms reuse one mode name at two capacities, so the mode
+/// name alone cannot identify a row.
+pub(super) fn push_labeled_rows(table: &mut TextTable, label: &str, curve: &SweepCurve) {
     for p in &curve.points {
         let (p50, p95, p99) = p.summary.percentiles_us();
         table.push_row(vec![
-            curve.mode.name().to_string(),
+            label.to_string(),
             f2(p.utilization),
             format!("{:.0}", p.offered_qps),
             format!("{:.0}", p.achieved_qps),
@@ -265,6 +401,79 @@ mod tests {
     fn placement_experiment_is_deterministic() {
         let a = fig19_placement(Scale::Quick);
         let b = fig19_placement(Scale::Quick);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cache_serving_co_design_beats_the_bare_baseline() {
+        let r = fig_cache_serving(Scale::Quick);
+        assert_eq!(r.tables.len(), 2);
+        // 5 arms x 3 load points.
+        assert_eq!(r.tables[0].rows.len(), 15);
+
+        // The acceptance claim of the co-design: at the same absolute
+        // offered loads, the 1 MiB host cache over residual-load
+        // frequency placement must sustain a strictly higher knee than
+        // the cache-less frequency baseline, or cut its p99 at the
+        // shared top load.
+        let rows_of = |arm: &str| -> Vec<&Vec<String>> {
+            r.tables[0].rows.iter().filter(|w| w[0] == arm).collect()
+        };
+        let knee = |arm: &str| {
+            rows_of(arm)
+                .iter()
+                .rev()
+                .find(|w| w[7] == "yes")
+                .map_or(0.0, |w| w[2].parse::<f64>().unwrap())
+        };
+        let top_p99 = |arm: &str| {
+            rows_of(arm)
+                .last()
+                .map(|w| w[6].parse::<f64>().unwrap())
+                .unwrap()
+        };
+        let (bare, co) = ("sharded-frequency", "cached-frequency@1MiB");
+        assert!(
+            knee(co) > knee(bare) || top_p99(co) < top_p99(bare),
+            "cache+placement co-design must move the knee or the tail: \
+             knees {} vs {}, p99 {} vs {}",
+            knee(co),
+            knee(bare),
+            top_p99(co),
+            top_p99(bare)
+        );
+
+        // Layer accounting: the cached arms absorbed real traffic, the
+        // bare arms none, and the prefetch arm staged vectors.
+        let stat = |arm: &str| {
+            r.tables[1]
+                .rows
+                .iter()
+                .find(|w| w[0] == arm)
+                .unwrap_or_else(|| panic!("no stats row for {arm}"))
+        };
+        assert!(stat(co)[1].parse::<u64>().unwrap() > 0, "host hits");
+        assert_eq!(stat(bare)[1], "0");
+        assert_eq!(stat(bare)[4], "0.0");
+        assert!(
+            stat("sharded-frequency+prefetch")[6]
+                .parse::<u64>()
+                .unwrap()
+                > 0,
+            "prefetch staged nothing"
+        );
+        // Prefetch warms RankCaches the demand stream alone would miss.
+        let rank_hits = |arm: &str| stat(arm)[5].parse::<u64>().unwrap();
+        assert!(rank_hits("sharded-frequency+prefetch") >= rank_hits(bare));
+        // The host cache absorbs the hot set before it reaches any
+        // channel, so the channels' own caches see far fewer hits.
+        assert!(rank_hits(co) < rank_hits(bare));
+    }
+
+    #[test]
+    fn cache_serving_experiment_is_deterministic() {
+        let a = fig_cache_serving(Scale::Quick);
+        let b = fig_cache_serving(Scale::Quick);
         assert_eq!(a, b);
     }
 }

@@ -804,6 +804,8 @@ mod tests {
                 placement: dispatch.within_policy,
                 gather: dispatch.gather,
                 channel_capacity: dispatch.channel_capacity,
+                host_cache: None,
+                prefetch: None,
             }),
             coalescing: None,
             seed: fleet_cfg.seed,

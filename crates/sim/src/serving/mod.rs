@@ -16,7 +16,11 @@
 //!   channel, least-outstanding-work), or **sharded** scatter/gather
 //!   ([`ShardedDispatch`]) where each query fans out to every channel
 //!   owning one of its tables under a placement policy
-//!   ([`PlacementPolicy`]) and pays a host [`GatherCost`] merge, or
+//!   ([`PlacementPolicy`]) and pays a host [`GatherCost`] merge —
+//!   optionally fronted by a host-side hot-embedding cache
+//!   ([`HostCacheSpec`], with the placement built from the residual
+//!   post-cache load) and inter-query RankCache prefetch
+//!   ([`PrefetchSpec`]) — or
 //!   **tiered** scatter/gather ([`TieredDispatch`]) over a DRAM+SSD
 //!   server space with optional epoch-based promotion
 //!   ([`EpochPromotion`]); plus optional batch [`Coalescing`] with a
@@ -64,6 +68,7 @@
 
 pub mod arrivals;
 pub mod fleet;
+mod host_cache;
 pub mod policy;
 pub mod scheduler;
 pub mod sweep;
@@ -74,13 +79,14 @@ pub use fleet::{
     FleetDispatch, FleetFactory, FleetReport, NetworkCost, RouterPolicy,
 };
 pub use policy::{
-    Coalescing, DispatchPolicy, EpochPromotion, GatherCost, ServingMode, ShardedDispatch,
-    TieredDispatch,
+    Coalescing, DispatchPolicy, EpochPromotion, GatherCost, HostCacheSpec, PrefetchSpec,
+    ServingMode, ShardedDispatch, TieredDispatch,
 };
 pub use recnmp_backend::{PlacementPolicy, TierSpec, TieredPolicy};
 pub use scheduler::{serve, LatencySummary, ServingConfig, ServingReport};
 pub use sweep::{
-    placement_sweep, qps_sweep, qps_sweep_at, reference_channel_capacity, reference_cluster4,
-    reference_tiered, saturation_qps, sweep_matrix, tiered_sweep, BackendFactory, LabeledCurve,
-    NamedFactories, SweepCurve, SweepPoint, SweepSpec,
+    caching_sweep, placement_sweep, qps_sweep, qps_sweep_at, reference_caching_arms,
+    reference_channel_capacity, reference_cluster4, reference_cluster4_optimized, reference_tiered,
+    saturation_qps, sweep_matrix, tiered_sweep, BackendFactory, LabeledCurve, NamedFactories,
+    SweepCurve, SweepPoint, SweepSpec,
 };

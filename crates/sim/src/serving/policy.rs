@@ -80,11 +80,65 @@ impl Default for GatherCost {
     }
 }
 
+/// A host-side hot-embedding cache in front of dispatch: a
+/// capacity-bounded LRU vector cache that absorbs lookups to hot rows of
+/// the hottest tables *before* they reach any channel. An absorbed
+/// lookup is removed from the dispatched trace (the shard runs genuinely
+/// less work) and costs `hit_cycles` of host time instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostCacheSpec {
+    /// Total cache capacity in bytes (whole vectors are cached).
+    pub capacity: ByteSize,
+    /// Admission filter: only the `hot_tables` hottest tables of the
+    /// stream's profile are cacheable — cold-table traffic bypasses the
+    /// cache entirely instead of thrashing it.
+    pub hot_tables: usize,
+    /// Host-side cycles charged per absorbed lookup (the hit still reads
+    /// host DRAM and feeds the final reduction).
+    pub hit_cycles: Cycle,
+}
+
+impl HostCacheSpec {
+    /// A host cache of `capacity` admitting the 4 hottest tables at the
+    /// default hit cost.
+    pub const fn with_capacity(capacity: ByteSize) -> Self {
+        Self {
+            capacity,
+            hot_tables: 4,
+            hit_cycles: 2,
+        }
+    }
+}
+
+/// Inter-query rank-cache prefetch: between arrivals, idle channels stage
+/// the hottest vectors observed so far into their RankCaches as
+/// low-priority traffic (the idle gap is the budget, so prefetch always
+/// yields to demand work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchSpec {
+    /// Hottest-first candidate list length (vectors), across channels.
+    pub candidates: usize,
+}
+
+impl PrefetchSpec {
+    /// A prefetcher tracking the `candidates` hottest vectors.
+    pub const fn new(candidates: usize) -> Self {
+        Self { candidates }
+    }
+}
+
 /// Sharded scatter/gather dispatch: each query fans out to every channel
 /// owning one of its tables under a
 /// [`PlacementPlan`](recnmp_backend::PlacementPlan) built from the query
 /// stream's table profile, and completes at the slowest shard plus the
 /// host [`GatherCost`].
+///
+/// With `host_cache` set, a [`HostCacheSpec`] absorbs hot lookups before
+/// sharding and the placement plan is built from the *residual* traffic
+/// (cache/placement co-design via
+/// [`apply_absorption`](recnmp_backend::apply_absorption)); with
+/// `prefetch` set, idle channels stage predicted-hot vectors between
+/// arrivals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardedDispatch {
     /// How tables are placed on channels.
@@ -93,17 +147,35 @@ pub struct ShardedDispatch {
     pub gather: GatherCost,
     /// Optional per-channel byte capacity for the placement plan.
     pub channel_capacity: Option<ByteSize>,
+    /// Optional host-side hot-embedding cache ahead of dispatch.
+    pub host_cache: Option<HostCacheSpec>,
+    /// Optional inter-query prefetch into channel RankCaches.
+    pub prefetch: Option<PrefetchSpec>,
 }
 
 impl ShardedDispatch {
     /// Sharded dispatch under `placement`, default gather cost, no
-    /// capacity bound.
+    /// capacity bound, no host cache, no prefetch.
     pub const fn new(placement: PlacementPolicy) -> Self {
         Self {
             placement,
             gather: GatherCost::host_default(),
             channel_capacity: None,
+            host_cache: None,
+            prefetch: None,
         }
+    }
+
+    /// The same dispatch with a host cache in front.
+    pub const fn with_host_cache(mut self, cache: HostCacheSpec) -> Self {
+        self.host_cache = Some(cache);
+        self
+    }
+
+    /// The same dispatch with inter-query prefetch enabled.
+    pub const fn with_prefetch(mut self, prefetch: PrefetchSpec) -> Self {
+        self.prefetch = Some(prefetch);
+        self
     }
 }
 
@@ -179,6 +251,14 @@ impl ServingMode {
     pub fn name(self) -> &'static str {
         match self {
             ServingMode::Queued(p) => p.name(),
+            // A host cache changes the measured system, so cached runs get
+            // their own label family; bare sharded names are unchanged and
+            // the pre-caching report formats stay stable.
+            ServingMode::Sharded(s) if s.host_cache.is_some() => match s.placement {
+                PlacementPolicy::Hash => "cached-hash",
+                PlacementPolicy::CapacityGreedy => "cached-capacity",
+                PlacementPolicy::FrequencyBalanced { .. } => "cached-frequency",
+            },
             ServingMode::Sharded(s) => match s.placement {
                 PlacementPolicy::Hash => "sharded-hash",
                 PlacementPolicy::CapacityGreedy => "sharded-capacity",
@@ -198,6 +278,12 @@ impl ServingMode {
     /// Sharded mode under `placement` with default gather cost.
     pub const fn sharded(placement: PlacementPolicy) -> Self {
         ServingMode::Sharded(ShardedDispatch::new(placement))
+    }
+
+    /// Sharded mode under `placement` with a host cache in front (default
+    /// gather cost, no prefetch).
+    pub const fn cached(placement: PlacementPolicy, cache: HostCacheSpec) -> Self {
+        ServingMode::Sharded(ShardedDispatch::new(placement).with_host_cache(cache))
     }
 
     /// Tiered mode under `policy` over `tiers` with default gather cost
@@ -273,6 +359,24 @@ mod tests {
             .collect();
         assert_eq!(sharded.len(), PlacementPolicy::COMPARED.len());
         assert!(sharded.iter().all(|n| n.starts_with("sharded-")));
+    }
+
+    #[test]
+    fn cached_mode_names_are_distinct_from_bare_sharded() {
+        use recnmp_types::ByteSize;
+        let cache = HostCacheSpec::with_capacity(ByteSize::kib(64));
+        let mut seen = std::collections::HashSet::new();
+        for p in PlacementPolicy::COMPARED {
+            let bare = ServingMode::sharded(p).name();
+            let cached = ServingMode::cached(p, cache).name();
+            assert!(bare.starts_with("sharded-"));
+            assert!(cached.starts_with("cached-"), "{cached}");
+            assert!(seen.insert(bare) && seen.insert(cached));
+        }
+        // Prefetch alone does not rename the mode: the system under
+        // measurement is still bare sharded serving.
+        let pf = ShardedDispatch::new(PlacementPolicy::Hash).with_prefetch(PrefetchSpec::new(32));
+        assert_eq!(ServingMode::Sharded(pf).name(), "sharded-hash");
     }
 
     #[test]

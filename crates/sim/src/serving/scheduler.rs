@@ -20,7 +20,10 @@ use recnmp_types::{ByteSize, ConfigError, Cycle, SimError, TableId};
 use serde::{Deserialize, Serialize};
 
 use super::arrivals::{ArrivalProcess, QueryShape, QueryStream};
-use super::policy::{Coalescing, DispatchPolicy, GatherCost, ServingMode, TieredDispatch};
+use super::host_cache::{HostCache, HotVectorTracker};
+use super::policy::{
+    Coalescing, DispatchPolicy, GatherCost, ServingMode, ShardedDispatch, TieredDispatch,
+};
 
 /// One serving run: an offered load, a query shape, and a scheduling
 /// discipline.
@@ -263,28 +266,15 @@ pub(super) fn serve_arrivals(
             }
         }
         ServingMode::Sharded(sharded) => {
-            // The placement plan is built once per run from the query
-            // stream's table profile; every job then consults it.
-            let usage = TableUsage::from_traces(queries);
-            let plan = PlacementPlan::build(
-                servers,
-                sharded.channel_capacity.map(ByteSize::get),
-                &usage,
-                sharded.placement,
-            )
-            .map_err(SimError::Config)?;
-            for job in &jobs {
-                serve_scattered(
-                    backend,
-                    &plan,
-                    sharded.gather,
-                    job,
-                    queries,
-                    &mut free_at,
-                    &mut completions,
-                    &mut merged,
-                )?;
-            }
+            serve_sharded(
+                backend,
+                sharded,
+                &jobs,
+                queries,
+                &mut free_at,
+                &mut completions,
+                &mut merged,
+            )?;
         }
         ServingMode::Tiered(tiered) => {
             serve_tiered(
@@ -321,23 +311,172 @@ pub(super) fn serve_arrivals(
     })
 }
 
+/// Serves every job under sharded scatter/gather, with the optional
+/// cache-aware extensions:
+///
+/// * **Host cache** ([`HostCacheSpec`](super::policy::HostCacheSpec)) —
+///   each job's trace filters through a host-side hot-embedding cache
+///   first; absorbed lookups leave the dispatched work and instead charge
+///   `hit_cycles` each onto the query's completion. The placement plan is
+///   then built from the *residual* load: a dry run replays the job
+///   sequence through the cache to learn the expected per-table
+///   absorption, [`PlacementPlan::build_with_absorption`] balances what
+///   actually reaches the channels, and the cache returns to cold before
+///   the measured pass (cache/placement co-design).
+/// * **Prefetch** ([`PrefetchSpec`](super::policy::PrefetchSpec)) — the
+///   dispatched traffic feeds a [`HotVectorTracker`]; before each job,
+///   every channel idle until the dispatch cycle spends its gap staging
+///   the hottest tracked vectors into its RankCaches via
+///   [`SlsBackend::prefetch_on`] (low-priority: the gap bounds the
+///   traffic, so prefetch never delays demand work).
+fn serve_sharded(
+    backend: &mut dyn SlsBackend,
+    sharded: ShardedDispatch,
+    jobs: &[Job],
+    queries: &[SlsTrace],
+    free_at: &mut [Cycle],
+    completions: &mut [Cycle],
+    merged: &mut RunReport,
+) -> Result<(), SimError> {
+    let usage = TableUsage::from_traces(queries);
+    let capacity = sharded.channel_capacity.map(ByteSize::get);
+    let mut host_cache = match sharded.host_cache {
+        Some(spec) => Some(
+            HostCache::build(spec, &usage, max_vector_bytes(queries)).map_err(SimError::Config)?,
+        ),
+        None => None,
+    };
+
+    // The placement plan is built once per run from the query stream's
+    // table profile — from the residual (post-cache) profile when a host
+    // cache fronts dispatch; every job then consults it.
+    let plan = if let Some(hc) = host_cache.as_mut() {
+        for job in jobs {
+            let _ = hc.filter(merge_queries(queries, &job.members));
+        }
+        let absorbed = hc.absorbed_profile();
+        hc.reset();
+        PlacementPlan::build_with_absorption(
+            servers_of(free_at),
+            capacity,
+            &usage,
+            &absorbed,
+            sharded.placement,
+        )
+    } else {
+        PlacementPlan::build(servers_of(free_at), capacity, &usage, sharded.placement)
+    }
+    .map_err(SimError::Config)?;
+
+    let mut tracker = sharded
+        .prefetch
+        .map(|spec| HotVectorTracker::new(spec.candidates));
+    let offered: u64 = queries.iter().map(SlsTrace::total_lookups).sum();
+
+    for job in jobs {
+        if let Some(tr) = &tracker {
+            prefetch_idle(backend, &plan, tr, job.dispatch, free_at, merged);
+        }
+        let (trace, host_cycles) = match host_cache.as_mut() {
+            Some(hc) => {
+                let (residual, job_hits) = hc.filter(merge_queries(queries, &job.members));
+                (residual, job_hits * hc.hit_cycles())
+            }
+            None => (merge_queries(queries, &job.members), 0),
+        };
+        if let Some(tr) = tracker.as_mut() {
+            tr.observe(&trace);
+        }
+        serve_scattered(
+            backend,
+            &plan,
+            sharded.gather,
+            job,
+            trace,
+            host_cycles,
+            free_at,
+            completions,
+            merged,
+        )?;
+    }
+
+    if let Some(hc) = &host_cache {
+        let (hits, misses, absorbed_bytes) = hc.stats();
+        debug_assert_eq!(hits + misses, offered, "host cache conserves lookups");
+        merged.host_hits += hits;
+        merged.host_misses += misses;
+        merged.host_absorbed_bytes += absorbed_bytes;
+    }
+    Ok(())
+}
+
+/// The server count, read back from the per-server state it sized.
+fn servers_of(free_at: &[Cycle]) -> usize {
+    free_at.len()
+}
+
+/// The largest vector size across the stream — the host cache's line
+/// size, so any table's vector fits one line.
+fn max_vector_bytes(queries: &[SlsTrace]) -> u64 {
+    queries
+        .iter()
+        .flat_map(|q| &q.batches)
+        .map(|b| b.batch.spec.vector_bytes)
+        .max()
+        .unwrap_or(64)
+}
+
+/// Spends each idle channel's gap before `dispatch` staging the hottest
+/// tracked vectors into its RankCaches. Candidates route to every
+/// channel holding a replica of their table (the scatter picks replicas
+/// by backlog at dispatch time, so any replica may serve them).
+fn prefetch_idle(
+    backend: &mut dyn SlsBackend,
+    plan: &PlacementPlan,
+    tracker: &HotVectorTracker,
+    dispatch: Cycle,
+    free_at: &[Cycle],
+    merged: &mut RunReport,
+) {
+    let hot = tracker.hottest();
+    if hot.is_empty() {
+        return;
+    }
+    let mut per_channel: Vec<Vec<recnmp_types::PhysAddr>> = vec![Vec::new(); free_at.len()];
+    let mut vbytes = vec![0u32; free_at.len()];
+    for (addr, table, vb) in hot {
+        for &c in plan.replicas(table) {
+            per_channel[c].push(recnmp_types::PhysAddr::new(addr));
+            vbytes[c] = vbytes[c].max(vb);
+        }
+    }
+    for (c, addrs) in per_channel.iter().enumerate() {
+        let gap = dispatch.saturating_sub(free_at[c]);
+        if addrs.is_empty() || gap == 0 {
+            continue;
+        }
+        merged.prefetch_fills += backend.prefetch_on(c, addrs, vbytes[c], gap);
+    }
+}
+
 /// Scatters one job across the channels owning its tables and gathers:
 /// each batch lands on the replica of its table with the least backlog
 /// (deterministic, ties to the lowest channel), each non-empty shard
 /// queues on its channel, and every member query completes at the
-/// slowest shard plus the host merge cost.
+/// slowest shard plus the host merge cost plus `host_cycles` (the
+/// host-cache charge for this job's absorbed lookups).
 #[allow(clippy::too_many_arguments)]
 fn serve_scattered(
     backend: &mut dyn SlsBackend,
     plan: &PlacementPlan,
     gather: GatherCost,
     job: &Job,
-    queries: &[SlsTrace],
+    trace: SlsTrace,
+    host_cycles: Cycle,
     free_at: &mut [Cycle],
     completions: &mut [Cycle],
     merged: &mut RunReport,
 ) -> Result<(), SimError> {
-    let trace = merge_queries(queries, &job.members);
     let lookups = trace.total_lookups();
     let mut shards: Vec<SlsTrace> = vec![SlsTrace::default(); free_at.len()];
     for batch in trace.batches {
@@ -368,7 +507,7 @@ fn serve_scattered(
     }
     debug_assert_eq!(scattered, lookups, "scatter must conserve lookups");
 
-    let complete = slowest + gather.base + gather.per_shard * fanout;
+    let complete = slowest + gather.base + gather.per_shard * fanout + host_cycles;
     for &q in &job.members {
         completions[q] = complete;
     }
@@ -419,7 +558,8 @@ fn serve_tiered(
                 plan.flat(),
                 tiered.gather,
                 job,
-                queries,
+                merge_queries(queries, &job.members),
+                0,
                 free_at,
                 completions,
                 merged,
@@ -483,7 +623,8 @@ fn serve_tiered(
             plan.flat(),
             tiered.gather,
             job,
-            queries,
+            merge_queries(queries, &job.members),
+            0,
             free_at,
             completions,
             merged,

@@ -83,6 +83,7 @@ pub fn saturation_qps(
     seed: u64,
 ) -> Result<f64, SimError> {
     let mut backend = make_backend();
+    backend.reset_caches();
     let cfg = ServingConfig {
         process: ArrivalProcess::Uniform,
         qps: 1.0, // unused: arrivals are pinned to cycle 0 below
@@ -154,7 +155,12 @@ pub fn qps_sweep_at(
                 coalescing: None,
                 seed,
             };
-            (make_backend(), cfg)
+            // Every load point starts from cold caches even if the
+            // factory hands out warm (reused) backends — points must be
+            // independent, byte-identical at any worker count.
+            let mut backend = make_backend();
+            backend.reset_caches();
+            (backend, cfg)
         })
         .collect();
     let tasks: Vec<_> = jobs
@@ -269,6 +275,21 @@ pub fn reference_cluster4() -> Box<dyn SlsBackend> {
     Box::new(recnmp::RecNmpCluster::new(reference_cluster_config()).expect("reference cluster"))
 }
 
+/// The RecNMP-opt variant of [`reference_cluster4`]: same geometry, but
+/// every channel carries a RankCache and hot-entry profiling — the
+/// backend the cache-aware serving sweeps measure, since inter-query
+/// prefetch needs memory-side caches to stage into.
+pub fn reference_cluster4_optimized() -> Box<dyn SlsBackend> {
+    let config = recnmp::RecNmpClusterConfig::builder()
+        .channels(4)
+        .dimms(1)
+        .ranks_per_dimm(2)
+        .optimized(true)
+        .build()
+        .expect("reference optimized cluster config");
+    Box::new(recnmp::RecNmpCluster::new(config).expect("reference optimized cluster"))
+}
+
 /// Per-channel DRAM capacity of the reference cluster — the capacity
 /// model placement sweeps pack against. Derived from the same config as
 /// [`reference_cluster4`], so the bound tracks the geometry.
@@ -346,6 +367,8 @@ pub fn placement_sweep(
             placement,
             gather,
             channel_capacity,
+            host_cache: None,
+            prefetch: None,
         })
     };
     let baseline = sharded(PlacementPolicy::Hash);
@@ -415,6 +438,100 @@ pub fn tiered_sweep(
             qps_sweep_at(
                 make_backend,
                 tiered(policy),
+                spec.process,
+                spec.shape,
+                saturation,
+                &offered,
+                spec.queries,
+                spec.seed,
+            )
+        })
+        .collect()
+}
+
+/// The cache-aware serving arms every caching artifact measures, as
+/// `(label, mode)` pairs with the **bare frequency-balanced anchor
+/// first**: host caches swept over capacity × placement policy, plus
+/// inter-query RankCache prefetch on the *cache-less* baseline —
+/// prefetch re-warms hot vectors the small memory-side caches evict
+/// between queries, which is exactly the traffic a host cache would
+/// absorb before it ever reached a channel, so the two locality
+/// mechanisms are alternatives, not a stack. Labels carry the capacity
+/// (mode names alone cannot distinguish two `cached-frequency`
+/// capacities). One definition shared by the `fig_cache_serving`
+/// experiment, `serve_sweep --caching` and the acceptance tests, so
+/// none can silently measure different arms than the committed golden.
+pub fn reference_caching_arms() -> Vec<(String, ServingMode)> {
+    use super::policy::{HostCacheSpec, PrefetchSpec};
+    let dispatch = |placement| ShardedDispatch {
+        placement,
+        gather: GatherCost::host_default(),
+        channel_capacity: Some(reference_channel_capacity()),
+        host_cache: None,
+        prefetch: None,
+    };
+    let frequency = PlacementPolicy::FrequencyBalanced { replicate: 1 };
+    // 64 KiB holds 512 of the 128-byte reference vectors — only the very
+    // head of the Zipf-1.2 row distribution; 1 MiB (8192 vectors) covers
+    // most hot rows of the 4 admitted tables.
+    let small = HostCacheSpec::with_capacity(ByteSize::kib(64));
+    let large = HostCacheSpec::with_capacity(ByteSize::mib(1));
+    let prefetch = PrefetchSpec::new(64);
+    vec![
+        (
+            "sharded-frequency".to_string(),
+            ServingMode::Sharded(dispatch(frequency)),
+        ),
+        (
+            "cached-hash@1MiB".to_string(),
+            ServingMode::Sharded(dispatch(PlacementPolicy::Hash).with_host_cache(large)),
+        ),
+        (
+            "cached-frequency@64KiB".to_string(),
+            ServingMode::Sharded(dispatch(frequency).with_host_cache(small)),
+        ),
+        (
+            "cached-frequency@1MiB".to_string(),
+            ServingMode::Sharded(dispatch(frequency).with_host_cache(large)),
+        ),
+        (
+            "sharded-frequency+prefetch".to_string(),
+            ServingMode::Sharded(dispatch(frequency).with_prefetch(prefetch)),
+        ),
+    ]
+}
+
+/// Sweeps one backend under every cache-aware serving `mode`, all at
+/// the same absolute offered loads: fractions of the **anchor** mode's
+/// saturation rate (the cache-less sharded-frequency baseline in the
+/// shipped experiment). Fixing the load axis to the bare baseline makes
+/// the co-design verdict direct: a host cache and cache-aware placement
+/// earn their keep exactly when their curves knee later or tail lower
+/// than the anchor's at the same offered QPS.
+///
+/// # Errors
+///
+/// Returns the first failing sweep's error.
+pub fn caching_sweep(
+    make_backend: &mut BackendFactory<'_>,
+    anchor: ServingMode,
+    modes: &[ServingMode],
+    spec: &SweepSpec,
+) -> Result<Vec<SweepCurve>, SimError> {
+    let saturation = saturation_qps(
+        make_backend,
+        anchor,
+        spec.shape,
+        spec.probe_queries,
+        spec.seed,
+    )?;
+    let offered: Vec<f64> = spec.utilizations.iter().map(|&u| u * saturation).collect();
+    modes
+        .iter()
+        .map(|&mode| {
+            qps_sweep_at(
+                make_backend,
+                mode,
                 spec.process,
                 spec.shape,
                 saturation,
@@ -497,6 +614,31 @@ mod tests {
         )
         .unwrap();
         assert_eq!(curves[0].curve, solo);
+    }
+
+    #[test]
+    fn caching_sweep_anchors_to_the_bare_baseline() {
+        use super::super::policy::HostCacheSpec;
+        let shape = QueryShape::new(4, 2, 6).with_table_skew(1.0);
+        let spec = SweepSpec {
+            process: ArrivalProcess::Uniform,
+            shape,
+            utilizations: vec![0.5, 1.1],
+            queries: 8,
+            probe_queries: 6,
+            seed: 9,
+        };
+        let frequency = PlacementPolicy::FrequencyBalanced { replicate: 1 };
+        let anchor = ServingMode::sharded(frequency);
+        let cached =
+            ServingMode::cached(frequency, HostCacheSpec::with_capacity(ByteSize::kib(64)));
+        let curves = caching_sweep(&mut host_factory, anchor, &[anchor, cached], &spec).unwrap();
+        assert_eq!(curves.len(), 2);
+        assert_eq!(curves[1].mode.name(), "cached-frequency");
+        assert_eq!(curves[1].saturation_qps, curves[0].saturation_qps);
+        for (a, b) in curves[1].points.iter().zip(&curves[0].points) {
+            assert_eq!(a.offered_qps, b.offered_qps);
+        }
     }
 
     #[test]

@@ -110,6 +110,8 @@ fn one_node_fleet_is_numerically_the_bare_cluster() {
             placement: dispatch.within_policy,
             gather: dispatch.gather,
             channel_capacity: dispatch.channel_capacity,
+            host_cache: None,
+            prefetch: None,
         }),
         coalescing: None,
         seed: fleet_cfg.seed,

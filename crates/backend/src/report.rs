@@ -74,6 +74,23 @@ pub struct RunReport {
     /// inter-query prefetcher during idle gaps (zero when prefetch is
     /// off or the backend has no rank caches).
     pub prefetch_fills: u64,
+    /// Shard attempts re-dispatched after a timeout under resilient
+    /// serving (zero outside fault-injected runs).
+    pub retries: u64,
+    /// Straggler node jobs duplicated onto a replica by hedged dispatch.
+    pub hedges: u64,
+    /// Batches re-routed off a crashed or degraded node to a surviving
+    /// replica.
+    pub failovers: u64,
+    /// Queries refused at admission: their estimated queue delay already
+    /// exceeded the SLO deadline (or the bounded queue was full).
+    pub queries_rejected: u64,
+    /// Queries dropped at dispatch: actual channel backlog put their
+    /// service start past the SLO deadline.
+    pub queries_shed: u64,
+    /// Queries that failed outright: a table with no surviving replica,
+    /// or a shard that exhausted its retry budget.
+    pub queries_failed: u64,
 }
 
 impl RunReport {
@@ -142,6 +159,12 @@ impl RunReport {
         self.host_misses += other.host_misses;
         self.host_absorbed_bytes += other.host_absorbed_bytes;
         self.prefetch_fills += other.prefetch_fills;
+        self.retries += other.retries;
+        self.hedges += other.hedges;
+        self.failovers += other.failovers;
+        self.queries_rejected += other.queries_rejected;
+        self.queries_shed += other.queries_shed;
+        self.queries_failed += other.queries_failed;
     }
 
     /// Host-cache hit rate over the offered lookups; zero when no lookups
@@ -304,6 +327,34 @@ mod tests {
         assert_eq!(a.prefetch_fills, 6);
         assert!((a.host_hit_rate() - 4.0 / 12.0).abs() < 1e-12);
         assert_eq!(RunReport::default().host_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn resilience_counters_sum_under_parallel_merge() {
+        let mut a = RunReport {
+            retries: 2,
+            hedges: 1,
+            failovers: 3,
+            queries_rejected: 4,
+            queries_shed: 1,
+            queries_failed: 2,
+            ..RunReport::default()
+        };
+        let b = RunReport {
+            retries: 1,
+            hedges: 2,
+            failovers: 1,
+            queries_rejected: 0,
+            queries_shed: 2,
+            queries_failed: 1,
+            ..RunReport::default()
+        };
+        a.absorb_parallel(b);
+        assert_eq!((a.retries, a.hedges, a.failovers), (3, 3, 4));
+        assert_eq!(
+            (a.queries_rejected, a.queries_shed, a.queries_failed),
+            (4, 3, 3)
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn bench(c: &mut Criterion) {
         shape,
         mode,
         coalescing: None,
+        max_queue_depth: None,
         seed: 7,
     };
     group.bench_function("kernel", |b| {

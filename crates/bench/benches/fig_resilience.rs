@@ -1,0 +1,52 @@
+//! Criterion benchmark for the `fig_resilience` experiment (goodput
+//! under SLO through injected faults).
+//!
+//! The full experiment runs twelve arms across three fault levels; this
+//! benchmark times one representative crash-level run — the 4-node
+//! replicated fleet with p95 hedging, retries and the SLO guard all
+//! engaged, failing over a mid-run node crash — so `cargo bench` stays
+//! fast. Use `repro fig_resilience --full` to regenerate the figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recnmp_sim::serving::faults::{
+    FaultPlan, HedgePolicy, ResilienceConfig, RetryPolicy, SloPolicy,
+};
+use recnmp_sim::serving::fleet::{serve_fleet_resilient, Fleet, FleetConfig, FleetDispatch};
+use recnmp_sim::serving::{ArrivalProcess, QueryShape};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_resilience");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    // The experiment's quick-scale shape with every table replicated
+    // fleet-wide and the crash landing mid-horizon: the arm the
+    // resilience verdict rests on.
+    let shape = QueryShape::new(12, 2, 6)
+        .with_table_skew(1.2)
+        .with_table_sampling(3);
+    let cfg = FleetConfig {
+        process: ArrivalProcess::Poisson,
+        qps: 160_000.0,
+        queries: 64,
+        shape,
+        dispatch: FleetDispatch::replicated(12),
+        seed: 7,
+    };
+    let res = ResilienceConfig::new(FaultPlan::none().with_crash(3, 240_000))
+        .with_retry(RetryPolicy::serving_default(7_200))
+        .with_hedge(HedgePolicy::p95())
+        .with_slo(SloPolicy::new(7_200));
+    group.bench_function("kernel", |b| {
+        b.iter(|| {
+            let mut fleet = Fleet::reference(4);
+            let report =
+                serve_fleet_resilient(&mut fleet, &cfg, &res).expect("resilient fleet run");
+            criterion::black_box(report)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -5,8 +5,8 @@
 //!
 //! ```text
 //! cargo run -p recnmp-bench --release --bin serve_sweep -- \
-//!     [--smoke] [--placement] [--tiering] [--fleet] [--workers N] \
-//!     [--out PATH] [--baseline PATH | --baseline-from-git]
+//!     [--smoke] [--placement] [--tiering] [--fleet] [--resilience] \
+//!     [--workers N] [--out PATH] [--baseline PATH | --baseline-from-git]
 //! ```
 //!
 //! * `--smoke` shrinks queries/points for CI (seconds instead of minutes).
@@ -38,13 +38,24 @@
 //!   verdict — the 1 MiB cache over residual-load frequency placement
 //!   must knee later or tail lower than the cache-less frequency
 //!   baseline at the same offered loads — and fails on a loss.
+//! * `--resilience` run the fault-injection sweep instead: the 4-node
+//!   reference fleet through {none, node-crash, crash+stuck-at-slow
+//!   channel} fault levels crossed with replicated vs sharded placement
+//!   and p95 hedging on/off, every arm under the derived SLO with
+//!   bounded retries, admission control and shedding (default out
+//!   `BENCH_resilience.json`). The run always re-derives the resilience
+//!   verdict — replicated+hedged must keep >= 90% of its pre-crash
+//!   goodput through the crash while unreplicated placement collapses —
+//!   and fails when either half breaks.
 //! * `--out` output path.
-//! * `--baseline PATH` (fleet and caching) compares each fresh curve's
-//!   knee QPS against the committed report at PATH and exits non-zero
-//!   on a >30% regression.
-//! * `--baseline-from-git` (fleet and caching) like `--baseline`, but
-//!   reads the committed file from `git show HEAD:<out>` — local runs
-//!   and CI share one code path, no stash-a-copy step.
+//! * `--baseline PATH` (fleet, caching and resilience) compares each
+//!   fresh curve's knee QPS (resilience: each arm's post-fault goodput)
+//!   against the committed report at PATH and exits non-zero on a >30%
+//!   regression.
+//! * `--baseline-from-git` (fleet, caching and resilience) like
+//!   `--baseline`, but reads the committed file from `git show
+//!   HEAD:<out>` — local runs and CI share one code path, no
+//!   stash-a-copy step.
 //!
 //! All paths drive the shared sweep library
 //! (`recnmp_sim::serving::{sweep_matrix, placement_sweep, tiered_sweep,
@@ -54,7 +65,10 @@
 use recnmp_backend::PlacementPolicy;
 use recnmp_baselines::{HostBaseline, TensorDimm};
 use recnmp_model::RecModelKind;
-use recnmp_sim::serving::fleet::{fleet_sweep, Fleet, FleetCurve, FleetDispatch};
+use recnmp_sim::serving::fleet::{
+    fleet_sweep, resilience_sweep, Fleet, FleetCurve, FleetDispatch, ResilienceSpec,
+    ResilienceSweep,
+};
 use recnmp_sim::serving::{
     caching_sweep, placement_sweep, qps_sweep_at, reference_caching_arms,
     reference_channel_capacity, reference_cluster4, reference_cluster4_optimized, reference_tiered,
@@ -507,6 +521,160 @@ fn check_caching_baseline(
     failures
 }
 
+/// The resilience sweep's seed — the same anchor as the
+/// `fig_resilience` experiment, so the bench artifact and the committed
+/// golden tell one story.
+const RESILIENCE_SEED: u64 = 0x5e51_11e0;
+
+/// Hedge column label of one resilience arm.
+fn hedge_label(hedged: bool) -> &'static str {
+    if hedged {
+        "p95"
+    } else {
+        "off"
+    }
+}
+
+/// The resilience report: the derived SLO anchors, the crash verdict,
+/// and one entry per (fault level x placement x hedging) arm.
+fn resilience_report_json(smoke: bool, spec: &ResilienceSpec, sweep: &ResilienceSweep) -> String {
+    let shape = spec.shape;
+    let arms: Vec<String> = sweep
+        .arms
+        .iter()
+        .map(|a| {
+            format!(
+                "{{\"faults\": \"{}\", \"placement\": \"{}\", \"hedge\": \"{}\", \
+                 \"availability\": {:.3}, \"pre_goodput\": {:.3}, \"post_goodput\": {:.3}, \
+                 \"sustained\": {}, \"failovers\": {}, \"retries\": {}, \"hedges\": {}, \
+                 \"rejected\": {}, \"shed\": {}, \"failed\": {}}}",
+                a.faults,
+                a.placement,
+                hedge_label(a.hedged),
+                a.availability,
+                a.pre_goodput,
+                a.post_goodput,
+                a.sustained,
+                a.report.report.failovers,
+                a.report.report.retries,
+                a.report.report.hedges,
+                a.report.report.queries_rejected,
+                a.report.report.queries_shed,
+                a.report.report.queries_failed
+            )
+        })
+        .collect();
+    let verdict = format!(
+        "{{\"arm\": \"fleet-replicated+p95\", \"baseline\": \"fleet-sharded+off\", \
+         \"arm_goodput_ratio\": {:.3}, \"baseline_goodput_ratio\": {:.3}, \
+         \"sustain_fraction\": {:.2}, \"sustained_through_crash\": {}, \
+         \"baseline_collapsed\": {}}}",
+        sweep.verdict_arm().goodput_ratio(),
+        sweep.verdict_baseline().goodput_ratio(),
+        sweep.sustain_fraction,
+        sweep.verdict_arm().sustained,
+        !sweep.verdict_baseline().sustained
+    );
+    format!(
+        "{{\n  \"schema\": \"recnmp-resilience/1\",\n  \"mode\": \"{}\",\n  \
+         \"arrival_process\": \"{}\",\n  \"seed\": {},\n  \
+         \"shape\": {{\"tables\": {}, \"batch\": {}, \"pooling\": {}, \
+         \"table_skew\": {:.2}, \"sample_tables\": {}, \"lookups_per_query\": {}}},\n  \
+         \"queries\": {},\n  \"qps\": {:.1},\n  \"crashed_node\": {},\n  \
+         \"crash_at_cycle\": {},\n  \"deadline_cycles\": {},\n  \
+         \"verdict\": {},\n  \"arms\": [\n    {}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        spec.process.name(),
+        spec.seed,
+        shape.tables,
+        shape.batch,
+        shape.pooling,
+        shape.table_skew,
+        shape.sample_tables,
+        shape.lookups_per_query(),
+        spec.queries,
+        spec.qps,
+        sweep.crashed_node,
+        sweep.crash_at,
+        sweep.deadline,
+        verdict,
+        arms.join(",\n    ")
+    )
+}
+
+/// One arm's post-fault goodput of a committed `BENCH_resilience.json`.
+struct ResilienceBaselineEntry {
+    faults: String,
+    placement: String,
+    hedge: String,
+    post_goodput: f64,
+}
+
+/// Extracts the mode and per-arm post-fault goodputs from a committed
+/// `BENCH_resilience.json`, scanning the fields
+/// [`resilience_report_json`] emits (same no-dependency scheme as
+/// [`parse_fleet_baseline`]; the verdict object carries no `"faults"`
+/// key, so only arm objects match).
+fn parse_resilience_baseline(json: &str) -> (String, Vec<ResilienceBaselineEntry>) {
+    let mode = scan_string(json, "mode").unwrap_or_default();
+    let mut entries = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("\"faults\": ") {
+        rest = &rest[at..];
+        let object = &rest[..rest.find('}').unwrap_or(rest.len())];
+        if let (Some(faults), Some(placement), Some(hedge), Some(post)) = (
+            scan_string(object, "faults"),
+            scan_string(object, "placement"),
+            scan_string(object, "hedge"),
+            scan_number(object, "post_goodput"),
+        ) {
+            entries.push(ResilienceBaselineEntry {
+                faults,
+                placement,
+                hedge,
+                post_goodput: post,
+            });
+        }
+        rest = &rest[10..];
+    }
+    (mode, entries)
+}
+
+/// Compares fresh post-fault goodputs against the committed baseline;
+/// returns failure messages. Every committed arm must still be measured,
+/// and none may lose more than 30% of its goodput.
+fn check_resilience_baseline(
+    baseline: &[ResilienceBaselineEntry],
+    fresh: &ResilienceSweep,
+) -> Vec<String> {
+    const MAX_REGRESSION: f64 = 0.30;
+    let mut failures = Vec::new();
+    for b in baseline {
+        let Some(arm) = fresh.arms.iter().find(|a| {
+            a.faults == b.faults && a.placement == b.placement && hedge_label(a.hedged) == b.hedge
+        }) else {
+            failures.push(format!(
+                "{}/{}/{}: in the committed baseline but no longer swept \
+                 (regenerate the baseline deliberately)",
+                b.faults, b.placement, b.hedge
+            ));
+            continue;
+        };
+        if arm.post_goodput < b.post_goodput * (1.0 - MAX_REGRESSION) {
+            failures.push(format!(
+                "{}/{}/{}: post-fault goodput {:.1}% vs committed {:.1}% ({:+.1}%)",
+                b.faults,
+                b.placement,
+                b.hedge,
+                100.0 * arm.post_goodput,
+                100.0 * b.post_goodput,
+                (arm.post_goodput / b.post_goodput - 1.0) * 100.0
+            ));
+        }
+    }
+    failures
+}
+
 /// Reads the committed copy of `path` from `git show HEAD:./path` — the
 /// shared baseline source for local runs and CI.
 fn git_show_head(path: &str) -> String {
@@ -528,6 +696,7 @@ fn main() {
     let mut tiering = false;
     let mut fleet = false;
     let mut caching = false;
+    let mut resilience = false;
     let mut out: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut baseline_from_git = false;
@@ -539,6 +708,7 @@ fn main() {
             "--tiering" => tiering = true,
             "--fleet" => fleet = true,
             "--caching" => caching = true,
+            "--resilience" => resilience = true,
             "--workers" => {
                 let n = args
                     .next()
@@ -557,17 +727,17 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: serve_sweep [--smoke] [--placement] [--tiering] [--fleet] \
-                     [--caching] [--workers N] [--out PATH] \
+                     [--caching] [--resilience] [--workers N] [--out PATH] \
                      [--baseline PATH | --baseline-from-git]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    if (baseline_path.is_some() || baseline_from_git) && !(fleet || caching) {
+    if (baseline_path.is_some() || baseline_from_git) && !(fleet || caching || resilience) {
         eprintln!(
-            "--baseline/--baseline-from-git gate the fleet and caching sweeps: \
-             add --fleet or --caching"
+            "--baseline/--baseline-from-git gate the fleet, caching and resilience \
+             sweeps: add --fleet, --caching or --resilience"
         );
         std::process::exit(2);
     }
@@ -591,7 +761,92 @@ fn main() {
     // verdict and baseline gates.
     let mut fleet_outcome: Option<(Vec<FleetCurve>, bool)> = None;
     let mut caching_outcome: Option<(Vec<(String, SweepCurve)>, bool)> = None;
-    let (json, out_path) = if caching {
+    let mut resilience_outcome: Option<ResilienceSweep> = None;
+    let (json, out_path) = if resilience {
+        // The fault-injection sweep on the 4-node reference fleet: the
+        // same shapes, load and anchors as the `fig_resilience`
+        // experiment at the matching scale, so the bench artifact and
+        // the committed golden agree.
+        let nodes = 4;
+        let (shape, queries) = if smoke {
+            (
+                QueryShape::new(12, 2, 6)
+                    .with_table_skew(1.2)
+                    .with_table_sampling(3),
+                64,
+            )
+        } else {
+            (
+                QueryShape::new(24, 4, 8)
+                    .with_table_skew(1.2)
+                    .with_table_sampling(4),
+                256,
+            )
+        };
+        let spec = ResilienceSpec {
+            process: ArrivalProcess::Poisson,
+            qps: 40_000.0 * nodes as f64,
+            queries,
+            shape,
+            seed: RESILIENCE_SEED,
+            deadline_p99_multiple: 3,
+            sustain_fraction: 0.90,
+            degrade_multiplier: 16,
+        };
+        println!(
+            "serve_sweep resilience ({}): {nodes} reference nodes, {} tables \
+             (skew {:.1}, sample {}) x batch {} = {} lookups/query, \
+             {} queries at {:.0} qps",
+            if smoke { "smoke" } else { "full" },
+            shape.tables,
+            shape.table_skew,
+            shape.sample_tables,
+            shape.batch,
+            shape.lookups_per_query(),
+            spec.queries,
+            spec.qps
+        );
+        let mut make = move || Fleet::reference(nodes);
+        let sweep = resilience_sweep(&mut make, &spec)
+            .unwrap_or_else(|e| panic!("resilience sweep failed: {e}"));
+        println!(
+            "  SLO deadline {} cycles (3x fault-free p99 {}), node {} crashes at cycle {}",
+            sweep.deadline, sweep.baseline_p99, sweep.crashed_node, sweep.crash_at
+        );
+        for a in &sweep.arms {
+            println!(
+                "  {:<10} {:<18} hedge {}  avail {:.2}  goodput {:>5.1}% -> {:>5.1}%  {}",
+                a.faults,
+                a.placement,
+                hedge_label(a.hedged),
+                a.availability,
+                100.0 * a.pre_goodput,
+                100.0 * a.post_goodput,
+                if a.sustained {
+                    "sustained"
+                } else {
+                    "collapsed"
+                }
+            );
+        }
+        println!(
+            "  verdict: through the crash, replicated+p95 keeps {:.1}% of pre-fault \
+             goodput, sharded keeps {:.1}% — {}",
+            100.0 * sweep.verdict_arm().goodput_ratio(),
+            100.0 * sweep.verdict_baseline().goodput_ratio(),
+            if sweep.verdict_holds() {
+                "holds"
+            } else {
+                "BROKEN"
+            }
+        );
+        let json = resilience_report_json(smoke, &spec, &sweep);
+        resilience_outcome = Some(sweep);
+        (
+            json,
+            out.unwrap_or_else(|| "BENCH_resilience.json".to_string()),
+        )
+    } else if caching {
         // The cache-aware arms on the RecNMP-opt cluster: the row streams
         // are hotter than the reference workload (Zipf 1.2) so a bounded
         // host cache sees real repeat traffic — the same shapes as the
@@ -909,6 +1164,50 @@ fn main() {
 
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("wrote {out_path}");
+
+    if let Some(sweep) = resilience_outcome {
+        if !sweep.verdict_holds() {
+            eprintln!(
+                "resilience verdict broken: replicated+p95 must keep >= {:.0}% of its \
+                 pre-crash goodput through the node crash while sharded placement \
+                 collapses (see {out_path} for every arm's outcome)",
+                100.0 * sweep.sustain_fraction
+            );
+            std::process::exit(1);
+        }
+        let committed = match (baseline_path, baseline_from_git) {
+            (Some(path), _) => Some((
+                std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}")),
+                path,
+            )),
+            (None, true) => Some((git_show_head(&out_path), format!("HEAD:./{out_path}"))),
+            (None, false) => None,
+        };
+        if let Some((json, source)) = committed {
+            let (mode, entries) = parse_resilience_baseline(&json);
+            assert!(!entries.is_empty(), "no resilience arms found in {source}");
+            let fresh_mode = if smoke { "smoke" } else { "full" };
+            if mode != fresh_mode {
+                eprintln!(
+                    "baseline {source} was measured in {mode:?} mode but this run is \
+                     {fresh_mode:?}; goodputs differ across workload sizes, so the \
+                     comparison would be meaningless"
+                );
+                std::process::exit(1);
+            }
+            let failures = check_resilience_baseline(&entries, &sweep);
+            if failures.is_empty() {
+                println!("baseline check vs {source}: ok (>30% goodput regression gate)");
+            } else {
+                eprintln!("post-fault goodput regressed >30% vs {source}:");
+                for f in &failures {
+                    eprintln!("  {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     if let Some((caching_curves, wins)) = caching_outcome {
         if !wins {

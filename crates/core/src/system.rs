@@ -273,6 +273,15 @@ impl RecNmpSystem {
             host_misses: 0,
             host_absorbed_bytes: 0,
             prefetch_fills: 0,
+            // Resilience counters (retries/hedges/failovers and query
+            // outcomes) are fleet-scheduler bookkeeping; a bare trace
+            // run never retries or sheds.
+            retries: 0,
+            hedges: 0,
+            failovers: 0,
+            queries_rejected: 0,
+            queries_shed: 0,
+            queries_failed: 0,
         }
     }
 

@@ -8,6 +8,7 @@ mod characterization;
 mod endtoend;
 mod fleet;
 mod nmp;
+mod resilience;
 mod serving;
 mod storage;
 mod tables;
@@ -77,10 +78,10 @@ impl fmt::Display for ExperimentResult {
     }
 }
 
-/// All experiment ids, in paper order (fig19, fig_capacity, fig_fleet
-/// and fig_cache_serving are this reproduction's own extensions,
-/// numbered or named past the paper's last figure).
-pub const IDS: [&str; 19] = [
+/// All experiment ids, in paper order (fig19, fig_capacity, fig_fleet,
+/// fig_cache_serving and fig_resilience are this reproduction's own
+/// extensions, numbered or named past the paper's last figure).
+pub const IDS: [&str; 20] = [
     "fig01_footprint",
     "fig01_roofline_lift",
     "fig04_breakdown",
@@ -98,6 +99,7 @@ pub const IDS: [&str; 19] = [
     "fig_capacity",
     "fig_fleet",
     "fig_cache_serving",
+    "fig_resilience",
     "tab01_config",
     "tab02_overhead",
 ];
@@ -122,6 +124,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentResult> {
         "fig_capacity" => storage::fig_capacity(scale),
         "fig_fleet" => fleet::fig_fleet(scale),
         "fig_cache_serving" => serving::fig_cache_serving(scale),
+        "fig_resilience" => resilience::fig_resilience(scale),
         "tab01_config" => tables::tab01_config(),
         "tab02_overhead" => tables::tab02_overhead(),
         _ => return None,

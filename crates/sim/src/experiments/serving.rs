@@ -243,6 +243,7 @@ pub fn fig_cache_serving(scale: Scale) -> ExperimentResult {
             shape,
             mode: *mode,
             coalescing: None,
+            max_queue_depth: None,
             seed: SEED,
         };
         let r = serve(backend.as_mut(), &cfg).expect("stats run").report;

@@ -265,6 +265,7 @@ fn promotion_demo(scale: Scale, shape: QueryShape) -> TextTable {
             shape,
             mode,
             coalescing: None,
+            max_queue_depth: None,
             seed: SEED,
         };
         let mut backend = reference_tiered(tiers);

@@ -72,6 +72,7 @@ pub mod workload;
 
 pub use experiments::{ExperimentResult, Scale};
 pub use render::TextTable;
+pub use serving::faults;
 pub use serving::fleet;
 pub use serving::{DispatchPolicy, LatencySummary, ServingConfig, ServingReport};
 pub use speedup::{SlsComparison, SpeedupEngine};

@@ -53,11 +53,15 @@
 use recnmp_backend::{
     FleetPlacementPlan, PlacementPolicy, RunReport, SlsBackend, SlsTrace, TableUsage,
 };
-use recnmp_types::units::completions_to_qps;
+use recnmp_types::units::{completions_to_qps, qps_to_interarrival_cycles};
 use recnmp_types::{ByteSize, ConfigError, Cycle, SimError};
 use serde::{Deserialize, Serialize};
 
 use super::arrivals::{ArrivalProcess, QueryShape, QueryStream};
+use super::faults::{
+    FaultPlan, HealthTracker, HedgePolicy, NodeHealth, QueryOutcome, ResilienceConfig, RetryPolicy,
+    SloPolicy,
+};
 use super::policy::GatherCost;
 use super::sweep::{reference_cluster4, SweepPoint, SweepSpec};
 
@@ -318,6 +322,16 @@ pub struct FleetReport {
     pub node_queries: Vec<u64>,
     /// Tables the node-level plan replicated across nodes.
     pub replicated_tables: usize,
+    /// What became of each offered query, in arrival order. Plain
+    /// (fault-free) serving completes everything; under
+    /// [`serve_fleet_resilient`] queries may be rejected, shed or
+    /// failed, and their `completions`/`latencies` entries are zeroed
+    /// relative to arrival.
+    pub outcomes: Vec<QueryOutcome>,
+    /// The per-query failures behind every
+    /// [`QueryOutcome::Failed`] entry, aggregated instead of aborting
+    /// the run.
+    pub failures: Vec<SimError>,
     /// Counters merged over every node shard, with `query_completions`
     /// carrying the per-query timestamps and `total_cycles` the
     /// makespan.
@@ -330,13 +344,50 @@ impl FleetReport {
         self.completions.iter().copied().max().unwrap_or(0)
     }
 
-    /// Completion throughput (queries per simulated second), windowed
-    /// over first→last completion exactly like
+    /// Queries served to completion.
+    pub fn completed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|&&o| o == QueryOutcome::Completed)
+            .count()
+    }
+
+    /// Fraction of offered queries served to completion (1.0 for an
+    /// empty run).
+    pub fn availability(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            1.0
+        } else {
+            self.completed() as f64 / self.outcomes.len() as f64
+        }
+    }
+
+    /// Latencies of the completed queries only — what the distribution
+    /// summary and throughput window are computed over.
+    pub fn completed_latencies(&self) -> Vec<Cycle> {
+        self.latencies
+            .iter()
+            .zip(&self.outcomes)
+            .filter(|(_, &o)| o == QueryOutcome::Completed)
+            .map(|(&l, _)| l)
+            .collect()
+    }
+
+    /// Completion throughput (queries per simulated second) over the
+    /// completed queries, windowed over first→last completion exactly
+    /// like
     /// [`ServingReport::achieved_qps`](super::scheduler::ServingReport::achieved_qps).
     pub fn achieved_qps(&self) -> f64 {
-        let n = self.completions.len() as u64;
-        let first = self.completions.iter().copied().min().unwrap_or(0);
-        let last = self.makespan();
+        let done: Vec<Cycle> = self
+            .completions
+            .iter()
+            .zip(&self.outcomes)
+            .filter(|(_, &o)| o == QueryOutcome::Completed)
+            .map(|(&c, _)| c)
+            .collect();
+        let n = done.len() as u64;
+        let first = done.iter().copied().min().unwrap_or(0);
+        let last = done.iter().copied().max().unwrap_or(0);
         if n >= 2 && last > first {
             completions_to_qps(n - 1, last - first)
         } else {
@@ -344,9 +395,43 @@ impl FleetReport {
         }
     }
 
-    /// The latency distribution.
+    /// The latency distribution over completed queries.
     pub fn summary(&self) -> super::scheduler::LatencySummary {
-        super::scheduler::LatencySummary::from_latencies(&self.latencies)
+        super::scheduler::LatencySummary::from_latencies(&self.completed_latencies())
+    }
+
+    /// Queries that completed within `deadline` cycles of their arrival
+    /// — the goodput numerator under an SLO.
+    pub fn goodput_count(&self, deadline: Cycle) -> u64 {
+        self.latencies
+            .iter()
+            .zip(&self.outcomes)
+            .filter(|(&l, &o)| o == QueryOutcome::Completed && l <= deadline)
+            .count() as u64
+    }
+
+    /// `(good, offered)` over the queries arriving in `[from, until)`:
+    /// how many met the SLO deadline vs how many were offered — the
+    /// windowed goodput used to compare pre-fault and post-fault
+    /// service.
+    pub fn goodput_in_window(&self, deadline: Cycle, from: Cycle, until: Cycle) -> (u64, u64) {
+        let mut good = 0;
+        let mut offered = 0;
+        for ((&arr, &lat), &out) in self
+            .arrivals
+            .iter()
+            .zip(&self.latencies)
+            .zip(&self.outcomes)
+        {
+            if arr < from || arr >= until {
+                continue;
+            }
+            offered += 1;
+            if out == QueryOutcome::Completed && lat <= deadline {
+                good += 1;
+            }
+        }
+        (good, offered)
     }
 }
 
@@ -557,8 +642,604 @@ pub(super) fn serve_fleet_arrivals(
         latencies,
         node_queries,
         replicated_tables: plan.replicated_tables(),
+        outcomes: vec![QueryOutcome::Completed; queries.len()],
+        failures: Vec::new(),
         report: merged,
     })
+}
+
+/// Serves `cfg.queries` open-loop queries on `fleet` under a fault
+/// schedule and resilience policies, aggregating per-query failures
+/// into the report instead of aborting the run.
+///
+/// Arrival schedule and query streams derive from `cfg.seed` exactly as
+/// in [`serve_fleet`]; with [`ResilienceConfig::zero`] the completion
+/// schedule is byte-identical to the plain scheduler (pinned by
+/// `resilience_determinism`). The resilience semantics on top:
+///
+/// * **Health-aware failover** — the router consults a
+///   [`HealthTracker`]: a batch whose preferred replica is crashed (or
+///   flagged degraded while a healthier replica exists) re-routes to a
+///   surviving replica under the same router arithmetic restricted to
+///   the live set, counted as a failover. The *first* query to discover
+///   a fresh crash pays [`redispatch_penalty`](ResilienceConfig::redispatch_penalty)
+///   on its dispatch; later queries route around the node for free. A
+///   table with no surviving replica fails its query
+///   ([`SimError::QueryFailed`]) — counted, not panicked.
+/// * **Retry** — each shard attempt gets
+///   [`RetryPolicy::timeout`](super::faults::RetryPolicy::timeout)
+///   cycles from its dispatch; an attempt that
+///   blows the budget (queue wait included) or starts inside an
+///   injected timeout window aborts at `min(completion, dispatch +
+///   timeout)`, occupies its channel for whatever service it wasted,
+///   and re-dispatches after exponential backoff onto the
+///   least-backlogged replica channel still owning the shard's tables.
+///   Retry exhaustion fails the query ([`SimError::DeadlineExceeded`]).
+/// * **Hedging** — when a node job would complete later than the
+///   configured quantile of recently observed node-job latencies, the
+///   job is duplicated onto a surviving replica node holding all its
+///   tables; the duplicate dispatches at `dispatch + delay`, both
+///   copies pay their channel occupancy, and the earlier completion
+///   wins.
+/// * **SLO guard** — with an [`SloPolicy`](super::faults::SloPolicy), a
+///   query whose *optimistic* estimated queue delay (earliest free
+///   replica channel per batch) already exceeds the deadline is
+///   rejected at admission; one whose *actual* routed service start
+///   would land past the deadline is shed at dispatch. Neither runs any
+///   cycle-level work.
+///
+/// # Errors
+///
+/// Returns [`SimError::Stalled`] if a node's cycle-level run stalls, or
+/// [`SimError::Config`] when placement cannot fit the workload —
+/// run-level problems only; per-query failures land in
+/// [`FleetReport::failures`].
+pub fn serve_fleet_resilient(
+    fleet: &mut Fleet,
+    cfg: &FleetConfig,
+    res: &ResilienceConfig,
+) -> Result<FleetReport, SimError> {
+    let mut arrival_rng = recnmp_types::rng::DetRng::seed(cfg.seed ^ 0xa5a5_5a5a_0f0f_f0f0);
+    let arrivals = cfg
+        .process
+        .arrival_times(cfg.qps, cfg.queries, &mut arrival_rng);
+    let queries = QueryStream::new(cfg.shape, cfg.seed).take_queries(cfg.queries);
+    serve_fleet_resilient_arrivals(fleet, cfg, res, &arrivals, &queries)
+}
+
+/// One replica pick under `router`, restricted to the candidate `pool`
+/// (non-empty): the same arithmetic the plain scheduler applies to the
+/// full replica set.
+#[allow(clippy::too_many_arguments)]
+fn pick_replica(
+    router: RouterPolicy,
+    pool: &[usize],
+    q_idx: usize,
+    table: recnmp_types::TableId,
+    plan: &FleetPlacementPlan,
+    in_flight: &mut [Vec<(Cycle, u64)>],
+    free_at: &[Vec<Cycle>],
+    dispatch_at: Cycle,
+) -> usize {
+    match router {
+        RouterPolicy::HashAffinity => pool[q_idx % pool.len()],
+        RouterPolicy::LeastOutstanding => *pool
+            .iter()
+            .min_by_key(|&&n| {
+                in_flight[n].retain(|(done, _)| *done > dispatch_at);
+                let backlog: u64 = in_flight[n].iter().map(|(_, l)| l).sum();
+                (backlog, n)
+            })
+            .unwrap(),
+        RouterPolicy::PlacementScatter => *pool
+            .iter()
+            .min_by_key(|&&n| {
+                let earliest = plan
+                    .per_node(n)
+                    .replicas(table)
+                    .iter()
+                    .map(|&c| free_at[n][c])
+                    .min()
+                    .unwrap_or(Cycle::MAX);
+                (earliest, n)
+            })
+            .unwrap(),
+    }
+}
+
+/// Runs one shard's attempt loop: queue on the channel, apply the fault
+/// plan's degradation multiplier, abort on an injected timeout window or
+/// a blown per-attempt budget, back off exponentially and re-dispatch on
+/// the least-backlogged replica channel still owning the shard's tables.
+///
+/// Returns `Ok((completion, service))` of the winning attempt, or
+/// `Err(attempts)` after retry exhaustion. `retries` counts aborted
+/// attempts that were re-dispatched.
+#[allow(clippy::too_many_arguments)]
+fn run_shard_attempts(
+    node: usize,
+    first_channel: usize,
+    shard_tables: &[recnmp_types::TableId],
+    base_service: Cycle,
+    dispatch: Cycle,
+    free_at: &mut [Vec<Cycle>],
+    plan: &FleetPlacementPlan,
+    res: &ResilienceConfig,
+    retries: &mut u64,
+) -> Result<(Cycle, Cycle), u32> {
+    let retry = res.retry;
+    let budget = retry.timeout;
+    let mut t = dispatch;
+    let mut channel = first_channel;
+    for attempt in 0..retry.max_attempts.max(1) {
+        let start = t.max(free_at[node][channel]);
+        let mult = res.faults.degrade_multiplier(node, channel, start);
+        let service = base_service.saturating_mul(mult);
+        let complete = start + service;
+        let fault_timeout = res.faults.times_out(node, channel, start);
+        let over_budget = budget > 0 && complete.saturating_sub(t) > budget;
+        if !fault_timeout && !over_budget {
+            free_at[node][channel] = complete;
+            return Ok((complete, service));
+        }
+        // The attempt aborts when the client's budget expires or the
+        // faulty run surfaces its error, whichever is sooner; the
+        // channel stays busy for whatever service it wasted (nothing,
+        // if the attempt was still queued).
+        let fail_at = if budget > 0 {
+            complete.min(t + budget)
+        } else {
+            complete
+        };
+        if fail_at > start {
+            free_at[node][channel] = fail_at;
+        }
+        if attempt + 1 == retry.max_attempts.max(1) {
+            return Err(attempt + 1);
+        }
+        *retries += 1;
+        t = fail_at + retry.backoff_before(attempt);
+        // Re-dispatch onto the least-backlogged channel owning every
+        // table of this shard (often the same channel — transient
+        // windows pass; degraded channels lose to healthier replicas).
+        if let Some(next) = retry_channel(node, shard_tables, plan, free_at) {
+            channel = next;
+        }
+    }
+    unreachable!("attempt loop returns before exhausting its range");
+}
+
+/// The least-backlogged channel of `node` owning every table in
+/// `tables`; `None` when no single channel holds them all.
+fn retry_channel(
+    node: usize,
+    tables: &[recnmp_types::TableId],
+    plan: &FleetPlacementPlan,
+    free_at: &[Vec<Cycle>],
+) -> Option<usize> {
+    let mut common: Option<Vec<usize>> = None;
+    for &t in tables {
+        let reps = plan.per_node(node).replicas(t);
+        common = Some(match common {
+            None => reps.to_vec(),
+            Some(prev) => prev.into_iter().filter(|c| reps.contains(c)).collect(),
+        });
+    }
+    common?.into_iter().min_by_key(|&c| (free_at[node][c], c))
+}
+
+/// Nearest-rank quantile of an unsorted latency window.
+fn window_quantile(window: &[Cycle], q: f64) -> Cycle {
+    let mut sorted = window.to_vec();
+    sorted.sort_unstable();
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// The resilient fleet scheduler core: the plain queueing arithmetic of
+/// [`serve_fleet_arrivals`] plus fault injection, health-aware failover,
+/// retry/hedging and the SLO guard. See [`serve_fleet_resilient`] for
+/// the semantics.
+pub(super) fn serve_fleet_resilient_arrivals(
+    fleet: &mut Fleet,
+    cfg: &FleetConfig,
+    res: &ResilienceConfig,
+    arrivals: &[Cycle],
+    queries: &[SlsTrace],
+) -> Result<FleetReport, SimError> {
+    assert_eq!(arrivals.len(), queries.len(), "one arrival per query");
+    let nodes = fleet.nodes.len();
+    let channels = fleet.channels_per_node;
+    let dispatch = cfg.dispatch;
+
+    let usage = TableUsage::from_traces(queries);
+    let plan = FleetPlacementPlan::build(
+        nodes,
+        channels,
+        dispatch.channel_capacity.map(ByteSize::get),
+        &usage,
+        dispatch.node_policy,
+        dispatch.within_policy,
+    )
+    .map_err(SimError::Config)?;
+
+    let mut free_at: Vec<Vec<Cycle>> = vec![vec![0; channels]; nodes];
+    let mut in_flight: Vec<Vec<(Cycle, u64)>> = vec![Vec::new(); nodes];
+    let mut completions = vec![0 as Cycle; queries.len()];
+    let mut node_queries = vec![0u64; nodes];
+    let mut merged = RunReport::for_system(fleet.name.clone());
+    let mut outcomes = vec![QueryOutcome::Completed; queries.len()];
+    let mut failures: Vec<SimError> = Vec::new();
+    let mut health = HealthTracker::new(nodes, res.ewma_alpha, res.degraded_after);
+    // Recently observed node-job latencies the hedge delay anchors at.
+    let mut hedge_window: Vec<Cycle> = Vec::new();
+
+    'queries: for (q_idx, query) in queries.iter().enumerate() {
+        let arrival = arrivals[q_idx];
+        let dispatch_at = arrival;
+        // Cycles this query pays for discovering a fresh crash (at most
+        // one detection per query).
+        let mut penalty: Cycle = 0;
+
+        // Level 1: route each batch to a *live* node replica, the plain
+        // router arithmetic first and the failover path only when the
+        // preferred replica is crashed or degraded.
+        let mut per_node_batches: Vec<SlsTrace> = vec![SlsTrace::default(); nodes];
+        for batch in query.batches.iter().cloned() {
+            let table = batch.table();
+            let reps = plan.node_replicas(table);
+            assert!(!reps.is_empty(), "table {table} missing from fleet plan");
+            let preferred = pick_replica(
+                dispatch.router,
+                reps,
+                q_idx,
+                table,
+                &plan,
+                &mut in_flight,
+                &free_at,
+                dispatch_at,
+            );
+            let preferred_down = res.faults.crashed(preferred, dispatch_at);
+            let node = if !preferred_down && health.health(preferred) != NodeHealth::Degraded {
+                preferred
+            } else {
+                if preferred_down && !health.known_crashed(preferred) {
+                    health.mark_crashed(preferred);
+                    penalty = res.redispatch_penalty;
+                }
+                let alive: Vec<usize> = reps
+                    .iter()
+                    .copied()
+                    .filter(|&n| !res.faults.crashed(n, dispatch_at))
+                    .collect();
+                if alive.is_empty() {
+                    outcomes[q_idx] = QueryOutcome::Failed;
+                    failures.push(SimError::QueryFailed {
+                        query: q_idx,
+                        table,
+                    });
+                    merged.queries_failed += 1;
+                    completions[q_idx] = arrival;
+                    continue 'queries;
+                }
+                let healthy: Vec<usize> = alive
+                    .iter()
+                    .copied()
+                    .filter(|&n| health.health(n) == NodeHealth::Healthy)
+                    .collect();
+                let pool = if healthy.is_empty() { &alive } else { &healthy };
+                if !preferred_down && pool.contains(&preferred) {
+                    preferred
+                } else {
+                    merged.failovers += 1;
+                    pick_replica(
+                        dispatch.router,
+                        pool,
+                        q_idx,
+                        table,
+                        &plan,
+                        &mut in_flight,
+                        &free_at,
+                        dispatch_at,
+                    )
+                }
+            };
+            per_node_batches[node].batches.push(batch);
+        }
+        let dispatch_eff = dispatch_at + penalty;
+
+        // SLO admission: the optimistic estimate — every batch served by
+        // the earliest-free channel of any live replica. If even that
+        // already blows the deadline, reject without running anything.
+        if let Some(slo) = res.slo {
+            let mut est_start = dispatch_eff;
+            for batch in &query.batches {
+                let table = batch.table();
+                let best = plan
+                    .node_replicas(table)
+                    .iter()
+                    .filter(|&&n| !res.faults.crashed(n, dispatch_at))
+                    .flat_map(|&n| {
+                        plan.per_node(n)
+                            .replicas(table)
+                            .iter()
+                            .map(move |&c| (n, c))
+                    })
+                    .map(|(n, c)| free_at[n][c])
+                    .min()
+                    .unwrap_or(0);
+                est_start = est_start.max(best.max(dispatch_eff));
+            }
+            if est_start.saturating_sub(arrival) > slo.deadline {
+                outcomes[q_idx] = QueryOutcome::Rejected;
+                merged.queries_rejected += 1;
+                completions[q_idx] = arrival;
+                continue 'queries;
+            }
+        }
+
+        // Level 2: within each touched node, assign batches to the
+        // least-backlogged owning channel (the plain scatter).
+        let lookups = query.total_lookups();
+        let mut scattered = 0u64;
+        let mut node_jobs: Vec<(usize, Shards, u64)> = Vec::new();
+        for (n, node_trace) in per_node_batches.into_iter().enumerate() {
+            if node_trace.batches.is_empty() {
+                continue;
+            }
+            let mut by_channel: Vec<SlsTrace> = vec![SlsTrace::default(); channels];
+            let mut result_bytes = 0u64;
+            for batch in node_trace.batches {
+                let table = batch.table();
+                let replicas = plan.per_node(n).replicas(table);
+                let &channel = replicas
+                    .iter()
+                    .min_by_key(|&&c| (free_at[n][c], c))
+                    .unwrap_or_else(|| panic!("table {table} missing from node {n} plan"));
+                result_bytes += batch.batch.output_bytes();
+                by_channel[channel].batches.push(batch);
+            }
+            let shards: Shards = by_channel
+                .into_iter()
+                .enumerate()
+                .filter(|(_, s)| !s.batches.is_empty())
+                .collect();
+            node_jobs.push((n, shards, result_bytes));
+        }
+
+        // SLO shedding: the *actual* routed service start. A query whose
+        // slowest shard would begin past the deadline is dropped at
+        // dispatch — it cannot complete in time and would only add load.
+        if let Some(slo) = res.slo {
+            let actual_start = node_jobs
+                .iter()
+                .flat_map(|(n, shards, _)| {
+                    shards
+                        .iter()
+                        .map(|(c, _)| dispatch_eff.max(free_at[*n][*c]))
+                })
+                .max()
+                .unwrap_or(dispatch_eff);
+            if actual_start.saturating_sub(arrival) > slo.deadline {
+                outcomes[q_idx] = QueryOutcome::Shed;
+                merged.queries_shed += 1;
+                completions[q_idx] = arrival;
+                continue 'queries;
+            }
+        }
+
+        for (n, _, _) in &node_jobs {
+            node_queries[*n] += 1;
+        }
+
+        // Simulate every touched node as one pool task, exactly like the
+        // plain scheduler (reports return in submission order).
+        let reports: Vec<Vec<RunReport>> = {
+            let mut pending = node_jobs.iter().peekable();
+            let mut paired: Vec<(&mut dyn SlsBackend, &Shards)> = Vec::new();
+            for (n, node) in fleet.nodes.iter_mut().enumerate() {
+                if pending.peek().is_some_and(|(jn, _, _)| *jn == n) {
+                    let (_, shards, _) = pending.next().unwrap();
+                    paired.push((node.as_mut(), shards));
+                }
+            }
+            let tasks: Vec<_> = paired
+                .into_iter()
+                .map(|(node, shards)| move || node.try_run_shards(shards))
+                .collect();
+            recnmp_exec::current().run_vec(tasks)?
+        };
+
+        // Queueing arithmetic with the resilience layer folded in.
+        let mut slowest_node = dispatch_eff;
+        let mut total_result_bytes = 0u64;
+        let mut q_failed: Option<SimError> = None;
+        for ((n, shards, result_bytes), node_reports) in node_jobs.iter().zip(reports) {
+            let mut node_slowest = dispatch_eff;
+            let mut node_service: Cycle = 0;
+            let mut fanout: Cycle = 0;
+            let mut node_lookups = 0u64;
+            for ((channel, shard), report) in shards.iter().zip(node_reports) {
+                scattered += shard.total_lookups();
+                node_lookups += shard.total_lookups();
+                let base = report.total_cycles;
+                merged.absorb_parallel(report);
+                let shard_tables: Vec<recnmp_types::TableId> =
+                    shard.batches.iter().map(|b| b.table()).collect();
+                match run_shard_attempts(
+                    *n,
+                    *channel,
+                    &shard_tables,
+                    base,
+                    dispatch_eff,
+                    &mut free_at,
+                    &plan,
+                    res,
+                    &mut merged.retries,
+                ) {
+                    Ok((complete, service)) => {
+                        node_slowest = node_slowest.max(complete);
+                        node_service = node_service.max(service);
+                    }
+                    Err(attempts) => {
+                        q_failed = Some(SimError::DeadlineExceeded {
+                            query: q_idx,
+                            deadline: res.retry.timeout,
+                            attempts,
+                        });
+                    }
+                }
+                fanout += 1;
+            }
+
+            // Hedge a straggler node job onto a surviving replica
+            // holding all its tables; first completion wins, both pay
+            // their channel occupancy.
+            if let (Some(hedge), None) = (res.hedge, &q_failed) {
+                if hedge_window.len() >= hedge.min_samples {
+                    let delay = window_quantile(&hedge_window, hedge.quantile);
+                    if node_slowest.saturating_sub(dispatch_eff) > delay && node_service > 0 {
+                        let job_tables: Vec<recnmp_types::TableId> = shards
+                            .iter()
+                            .flat_map(|(_, s)| s.batches.iter().map(|b| b.table()))
+                            .collect();
+                        if let Some((alt, alt_channels)) = hedge_target(
+                            *n,
+                            &job_tables,
+                            &plan,
+                            res,
+                            dispatch_at,
+                            &free_at,
+                            &health,
+                        ) {
+                            merged.hedges += 1;
+                            let mut hstart = dispatch_eff + delay;
+                            for &c in &alt_channels {
+                                hstart = hstart.max(free_at[alt][c]);
+                            }
+                            let hcomplete = hstart + node_service;
+                            for &c in &alt_channels {
+                                free_at[alt][c] = hcomplete;
+                            }
+                            node_slowest = node_slowest.min(hcomplete).max(dispatch_eff);
+                        }
+                    }
+                }
+            }
+
+            if node_service > 0 {
+                health.observe(*n, node_service, node_lookups);
+                hedge_window.push(node_slowest.saturating_sub(dispatch_eff));
+                if let Some(hedge) = res.hedge {
+                    if hedge_window.len() > hedge.window {
+                        hedge_window.remove(0);
+                    }
+                } else if hedge_window.len() > 64 {
+                    hedge_window.remove(0);
+                }
+            }
+
+            let node_complete =
+                node_slowest + dispatch.gather.base + dispatch.gather.per_shard * fanout;
+            if dispatch.router == RouterPolicy::LeastOutstanding {
+                in_flight[*n].push((node_complete, node_lookups));
+            }
+            slowest_node = slowest_node.max(node_complete);
+            total_result_bytes += result_bytes;
+        }
+        debug_assert_eq!(scattered, lookups, "fleet scatter must conserve lookups");
+
+        if let Some(err) = q_failed {
+            outcomes[q_idx] = QueryOutcome::Failed;
+            failures.push(err);
+            merged.queries_failed += 1;
+            completions[q_idx] = arrival;
+            continue 'queries;
+        }
+
+        completions[q_idx] = if nodes > 1 {
+            slowest_node + dispatch.network.cost_of(total_result_bytes)
+        } else {
+            slowest_node
+        };
+    }
+
+    let latencies: Vec<Cycle> = completions
+        .iter()
+        .zip(arrivals)
+        .map(|(&done, &arr)| done - arr)
+        .collect();
+    merged.total_cycles = completions.iter().copied().max().unwrap_or(0);
+    merged.query_completions = completions.clone();
+
+    Ok(FleetReport {
+        system: fleet.name.clone(),
+        router: dispatch.router,
+        offered_qps: cfg.qps,
+        arrivals: arrivals.to_vec(),
+        completions,
+        latencies,
+        node_queries,
+        replicated_tables: plan.replicated_tables(),
+        outcomes,
+        failures,
+        report: merged,
+    })
+}
+
+/// A hedge target for a node job: a live node other than `primary` that
+/// replicates *every* table of the job, preferring healthy nodes, then
+/// the one whose involved channels free earliest. Returns the node and
+/// the channels the duplicate occupies there.
+fn hedge_target(
+    primary: usize,
+    job_tables: &[recnmp_types::TableId],
+    plan: &FleetPlacementPlan,
+    res: &ResilienceConfig,
+    dispatch_at: Cycle,
+    free_at: &[Vec<Cycle>],
+    health: &HealthTracker,
+) -> Option<(usize, Vec<usize>)> {
+    let mut common: Option<Vec<usize>> = None;
+    for &t in job_tables {
+        let reps = plan.node_replicas(t);
+        common = Some(match common {
+            None => reps.to_vec(),
+            Some(prev) => prev.into_iter().filter(|n| reps.contains(n)).collect(),
+        });
+    }
+    let candidates: Vec<usize> = common?
+        .into_iter()
+        .filter(|&n| n != primary && !res.faults.crashed(n, dispatch_at))
+        .collect();
+    let healthy: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&n| health.health(n) == NodeHealth::Healthy)
+        .collect();
+    let pool = if healthy.is_empty() {
+        candidates
+    } else {
+        healthy
+    };
+    pool.into_iter()
+        .map(|n| {
+            let chans: std::collections::BTreeSet<usize> = job_tables
+                .iter()
+                .map(|&t| {
+                    *plan
+                        .per_node(n)
+                        .replicas(t)
+                        .iter()
+                        .min_by_key(|&&c| (free_at[n][c], c))
+                        .expect("replicated table owns a channel")
+                })
+                .collect();
+            let ready = chans.iter().map(|&c| free_at[n][c]).max().unwrap_or(0);
+            (ready, n, chans.into_iter().collect::<Vec<usize>>())
+        })
+        .min_by_key(|(ready, n, _)| (*ready, *n))
+        .map(|(_, n, chans)| (n, chans))
 }
 
 /// One fleet throughput–latency curve.
@@ -728,6 +1409,239 @@ pub fn fleet_sweep(
         .collect()
 }
 
+/// Everything that parameterizes one resilience sweep: the workload, the
+/// SLO derivation, and the severity of the injected faults. The fault
+/// *schedule* is fixed by protocol — the last node crashes at the mean
+/// arrival cycle of query N/2, and the `crash+slow` level additionally
+/// sticks channel 0 of node 0 at `degrade_multiplier`x service time from
+/// the crash onward — so two runs of the same spec are identical.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceSpec {
+    /// Arrival process.
+    pub process: ArrivalProcess,
+    /// Offered load (whole-fleet queries per second).
+    pub qps: f64,
+    /// Queries per run.
+    pub queries: usize,
+    /// Query shape.
+    pub shape: QueryShape,
+    /// Arrival/placement seed.
+    pub seed: u64,
+    /// The SLO deadline is this multiple of the fault-free replicated
+    /// run's p99.
+    pub deadline_p99_multiple: u64,
+    /// Post-crash goodput must keep at least this fraction of the
+    /// pre-crash rate to count as sustained.
+    pub sustain_fraction: f64,
+    /// Service-time multiplier of the stuck-at-slow channel in the
+    /// `crash+slow` level.
+    pub degrade_multiplier: u64,
+}
+
+/// One arm of the resilience sweep: a fault level crossed with a
+/// placement flavor and hedging on/off, plus its measured outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceArm {
+    /// Fault-level label (`"none"`, `"crash"`, `"crash+slow"`).
+    pub faults: &'static str,
+    /// Placement label (`"fleet-replicated"` or `"fleet-sharded"`).
+    pub placement: &'static str,
+    /// Whether p95 hedging was on.
+    pub hedged: bool,
+    /// Fraction of offered queries that completed.
+    pub availability: f64,
+    /// Goodput-under-SLO over arrivals before the crash cycle.
+    pub pre_goodput: f64,
+    /// Goodput-under-SLO over arrivals from the crash cycle on.
+    pub post_goodput: f64,
+    /// `post_goodput >= sustain_fraction * pre_goodput`.
+    pub sustained: bool,
+    /// The full fleet report (outcome counters, latencies).
+    pub report: FleetReport,
+}
+
+impl ResilienceArm {
+    /// Post/pre goodput ratio (1.0 for an idle pre window).
+    pub fn goodput_ratio(&self) -> f64 {
+        if self.pre_goodput > 0.0 {
+            self.post_goodput / self.pre_goodput
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The outcome of [`resilience_sweep`]: the derived SLO anchors plus one
+/// [`ResilienceArm`] per (fault level x placement x hedging) combination,
+/// in level-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceSweep {
+    /// SLO deadline in cycles (`deadline_p99_multiple` x the fault-free
+    /// replicated p99).
+    pub deadline: Cycle,
+    /// The fault-free replicated p99 the deadline derives from.
+    pub baseline_p99: Cycle,
+    /// Crash cycle (mean arrival of query N/2).
+    pub crash_at: Cycle,
+    /// The node the crash levels take down (the last node).
+    pub crashed_node: usize,
+    /// The sustain bar the arms were judged against.
+    pub sustain_fraction: f64,
+    /// All measured arms.
+    pub arms: Vec<ResilienceArm>,
+}
+
+impl ResilienceSweep {
+    /// The arm at one (fault level, placement, hedging) coordinate.
+    pub fn arm(&self, faults: &str, placement: &str, hedged: bool) -> Option<&ResilienceArm> {
+        self.arms
+            .iter()
+            .find(|a| a.faults == faults && a.placement == placement && a.hedged == hedged)
+    }
+
+    /// The crash-level replicated+hedged arm — the configuration the
+    /// resilience verdict claims sustains the crash.
+    pub fn verdict_arm(&self) -> &ResilienceArm {
+        self.arm("crash", "fleet-replicated", true)
+            .expect("crash-level replicated+hedged arm ran")
+    }
+
+    /// The crash-level sharded unhedged arm — the configuration the
+    /// resilience verdict claims collapses.
+    pub fn verdict_baseline(&self) -> &ResilienceArm {
+        self.arm("crash", "fleet-sharded", false)
+            .expect("crash-level sharded arm ran")
+    }
+
+    /// The resilience claim itself: replicated+hedged sustains the crash
+    /// while unreplicated placement does not.
+    pub fn verdict_holds(&self) -> bool {
+        self.verdict_arm().sustained && !self.verdict_baseline().sustained
+    }
+}
+
+/// Measures fleet resilience through escalating injected faults: no
+/// faults, a mid-horizon node crash, and the crash plus a stuck-at-slow
+/// channel on a survivor, each crossed with {replicated-everywhere,
+/// sharded} placement and p95 hedging on/off — every arm under the same
+/// SLO (deadline = `deadline_p99_multiple` x the fault-free replicated
+/// p99) with bounded retries, admission control and deadline shedding.
+///
+/// Arms are independent simulations over fresh fleets, parallelized as
+/// tasks on the deterministic worker pool (each arm's fleet nests its
+/// node and channel tasks into the same pool), so the sweep is
+/// byte-identical to a serial sweep at any worker count.
+///
+/// # Errors
+///
+/// Returns [`SimError::Stalled`] if a cycle-level run stalls, or
+/// [`SimError::Config`] when placement fails.
+pub fn resilience_sweep(
+    make_fleet: &mut FleetFactory<'_>,
+    spec: &ResilienceSpec,
+) -> Result<ResilienceSweep, SimError> {
+    let dispatch_replicated = FleetDispatch::replicated(spec.shape.tables);
+    let dispatch_sharded = FleetDispatch::sharded();
+    let cfg = |dispatch: FleetDispatch| FleetConfig {
+        process: spec.process,
+        qps: spec.qps,
+        queries: spec.queries,
+        shape: spec.shape,
+        dispatch,
+        seed: spec.seed,
+    };
+    // Both anchors are pure arithmetic from the spec plus one fault-free
+    // run, so the sweep is deterministic end to end.
+    let crash_at = ((spec.queries as f64 / 2.0) * qps_to_interarrival_cycles(spec.qps)) as Cycle;
+    let mut baseline_fleet = make_fleet();
+    let crashed_node = baseline_fleet.nodes() - 1;
+    let baseline = serve_fleet(&mut baseline_fleet, &cfg(dispatch_replicated))?;
+    let baseline_p99 = baseline.summary().p99;
+    let deadline = spec.deadline_p99_multiple * baseline_p99;
+
+    let levels: [(&'static str, FaultPlan); 3] = [
+        ("none", FaultPlan::none()),
+        (
+            "crash",
+            FaultPlan::none().with_crash(crashed_node, crash_at),
+        ),
+        (
+            "crash+slow",
+            FaultPlan::none()
+                .with_crash(crashed_node, crash_at)
+                .with_degrade(0, 0, crash_at, u64::MAX, spec.degrade_multiplier),
+        ),
+    ];
+    let placements: [(&'static str, FleetDispatch, bool); 4] = [
+        ("fleet-replicated", dispatch_replicated, false),
+        ("fleet-replicated", dispatch_replicated, true),
+        ("fleet-sharded", dispatch_sharded, false),
+        ("fleet-sharded", dispatch_sharded, true),
+    ];
+
+    let mut jobs: Vec<(
+        Fleet,
+        FleetConfig,
+        ResilienceConfig,
+        &'static str,
+        &'static str,
+        bool,
+    )> = Vec::with_capacity(levels.len() * placements.len());
+    for (label, plan) in &levels {
+        for &(placement, dispatch, hedged) in &placements {
+            let mut res = ResilienceConfig::new(plan.clone())
+                .with_retry(RetryPolicy::serving_default(deadline))
+                .with_slo(SloPolicy::new(deadline));
+            if hedged {
+                res = res.with_hedge(HedgePolicy::p95());
+            }
+            jobs.push((make_fleet(), cfg(dispatch), res, label, placement, hedged));
+        }
+    }
+    let tasks: Vec<_> = jobs
+        .iter_mut()
+        .map(|(fleet, cfg, res, ..)| move || serve_fleet_resilient(fleet, cfg, res))
+        .collect();
+    let reports = recnmp_exec::current().run_vec(tasks)?;
+
+    let frac = |good: u64, offered: u64| {
+        if offered == 0 {
+            1.0
+        } else {
+            good as f64 / offered as f64
+        }
+    };
+    let arms = jobs
+        .iter()
+        .zip(reports)
+        .map(|(&(_, _, _, faults, placement, hedged), report)| {
+            let (good_pre, offered_pre) = report.goodput_in_window(deadline, 0, crash_at);
+            let (good_post, offered_post) =
+                report.goodput_in_window(deadline, crash_at, Cycle::MAX);
+            let pre_goodput = frac(good_pre, offered_pre);
+            let post_goodput = frac(good_post, offered_post);
+            ResilienceArm {
+                faults,
+                placement,
+                hedged,
+                availability: report.availability(),
+                pre_goodput,
+                post_goodput,
+                sustained: post_goodput >= spec.sustain_fraction * pre_goodput,
+                report,
+            }
+        })
+        .collect();
+    Ok(ResilienceSweep {
+        deadline,
+        baseline_p99,
+        crash_at,
+        crashed_node,
+        sustain_fraction: spec.sustain_fraction,
+        arms,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -808,6 +1722,7 @@ mod tests {
                 prefetch: None,
             }),
             coalescing: None,
+            max_queue_depth: None,
             seed: fleet_cfg.seed,
         };
         let cluster_report = serve(cluster.as_mut(), &cluster_cfg).unwrap();
@@ -869,6 +1784,152 @@ mod tests {
             assert!(f + charged.dispatch.network.base <= *c + 1);
             assert!(f < c);
         }
+    }
+
+    fn assert_conserved(report: &FleetReport) {
+        let count = |o: QueryOutcome| report.outcomes.iter().filter(|&&x| x == o).count() as u64;
+        assert_eq!(
+            report.outcomes.len() as u64,
+            count(QueryOutcome::Completed)
+                + count(QueryOutcome::Rejected)
+                + count(QueryOutcome::Shed)
+                + count(QueryOutcome::Failed),
+            "every offered query has exactly one outcome"
+        );
+        assert_eq!(
+            report.report.queries_rejected,
+            count(QueryOutcome::Rejected)
+        );
+        assert_eq!(report.report.queries_shed, count(QueryOutcome::Shed));
+        assert_eq!(report.report.queries_failed, count(QueryOutcome::Failed));
+        assert_eq!(report.failures.len() as u64, count(QueryOutcome::Failed));
+    }
+
+    #[test]
+    fn zero_resilience_matches_plain_fleet() {
+        // The keystone: an all-zero fault plan with inert policies must
+        // reproduce the plain scheduler byte for byte, for every router.
+        for router in RouterPolicy::ALL {
+            for dispatch in [FleetDispatch::replicated(1), FleetDispatch::sharded()] {
+                let dispatch = FleetDispatch { router, ..dispatch };
+                let cfg = quick_cfg(2.0, 10, dispatch);
+                let mut a = Fleet::reference(2);
+                let mut b = Fleet::reference(2);
+                let plain = serve_fleet(&mut a, &cfg).unwrap();
+                let res = serve_fleet_resilient(&mut b, &cfg, &ResilienceConfig::zero()).unwrap();
+                assert_eq!(plain, res, "router {}", router.name());
+                assert_eq!(res.availability(), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_fails_unreplicated_queries_and_fails_over_replicated_ones() {
+        use super::super::faults::FaultPlan;
+        let faults = FaultPlan::none().with_crash(1, 0);
+
+        // Unreplicated: tables homed on the dead node have no surviving
+        // replica, so their queries fail (counted, not panicked).
+        let cfg = quick_cfg(2.0, 12, FleetDispatch::sharded());
+        let mut fleet = Fleet::reference(2);
+        let sharded =
+            serve_fleet_resilient(&mut fleet, &cfg, &ResilienceConfig::new(faults.clone()))
+                .unwrap();
+        assert!(
+            sharded.availability() < 1.0,
+            "dead tables must fail queries"
+        );
+        assert!(matches!(sharded.failures[0], SimError::QueryFailed { .. }));
+        assert_eq!(sharded.node_queries[1], 0, "no query runs on a dead node");
+        assert_conserved(&sharded);
+
+        // Fully replicated: every table survives on node 0, so every
+        // query fails over and completes.
+        let cfg = quick_cfg(2.0, 12, FleetDispatch::replicated(64));
+        let mut fleet = Fleet::reference(2);
+        let replicated =
+            serve_fleet_resilient(&mut fleet, &cfg, &ResilienceConfig::new(faults)).unwrap();
+        assert_eq!(replicated.availability(), 1.0);
+        assert!(replicated.report.failovers > 0);
+        assert_eq!(replicated.node_queries[1], 0);
+        assert_conserved(&replicated);
+    }
+
+    #[test]
+    fn permanent_timeouts_exhaust_retries_into_deadline_failures() {
+        use super::super::faults::{FaultPlan, RetryPolicy};
+        let mut faults = FaultPlan::none();
+        for node in 0..2 {
+            for channel in 0..4 {
+                faults = faults.with_timeout(node, channel, 0, u64::MAX);
+            }
+        }
+        let cfg = quick_cfg(2.0, 6, FleetDispatch::replicated(64));
+        let mut fleet = Fleet::reference(2);
+        let res = ResilienceConfig::new(faults).with_retry(RetryPolicy {
+            max_attempts: 3,
+            timeout: 50_000,
+            backoff: 1_000,
+        });
+        let report = serve_fleet_resilient(&mut fleet, &cfg, &res).unwrap();
+        assert_eq!(
+            report.availability(),
+            0.0,
+            "every channel times out forever"
+        );
+        assert!(report.report.retries > 0, "attempts were retried first");
+        assert!(matches!(
+            report.failures[0],
+            SimError::DeadlineExceeded { attempts: 3, .. }
+        ));
+        assert_conserved(&report);
+    }
+
+    #[test]
+    fn slo_guard_rejects_and_sheds_under_overload() {
+        use super::super::faults::{FaultPlan, SloPolicy};
+        // Oversaturate by 100x with a deadline close to bare service
+        // time: the backlog must trip admission control.
+        let mut cfg = quick_cfg(2.0, 48, FleetDispatch::replicated(1));
+        cfg.qps *= 1_000.0;
+        let mut fleet = Fleet::reference(2);
+        let res = ResilienceConfig::new(FaultPlan::none()).with_slo(SloPolicy::new(2_000));
+        let report = serve_fleet_resilient(&mut fleet, &cfg, &res).unwrap();
+        let guarded = report.report.queries_rejected + report.report.queries_shed;
+        assert!(guarded > 0, "1000x overload must trip the SLO guard");
+        assert!(report.completed() > 0, "early queries still meet the SLO");
+        // Guarded queries never ran: their latency entries are zero.
+        for (lat, out) in report.latencies.iter().zip(&report.outcomes) {
+            if *out != QueryOutcome::Completed {
+                assert_eq!(*lat, 0);
+            }
+        }
+        assert_conserved(&report);
+    }
+
+    #[test]
+    fn hedging_duplicates_stragglers_deterministically() {
+        use super::super::faults::{FaultPlan, HedgePolicy};
+        // One stuck-at-slow channel on node 0 creates stragglers; with
+        // full replication node 1 can absorb the hedges.
+        let faults = FaultPlan::none().with_degrade(0, 0, 0, u64::MAX, 16);
+        let cfg = quick_cfg(2.0, 48, FleetDispatch::replicated(64));
+        let res = ResilienceConfig::new(faults).with_hedge(HedgePolicy {
+            quantile: 0.5,
+            min_samples: 8,
+            window: 32,
+        });
+        let mut a = Fleet::reference(2);
+        let mut b = Fleet::reference(2);
+        let r1 = serve_fleet_resilient(&mut a, &cfg, &res).unwrap();
+        let r2 = serve_fleet_resilient(&mut b, &cfg, &res).unwrap();
+        assert_eq!(r1, r2, "hedged runs are deterministic");
+        assert!(
+            r1.report.hedges > 0,
+            "a 16x-slow channel must trigger hedges"
+        );
+        assert_eq!(r1.availability(), 1.0);
+        assert_conserved(&r1);
     }
 
     #[test]

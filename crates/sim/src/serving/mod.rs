@@ -67,6 +67,7 @@
 //! ```
 
 pub mod arrivals;
+pub mod faults;
 pub mod fleet;
 mod host_cache;
 pub mod policy;
@@ -74,9 +75,14 @@ pub mod scheduler;
 pub mod sweep;
 
 pub use arrivals::{ArrivalProcess, QueryShape, QueryStream};
+pub use faults::{
+    ChannelDegrade, FaultPlan, FaultSpec, HedgePolicy, NodeCrash, NodeHealth, QueryOutcome,
+    ResilienceConfig, RetryPolicy, ShardTimeout, SloPolicy,
+};
 pub use fleet::{
-    fleet_saturation, fleet_sweep, fleet_sweep_at, serve_fleet, Fleet, FleetConfig, FleetCurve,
-    FleetDispatch, FleetFactory, FleetReport, NetworkCost, RouterPolicy,
+    fleet_saturation, fleet_sweep, fleet_sweep_at, resilience_sweep, serve_fleet,
+    serve_fleet_resilient, Fleet, FleetConfig, FleetCurve, FleetDispatch, FleetFactory,
+    FleetReport, NetworkCost, ResilienceArm, ResilienceSpec, ResilienceSweep, RouterPolicy,
 };
 pub use policy::{
     Coalescing, DispatchPolicy, EpochPromotion, GatherCost, HostCacheSpec, PrefetchSpec,

@@ -42,6 +42,13 @@ pub struct ServingConfig {
     pub mode: ServingMode,
     /// Optional batch coalescing ahead of dispatch.
     pub coalescing: Option<Coalescing>,
+    /// Optional bound on queries in flight (dispatched, not yet
+    /// complete). A job arriving while the bound is met is *rejected* —
+    /// counted in [`ServingReport::rejected`] and
+    /// `RunReport::queries_rejected` — instead of growing the queue
+    /// without limit through a long overload sweep. `None` keeps the
+    /// historical unbounded queue.
+    pub max_queue_depth: Option<usize>,
     /// Seed for both the arrival schedule and the query index streams.
     pub seed: u64,
 }
@@ -57,6 +64,7 @@ impl ServingConfig {
             shape,
             mode: ServingMode::Queued(DispatchPolicy::FifoSingleQueue),
             coalescing: None,
+            max_queue_depth: None,
             seed,
         }
     }
@@ -134,6 +142,11 @@ pub struct ServingReport {
     pub latencies: Vec<Cycle>,
     /// Backend runs dispatched (equals query count without coalescing).
     pub jobs: usize,
+    /// Arrival-order indices of queries rejected at the
+    /// [`max_queue_depth`](ServingConfig::max_queue_depth) bound,
+    /// ascending. Their `completions` entries equal their dispatch cycle
+    /// and they are excluded from the summary and throughput window.
+    pub rejected: Vec<usize>,
     /// Counters merged over every dispatched job, with
     /// `query_completions` carrying the per-query timestamps and
     /// `total_cycles` the makespan.
@@ -146,15 +159,39 @@ impl ServingReport {
         self.completions.iter().copied().max().unwrap_or(0)
     }
 
-    /// Completion throughput (queries per simulated second), measured
-    /// over the completion window (first to last completion) so the
-    /// initial ramp and final drain don't bias short runs. Falls back to
-    /// the full makespan when the window is degenerate (fewer than two
-    /// distinct completion times).
+    /// Per-query values with the rejected queries dropped (`rejected` is
+    /// ascending, so one forward merge suffices).
+    fn served(&self, values: &[Cycle]) -> Vec<Cycle> {
+        if self.rejected.is_empty() {
+            return values.to_vec();
+        }
+        let mut rej = self.rejected.iter().peekable();
+        values
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                if rej.peek() == Some(&i) {
+                    rej.next();
+                    false
+                } else {
+                    true
+                }
+            })
+            .map(|(_, &v)| v)
+            .collect()
+    }
+
+    /// Completion throughput (queries per simulated second) over the
+    /// served (non-rejected) queries, measured over the completion
+    /// window (first to last completion) so the initial ramp and final
+    /// drain don't bias short runs. Falls back to the full makespan when
+    /// the window is degenerate (fewer than two distinct completion
+    /// times).
     pub fn achieved_qps(&self) -> f64 {
-        let n = self.completions.len() as u64;
-        let first = self.completions.iter().copied().min().unwrap_or(0);
-        let last = self.makespan();
+        let done = self.served(&self.completions);
+        let n = done.len() as u64;
+        let first = done.iter().copied().min().unwrap_or(0);
+        let last = done.iter().copied().max().unwrap_or(0);
         if n >= 2 && last > first {
             completions_to_qps(n - 1, last - first)
         } else {
@@ -162,9 +199,60 @@ impl ServingReport {
         }
     }
 
-    /// The latency distribution.
+    /// The latency distribution over served (non-rejected) queries.
     pub fn summary(&self) -> LatencySummary {
-        LatencySummary::from_latencies(&self.latencies)
+        LatencySummary::from_latencies(&self.served(&self.latencies))
+    }
+}
+
+/// The admission guard behind
+/// [`max_queue_depth`](ServingConfig::max_queue_depth): tracks the
+/// completion times of admitted jobs and refuses a dispatch when the
+/// bound is already in flight. Unbounded (`None`) admits everything and
+/// tracks nothing.
+struct DepthGuard {
+    bound: Option<usize>,
+    outstanding: Vec<Cycle>,
+}
+
+impl DepthGuard {
+    fn new(bound: Option<usize>) -> Self {
+        Self {
+            bound,
+            outstanding: Vec::new(),
+        }
+    }
+
+    /// May a job dispatching at `dispatch` enter the system? Dispatch
+    /// times are non-decreasing, so drained work is dropped before the
+    /// count.
+    fn admits(&mut self, dispatch: Cycle) -> bool {
+        let Some(bound) = self.bound else { return true };
+        self.outstanding.retain(|&done| done > dispatch);
+        self.outstanding.len() < bound
+    }
+
+    /// Records an admitted job's completion.
+    fn admit(&mut self, complete: Cycle) {
+        if self.bound.is_some() {
+            self.outstanding.push(complete);
+        }
+    }
+
+    /// Rejects every member of `job`: completion pinned at the dispatch
+    /// cycle, indices recorded, counter bumped.
+    fn reject(
+        &self,
+        job: &Job,
+        completions: &mut [Cycle],
+        rejected: &mut Vec<usize>,
+        merged: &mut RunReport,
+    ) {
+        for &q in &job.members {
+            completions[q] = job.dispatch;
+            rejected.push(q);
+        }
+        merged.queries_rejected += job.members.len() as u64;
     }
 }
 
@@ -220,6 +308,8 @@ pub(super) fn serve_arrivals(
     let mut free_at = vec![0 as Cycle; servers];
     let mut completions = vec![0 as Cycle; queries.len()];
     let mut merged = RunReport::for_system(backend.name().to_string());
+    let mut guard = DepthGuard::new(cfg.max_queue_depth);
+    let mut rejected: Vec<usize> = Vec::new();
 
     match cfg.mode {
         ServingMode::Queued(policy) => {
@@ -227,6 +317,10 @@ pub(super) fn serve_arrivals(
             // still in flight per server.
             let mut in_flight: Vec<Vec<(Cycle, u64)>> = vec![Vec::new(); servers];
             for (job_idx, job) in jobs.iter().enumerate() {
+                if !guard.admits(job.dispatch) {
+                    guard.reject(job, &mut completions, &mut rejected, &mut merged);
+                    continue;
+                }
                 let server = match policy {
                     DispatchPolicy::FifoSingleQueue => {
                         // Central queue: the job runs on whichever server
@@ -262,6 +356,7 @@ pub(super) fn serve_arrivals(
                 for &q in &job.members {
                     completions[q] = complete;
                 }
+                guard.admit(complete);
                 merged.absorb_parallel(report);
             }
         }
@@ -274,6 +369,8 @@ pub(super) fn serve_arrivals(
                 &mut free_at,
                 &mut completions,
                 &mut merged,
+                &mut guard,
+                &mut rejected,
             )?;
         }
         ServingMode::Tiered(tiered) => {
@@ -285,6 +382,8 @@ pub(super) fn serve_arrivals(
                 &mut free_at,
                 &mut completions,
                 &mut merged,
+                &mut guard,
+                &mut rejected,
             )?;
         }
     }
@@ -307,6 +406,7 @@ pub(super) fn serve_arrivals(
         completions,
         latencies,
         jobs: jobs.len(),
+        rejected,
         report: merged,
     })
 }
@@ -329,6 +429,7 @@ pub(super) fn serve_arrivals(
 ///   the hottest tracked vectors into its RankCaches via
 ///   [`SlsBackend::prefetch_on`] (low-priority: the gap bounds the
 ///   traffic, so prefetch never delays demand work).
+#[allow(clippy::too_many_arguments)]
 fn serve_sharded(
     backend: &mut dyn SlsBackend,
     sharded: ShardedDispatch,
@@ -337,6 +438,8 @@ fn serve_sharded(
     free_at: &mut [Cycle],
     completions: &mut [Cycle],
     merged: &mut RunReport,
+    guard: &mut DepthGuard,
+    rejected: &mut Vec<usize>,
 ) -> Result<(), SimError> {
     let usage = TableUsage::from_traces(queries);
     let capacity = sharded.channel_capacity.map(ByteSize::get);
@@ -371,9 +474,20 @@ fn serve_sharded(
     let mut tracker = sharded
         .prefetch
         .map(|spec| HotVectorTracker::new(spec.candidates));
-    let offered: u64 = queries.iter().map(SlsTrace::total_lookups).sum();
+    let mut offered: u64 = queries.iter().map(SlsTrace::total_lookups).sum();
 
     for job in jobs {
+        // A rejected job never dispatches: it must not warm the host
+        // cache, feed the prefetch tracker, or touch a channel.
+        if !guard.admits(job.dispatch) {
+            guard.reject(job, completions, rejected, merged);
+            offered -= job
+                .members
+                .iter()
+                .map(|&q| queries[q].total_lookups())
+                .sum::<u64>();
+            continue;
+        }
         if let Some(tr) = &tracker {
             prefetch_idle(backend, &plan, tr, job.dispatch, free_at, merged);
         }
@@ -387,7 +501,7 @@ fn serve_sharded(
         if let Some(tr) = tracker.as_mut() {
             tr.observe(&trace);
         }
-        serve_scattered(
+        let complete = serve_scattered(
             backend,
             &plan,
             sharded.gather,
@@ -398,6 +512,7 @@ fn serve_sharded(
             completions,
             merged,
         )?;
+        guard.admit(complete);
     }
 
     if let Some(hc) = &host_cache {
@@ -464,7 +579,8 @@ fn prefetch_idle(
 /// (deterministic, ties to the lowest channel), each non-empty shard
 /// queues on its channel, and every member query completes at the
 /// slowest shard plus the host merge cost plus `host_cycles` (the
-/// host-cache charge for this job's absorbed lookups).
+/// host-cache charge for this job's absorbed lookups). Returns the
+/// job's completion cycle.
 #[allow(clippy::too_many_arguments)]
 fn serve_scattered(
     backend: &mut dyn SlsBackend,
@@ -476,7 +592,7 @@ fn serve_scattered(
     free_at: &mut [Cycle],
     completions: &mut [Cycle],
     merged: &mut RunReport,
-) -> Result<(), SimError> {
+) -> Result<Cycle, SimError> {
     let lookups = trace.total_lookups();
     let mut shards: Vec<SlsTrace> = vec![SlsTrace::default(); free_at.len()];
     for batch in trace.batches {
@@ -511,7 +627,7 @@ fn serve_scattered(
     for &q in &job.members {
         completions[q] = complete;
     }
-    Ok(())
+    Ok(complete)
 }
 
 /// Serves every job tier-aware: a [`TieredPlacementPlan`] assigns tables
@@ -528,6 +644,7 @@ fn serve_scattered(
 /// [`TieredPlacementPlan::epoch_rebalance`] at every epoch boundary; the
 /// units on either end of a migration (a moved table's old and new
 /// replicas) stall by the modeled migration cost before serving resumes.
+#[allow(clippy::too_many_arguments)]
 fn serve_tiered(
     backend: &mut dyn SlsBackend,
     tiered: TieredDispatch,
@@ -536,6 +653,8 @@ fn serve_tiered(
     free_at: &mut [Cycle],
     completions: &mut [Cycle],
     merged: &mut RunReport,
+    guard: &mut DepthGuard,
+    rejected: &mut Vec<usize>,
 ) -> Result<(), SimError> {
     if tiered.tiers.units() != free_at.len() {
         return Err(SimError::Config(ConfigError::new(
@@ -553,7 +672,11 @@ fn serve_tiered(
         let plan = TieredPlacementPlan::build(tiered.tiers, &usage, tiered.policy)
             .map_err(SimError::Config)?;
         for job in jobs {
-            serve_scattered(
+            if !guard.admits(job.dispatch) {
+                guard.reject(job, completions, rejected, merged);
+                continue;
+            }
+            let complete = serve_scattered(
                 backend,
                 plan.flat(),
                 tiered.gather,
@@ -564,6 +687,7 @@ fn serve_tiered(
                 completions,
                 merged,
             )?;
+            guard.admit(complete);
         }
         return Ok(());
     };
@@ -613,12 +737,19 @@ fn serve_tiered(
             plan = next;
             observed.clear();
         }
+        // The epoch clock above ticks on offered jobs (rejected or not),
+        // but a rejected job contributes no observed traffic and no
+        // service.
+        if !guard.admits(job.dispatch) {
+            guard.reject(job, completions, rejected, merged);
+            continue;
+        }
         for &q in &job.members {
             for tb in &queries[q].batches {
                 *observed.entry(tb.table()).or_insert(0) += tb.lookups();
             }
         }
-        serve_scattered(
+        let complete = serve_scattered(
             backend,
             plan.flat(),
             tiered.gather,
@@ -629,6 +760,7 @@ fn serve_tiered(
             completions,
             merged,
         )?;
+        guard.admit(complete);
     }
     Ok(())
 }
@@ -696,6 +828,7 @@ mod tests {
             shape: QueryShape::new(2, 2, 8),
             mode: ServingMode::Queued(policy),
             coalescing: None,
+            max_queue_depth: None,
             seed: 11,
         }
     }
@@ -786,6 +919,64 @@ mod tests {
         for (s, q) in sharded.completions.iter().zip(&base.completions) {
             assert_eq!(*s, q + 107);
         }
+    }
+
+    #[test]
+    fn queue_depth_bound_rejects_overload_and_none_is_unbounded() {
+        // Unbounded behavior is byte-identical to the historical
+        // scheduler; a tight bound under extreme load must reject.
+        let cfg = quick_cfg(50_000_000.0, 16, DispatchPolicy::FifoSingleQueue);
+        let mut a = HostBaseline::new(1, 2).unwrap();
+        let unbounded = serve(&mut a, &cfg).unwrap();
+        assert!(unbounded.rejected.is_empty());
+        assert_eq!(unbounded.report.queries_rejected, 0);
+
+        let mut bounded_cfg = cfg;
+        bounded_cfg.max_queue_depth = Some(2);
+        let mut b = HostBaseline::new(1, 2).unwrap();
+        let bounded = serve(&mut b, &bounded_cfg).unwrap();
+        assert!(
+            !bounded.rejected.is_empty(),
+            "a depth-2 queue under 50M qps must reject"
+        );
+        assert_eq!(
+            bounded.report.queries_rejected,
+            bounded.rejected.len() as u64
+        );
+        // Rejected queries complete at dispatch: zero latency entries.
+        for &q in &bounded.rejected {
+            assert_eq!(bounded.latencies[q], 0);
+        }
+        // The summary ignores rejected queries, so the bounded tail can
+        // only improve on the unbounded one.
+        assert!(bounded.summary().p99 <= unbounded.summary().p99);
+        // Every admitted query still ran to completion.
+        assert_eq!(
+            bounded.latencies.len() - bounded.rejected.len(),
+            bounded
+                .latencies
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !bounded.rejected.contains(i))
+                .count()
+        );
+    }
+
+    #[test]
+    fn queue_depth_bound_applies_to_sharded_mode() {
+        use recnmp_backend::PlacementPolicy;
+        let mut cfg = quick_cfg(50_000_000.0, 16, DispatchPolicy::FifoSingleQueue);
+        cfg.mode = ServingMode::Sharded(ShardedDispatch::new(PlacementPolicy::Hash));
+        cfg.max_queue_depth = Some(2);
+        let mut host = HostBaseline::new(1, 2).unwrap();
+        let report = serve(&mut host, &cfg).unwrap();
+        assert!(!report.rejected.is_empty());
+        assert_eq!(report.report.queries_rejected, report.rejected.len() as u64);
+        // Rejected work never reached a channel: dispatched lookups
+        // cover exactly the admitted queries.
+        let all: u64 = 16 * cfg.shape.lookups_per_query();
+        let rejected: u64 = report.rejected.len() as u64 * cfg.shape.lookups_per_query();
+        assert_eq!(report.report.insts, all - rejected);
     }
 
     #[test]

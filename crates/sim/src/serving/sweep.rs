@@ -91,6 +91,7 @@ pub fn saturation_qps(
         shape,
         mode,
         coalescing: None,
+        max_queue_depth: None,
         seed,
     };
     let arrivals = vec![0; queries];
@@ -153,6 +154,7 @@ pub fn qps_sweep_at(
                 shape,
                 mode,
                 coalescing: None,
+                max_queue_depth: None,
                 seed,
             };
             // Every load point starts from cold caches even if the

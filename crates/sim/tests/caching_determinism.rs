@@ -29,6 +29,7 @@ fn cfg(mode: ServingMode) -> ServingConfig {
         shape: shape(),
         mode,
         coalescing: None,
+        max_queue_depth: None,
         seed: 0xcac4e,
     }
 }

@@ -114,6 +114,7 @@ fn one_node_fleet_is_numerically_the_bare_cluster() {
             prefetch: None,
         }),
         coalescing: None,
+        max_queue_depth: None,
         seed: fleet_cfg.seed,
     };
     let cluster_report = serve(cluster.as_mut(), &cluster_cfg).expect("cluster serving run");

@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::{Cycle, TableId};
+
 /// Error returned by constructors that validate their configuration.
 ///
 /// # Examples
@@ -87,6 +89,29 @@ pub enum SimError {
         /// `panic!`/`assert!` case); a placeholder otherwise.
         message: String,
     },
+    /// One serving query could not be served: a table it touches had no
+    /// surviving replica (every owning node was crashed) at dispatch
+    /// time.
+    ///
+    /// Resilient serving aggregates these per query into the run report
+    /// instead of aborting the run — one dead table fails one query, not
+    /// the fleet.
+    QueryFailed {
+        /// Arrival-order index of the failed query.
+        query: usize,
+        /// The table whose replica set had no surviving node.
+        table: TableId,
+    },
+    /// One serving query exhausted its retry budget: every attempt of
+    /// some shard blew through the per-attempt deadline.
+    DeadlineExceeded {
+        /// Arrival-order index of the failed query.
+        query: usize,
+        /// Per-attempt deadline the shard could not meet, in cycles.
+        deadline: Cycle,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -100,6 +125,17 @@ impl fmt::Display for SimError {
             Self::TaskPanicked { task, message } => {
                 write!(f, "simulation task {task} panicked: {message}")
             }
+            Self::QueryFailed { query, table } => {
+                write!(f, "query {query} failed: no surviving replica of {table}")
+            }
+            Self::DeadlineExceeded {
+                query,
+                deadline,
+                attempts,
+            } => write!(
+                f,
+                "query {query} exceeded its {deadline}-cycle deadline after {attempts} attempt(s)"
+            ),
         }
     }
 }
@@ -107,7 +143,10 @@ impl fmt::Display for SimError {
 impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            Self::Stalled { .. } | Self::TaskPanicked { .. } => None,
+            Self::Stalled { .. }
+            | Self::TaskPanicked { .. }
+            | Self::QueryFailed { .. }
+            | Self::DeadlineExceeded { .. } => None,
             Self::Config(e) => Some(e),
         }
     }
@@ -144,6 +183,26 @@ mod tests {
             message: "boom".to_string(),
         };
         assert_eq!(e.to_string(), "simulation task 3 panicked: boom");
+        assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn query_failures_name_their_context() {
+        let e = SimError::QueryFailed {
+            query: 7,
+            table: TableId::new(3),
+        };
+        assert_eq!(e.to_string(), "query 7 failed: no surviving replica of T3");
+        assert!(Error::source(&e).is_none());
+        let e = SimError::DeadlineExceeded {
+            query: 9,
+            deadline: 5_000,
+            attempts: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "query 9 exceeded its 5000-cycle deadline after 3 attempt(s)"
+        );
         assert!(Error::source(&e).is_none());
     }
 

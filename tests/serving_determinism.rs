@@ -41,6 +41,7 @@ fn cfg(policy: DispatchPolicy) -> ServingConfig {
         shape: QueryShape::new(2, 2, 8),
         mode: ServingMode::Queued(policy),
         coalescing: None,
+        max_queue_depth: None,
         seed: 0xdead_beef,
     }
 }
@@ -111,6 +112,7 @@ fn below_saturation_throughput_tracks_offered_rate() {
             shape,
             mode: fifo,
             coalescing: None,
+            max_queue_depth: None,
             seed: 3,
         };
         let r = serve(factory().as_mut(), &c).unwrap();
@@ -133,6 +135,7 @@ fn sharded_cfg(placement: recnmp_backend::PlacementPolicy) -> ServingConfig {
         shape: QueryShape::reference_skewed(),
         mode: ServingMode::sharded(placement),
         coalescing: None,
+        max_queue_depth: None,
         seed: 0xdead_beef,
     }
 }
@@ -198,6 +201,7 @@ fn tiered_cfg(mode: ServingMode) -> ServingConfig {
         shape: tiered_shape(),
         mode,
         coalescing: None,
+        max_queue_depth: None,
         seed: 0xdead_beef,
     }
 }
@@ -318,6 +322,7 @@ fn pinned_latency_percentiles_for_fixed_seed() {
         shape: QueryShape::new(2, 2, 8),
         mode: ServingMode::Queued(DispatchPolicy::FifoSingleQueue),
         coalescing: None,
+        max_queue_depth: None,
         seed: 42,
     };
     let mut host = HostBaseline::new(1, 2).unwrap();
